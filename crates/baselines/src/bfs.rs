@@ -1,0 +1,107 @@
+//! Reachability by breadth-first search — the parallel-BFS row of
+//! Table 1 (right): `O(m)` work but `Θ(diameter)` depth. On the paper's
+//! motivating instances (high diameter, dense) this is exactly the
+//! baseline the IPM approach beats on depth.
+
+use pmcf_graph::DiGraph;
+use pmcf_pram::{Cost, Tracker};
+use rayon::prelude::*;
+
+/// Sequential BFS reachability mask from `s`.
+pub fn reachable_seq(g: &DiGraph, s: usize) -> Vec<bool> {
+    let mut seen = vec![false; g.n()];
+    seen[s] = true;
+    let mut q = std::collections::VecDeque::from([s]);
+    while let Some(u) = q.pop_front() {
+        for &e in g.out_edges(u) {
+            let v = g.head(e);
+            if !seen[v] {
+                seen[v] = true;
+                q.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// Level-synchronous parallel BFS with PRAM accounting: each level is one
+/// parallel frontier expansion (depth `O(log n)` per level), so total
+/// depth is `Θ(levels · log n)` — linear in the diameter.
+pub fn reachable_par(t: &mut Tracker, g: &DiGraph, s: usize) -> (Vec<bool>, usize) {
+    let n = g.n();
+    let mut seen = vec![false; n];
+    seen[s] = true;
+    let mut frontier = vec![s];
+    let mut levels = 0usize;
+    while !frontier.is_empty() {
+        levels += 1;
+        let edges_scanned: usize = frontier.iter().map(|&u| g.out_degree(u)).sum();
+        t.charge(Cost::new(
+            (frontier.len() + edges_scanned).max(1) as u64,
+            pmcf_pram::par_depth((frontier.len() + edges_scanned).max(1) as u64),
+        ));
+        let next: Vec<usize> = if frontier.len() > 512 {
+            frontier
+                .par_iter()
+                .flat_map_iter(|&u| g.out_edges(u).iter().map(|&e| g.head(e)))
+                .collect()
+        } else {
+            frontier
+                .iter()
+                .flat_map(|&u| g.out_edges(u).iter().map(|&e| g.head(e)))
+                .collect()
+        };
+        let mut fresh = Vec::new();
+        for v in next {
+            if !seen[v] {
+                seen[v] = true;
+                fresh.push(v);
+            }
+        }
+        frontier = fresh;
+    }
+    (seen, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn seq_and_par_agree() {
+        for seed in 0..5 {
+            let g = generators::gnm_digraph(50, 150, seed);
+            let a = reachable_seq(&g, 0);
+            let mut t = Tracker::new();
+            let (b, _) = reachable_par(&mut t, &g, 0);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_has_linear_levels() {
+        let g = generators::chained_cliques(10, 4, 1);
+        let mut t = Tracker::new();
+        let (seen, levels) = reachable_par(&mut t, &g, 0);
+        assert!(seen.iter().all(|&s| s), "chained cliques fully reachable");
+        assert!(levels >= 10, "levels {levels} should be ≥ #blocks");
+        // depth must scale with levels (the point of the comparison)
+        assert!(t.depth() >= levels as u64);
+    }
+
+    #[test]
+    fn unreachable_parts_not_marked() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let r = reachable_seq(&g, 0);
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn work_is_linear_in_edges() {
+        let g = generators::gnm_digraph(200, 2000, 3);
+        let mut t = Tracker::new();
+        let _ = reachable_par(&mut t, &g, 0);
+        assert!(t.work() <= 3 * 2200, "work {} should be O(m)", t.work());
+    }
+}

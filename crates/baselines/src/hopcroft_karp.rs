@@ -1,0 +1,126 @@
+//! Hopcroft–Karp bipartite maximum matching — the Corollary 1.3 oracle.
+
+use pmcf_graph::DiGraph;
+
+/// Maximum matching of a bipartite digraph whose edges go left→right,
+/// with left vertices `0..nl`. Returns `(size, match_of_left)` where
+/// `match_of_left[u] = Some(v)`.
+pub fn max_matching(g: &DiGraph, nl: usize) -> (usize, Vec<Option<usize>>) {
+    let n = g.n();
+    assert!(nl <= n);
+    // adjacency: left u → list of right vertices
+    let adj: Vec<Vec<usize>> = (0..nl)
+        .map(|u| g.out_edges(u).iter().map(|&e| g.head(e)).collect())
+        .collect();
+    let mut match_l: Vec<Option<usize>> = vec![None; nl];
+    let mut match_r: Vec<Option<usize>> = vec![None; n];
+    loop {
+        // BFS from free left vertices
+        let mut dist = vec![usize::MAX; nl];
+        let mut q = std::collections::VecDeque::new();
+        for u in 0..nl {
+            if match_l[u].is_none() {
+                dist[u] = 0;
+                q.push_back(u);
+            }
+        }
+        let mut found = false;
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                match match_r[v] {
+                    None => found = true,
+                    Some(u2) => {
+                        if dist[u2] == usize::MAX {
+                            dist[u2] = dist[u] + 1;
+                            q.push_back(u2);
+                        }
+                    }
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // DFS augment along layered structure
+        fn augment(
+            u: usize,
+            adj: &[Vec<usize>],
+            dist: &mut [usize],
+            match_l: &mut [Option<usize>],
+            match_r: &mut [Option<usize>],
+        ) -> bool {
+            for i in 0..adj[u].len() {
+                let v = adj[u][i];
+                let ok = match match_r[v] {
+                    None => true,
+                    Some(u2) => {
+                        dist[u2] == dist[u] + 1
+                            && augment(u2, adj, dist, match_l, match_r)
+                    }
+                };
+                if ok {
+                    match_l[u] = Some(v);
+                    match_r[v] = Some(u);
+                    return true;
+                }
+            }
+            dist[u] = usize::MAX;
+            false
+        }
+        for u in 0..nl {
+            if match_l[u].is_none() && dist[u] == 0 {
+                augment(u, &adj, &mut dist, &mut match_l, &mut match_r);
+            }
+        }
+    }
+    let size = match_l.iter().filter(|m| m.is_some()).count();
+    (size, match_l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn perfect_matching_found() {
+        // K_{3,3}
+        let mut edges = Vec::new();
+        for u in 0..3 {
+            for v in 3..6 {
+                edges.push((u, v));
+            }
+        }
+        let g = DiGraph::from_edges(6, edges);
+        let (size, ml) = max_matching(&g, 3);
+        assert_eq!(size, 3);
+        let mut used = std::collections::HashSet::new();
+        for m in ml.into_iter().flatten() {
+            assert!(used.insert(m), "right vertex matched twice");
+        }
+    }
+
+    #[test]
+    fn star_matches_one() {
+        let g = DiGraph::from_edges(5, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+        let (size, _) = max_matching(&g, 4);
+        assert_eq!(size, 1);
+    }
+
+    #[test]
+    fn koenig_bound_on_random_graphs() {
+        for seed in 0..5 {
+            let g = generators::random_bipartite(8, 8, 24, seed);
+            let (size, ml) = max_matching(&g, 8);
+            // validity: matched pairs are real edges, right side unique
+            let mut used = std::collections::HashSet::new();
+            for (u, m) in ml.iter().enumerate() {
+                if let Some(v) = m {
+                    assert!(g.out_edges(u).iter().any(|&e| g.head(e) == *v));
+                    assert!(used.insert(*v));
+                }
+            }
+            assert!(size <= 8);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+#![warn(missing_docs)]
+
+//! # pmcf-baselines — exact combinatorial comparators
+//!
+//! Ground-truth algorithms the IPM solver is validated against, and the
+//! baseline rows of the paper's Table 1:
+//!
+//! * [`ssp`] — successive shortest paths with potentials: exact min-cost
+//!   flow (the correctness oracle; also the sequential stand-in for the
+//!   near-linear-time [CKL+22] row of Table 1 left),
+//! * [`dinic`] — Dinic's max-flow,
+//! * [`hopcroft_karp`] — bipartite maximum matching,
+//! * [`bellman_ford`] — negative-weight SSSP / negative-cycle detection,
+//! * [`bfs`] — sequential and level-synchronous parallel reachability
+//!   (the parallel-BFS row of Table 1 right).
+
+pub mod bellman_ford;
+pub mod bfs;
+pub mod dinic;
+pub mod hopcroft_karp;
+pub mod ssp;

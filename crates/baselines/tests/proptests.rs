@@ -1,0 +1,116 @@
+//! Property-based cross-validation of the combinatorial baselines.
+
+use pmcf_baselines::{bellman_ford, bfs, dinic, hopcroft_karp, ssp};
+use pmcf_graph::{generators, DiGraph, Flow, McfProblem};
+use pmcf_pram::Tracker;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn ssp_beats_every_random_feasible_flow(seed in 0u64..300, tries in 1usize..6) {
+        // optimality probe: perturb the optimum by random residual cycles —
+        // cost must never decrease
+        let p = generators::random_mcf(8, 24, 4, 4, seed);
+        let opt = ssp::min_cost_flow(&p).unwrap();
+        prop_assert!(opt.is_feasible(&p));
+        let base = opt.cost(&p);
+        for k in 0..tries {
+            // push 1 unit around a random residual cycle if one exists
+            let mut x = opt.x.clone();
+            if push_random_cycle(&p, &mut x, seed + k as u64) {
+                let f = Flow { x };
+                if f.is_feasible(&p) {
+                    prop_assert!(f.cost(&p) >= base);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dinic_value_is_antisymmetric_cutbound(seed in 0u64..200) {
+        let (g, cap) = generators::random_max_flow(10, 32, 6, seed);
+        let (v, x) = dinic::max_flow(&g, &cap, 0, 9);
+        // any s-t cut upper-bounds the value: test the singleton cut and
+        // the all-but-t cut
+        let s_cut: i64 = g.out_edges(0).iter().map(|&e| cap[e]).sum();
+        let t_cut: i64 = g.in_edges(9).iter().map(|&e| cap[e]).sum();
+        prop_assert!(v <= s_cut && v <= t_cut);
+        // flow decomposition sanity: net outflow at s equals v
+        let out: i64 = g.out_edges(0).iter().map(|&e| x[e]).sum();
+        let inn: i64 = g.in_edges(0).iter().map(|&e| x[e]).sum();
+        prop_assert_eq!(out - inn, v);
+    }
+
+    #[test]
+    fn max_flow_via_ssp_equals_dinic(seed in 0u64..150) {
+        let (g, cap) = generators::random_max_flow(9, 28, 5, seed);
+        let (want, _) = dinic::max_flow(&g, &cap, 0, 8);
+        let (p, back) = McfProblem::max_flow(&g, &cap, 0, 8);
+        let f = ssp::min_cost_flow(&p).unwrap();
+        prop_assert_eq!(f.st_value(back), want);
+    }
+
+    #[test]
+    fn hopcroft_karp_vs_flow_matching(seed in 0u64..150) {
+        let g = generators::random_bipartite(6, 7, 18, seed);
+        let (hk, _) = hopcroft_karp::max_matching(&g, 6);
+        // matching as unit-cap flow
+        let mut edges = g.edges().to_vec();
+        let n = g.n();
+        for u in 0..6 {
+            edges.push((n, u));
+        }
+        for v in 6..n {
+            edges.push((v, n + 1));
+        }
+        let g2 = DiGraph::from_edges(n + 2, edges);
+        let cap = vec![1i64; g2.m()];
+        let (flow_val, _) = dinic::max_flow(&g2, &cap, n, n + 1);
+        prop_assert_eq!(hk as i64, flow_val);
+    }
+
+    #[test]
+    fn bellman_ford_triangle_inequality(seed in 0u64..150) {
+        let (g, w) = generators::random_negative_sssp(14, 40, 8, seed);
+        let d = bellman_ford::sssp(&g, &w, 0).unwrap();
+        // relaxed: every edge satisfies d[v] ≤ d[u] + w(e)
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            if d[u] != i64::MAX {
+                prop_assert!(d[v] <= d[u] + w[e], "edge {} violates triangle ineq", e);
+            }
+        }
+        prop_assert_eq!(d[0], 0);
+    }
+
+    #[test]
+    fn parallel_bfs_equals_sequential(seed in 0u64..150, n in 8usize..40) {
+        let g = generators::gnm_digraph(n, 3 * n, seed);
+        let a = bfs::reachable_seq(&g, 0);
+        let mut t = Tracker::new();
+        let (b, _) = bfs::reachable_par(&mut t, &g, 0);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Try to push one unit around a short residual cycle; returns false if
+/// none was found quickly.
+fn push_random_cycle(p: &McfProblem, x: &mut [i64], seed: u64) -> bool {
+    let n = p.n();
+    let start = (seed as usize) % n;
+    // find any residual path start → v → start of length 2
+    for (e1, &(u1, v1)) in p.graph.edges().iter().enumerate() {
+        if u1 != start || x[e1] >= p.cap[e1] {
+            continue;
+        }
+        for (e2, &(u2, v2)) in p.graph.edges().iter().enumerate() {
+            if u2 == v1 && v2 == start && x[e2] < p.cap[e2] && e1 != e2 {
+                x[e1] += 1;
+                x[e2] += 1;
+                return true;
+            }
+        }
+    }
+    false
+}

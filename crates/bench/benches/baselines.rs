@@ -1,0 +1,29 @@
+//! Criterion benches for the combinatorial baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_baselines::{bfs, dinic, ssp};
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    for &n in &[64usize, 256] {
+        let m = generators::dense_m(n);
+        let p = generators::random_mcf(n, m, 8, 6, 7);
+        group.bench_with_input(BenchmarkId::new("ssp", n), &p, |b, p| {
+            b.iter(|| ssp::min_cost_flow(p).unwrap())
+        });
+        let (g, cap) = generators::random_max_flow(n, m, 8, 7);
+        group.bench_with_input(BenchmarkId::new("dinic", n), &(g, cap), |b, (g, cap)| {
+            b.iter(|| dinic::max_flow(g, cap, 0, g.n() - 1))
+        });
+        let gr = generators::chained_cliques(n / 8, 8, 7);
+        group.bench_with_input(BenchmarkId::new("parallel_bfs", n), &gr, |b, gr| {
+            b.iter(|| bfs::reachable_par(&mut Tracker::disabled(), gr, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

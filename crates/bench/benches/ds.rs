@@ -1,0 +1,45 @@
+//! Criterion benches for the IPM data structures (E-HH and friends).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_ds::heavy_hitter::HeavyHitter;
+use pmcf_ds::tau_sampler::TauSampler;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn bench_heavy_hitter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heavy_hitter");
+    group.sample_size(20);
+    for &(n, m) in &[(128usize, 1024usize), (256, 4096)] {
+        let g = generators::gnm_digraph(n, m, 1);
+        let mut t = Tracker::disabled();
+        let hh = HeavyHitter::initialize(&mut t, g.clone(), vec![1.0; m], 2);
+        // flat query (empty answer) — the output-sensitive fast path
+        let flat = vec![0.0; n];
+        group.bench_with_input(BenchmarkId::new("query_flat", m), &hh, |b, hh| {
+            b.iter(|| hh.heavy_query(&mut Tracker::disabled(), &flat, 0.5))
+        });
+        // hot-vertex query — answer ∝ one vertex's degree
+        let mut hot = vec![0.0; n];
+        hot[3] = 10.0;
+        group.bench_with_input(BenchmarkId::new("query_hot", m), &hh, |b, hh| {
+            b.iter(|| hh.heavy_query(&mut Tracker::disabled(), &hot, 0.5))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tau_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tau_sampler");
+    for &m in &[4096usize, 65536] {
+        let tau = vec![0.01f64; m];
+        group.bench_with_input(BenchmarkId::new("sample", m), &tau, |b, tau| {
+            let mut t = Tracker::disabled();
+            let mut s = TauSampler::initialize(&mut t, 64, tau.clone(), 1);
+            b.iter(|| s.sample(&mut Tracker::disabled(), 1.0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heavy_hitter, bench_tau_sampler);
+criterion_main!(benches);

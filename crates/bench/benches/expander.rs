@@ -1,0 +1,40 @@
+//! Criterion benches for the dynamic expander decomposition (E-DYNX).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_expander::DynamicExpanderDecomposition;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn bench_dynamic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expander_dynamic");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let g = generators::gnm_ugraph(n, n * 8, 5);
+        group.bench_with_input(BenchmarkId::new("insert_all_batched", n), &g, |b, g| {
+            b.iter(|| {
+                let mut d = DynamicExpanderDecomposition::new(g.n(), 0.1, 9);
+                let mut t = Tracker::disabled();
+                for chunk in g.edges().chunks(64) {
+                    let _ = d.insert_edges(&mut t, chunk);
+                }
+                d.edge_count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("delete_batches", n), &g, |b, g| {
+            let mut d = DynamicExpanderDecomposition::new(g.n(), 0.1, 9);
+            let mut t = Tracker::disabled();
+            let keys = d.insert_edges(&mut t, g.edges());
+            b.iter(|| {
+                let mut d2 = DynamicExpanderDecomposition::new(g.n(), 0.1, 9);
+                let k2 = d2.insert_edges(&mut t, g.edges());
+                d2.delete_edges(&mut t, &k2[0..32]);
+                d2.edge_count()
+            });
+            let _ = keys;
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamic);
+criterion_main!(benches);

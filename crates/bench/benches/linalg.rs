@@ -1,0 +1,25 @@
+//! Criterion benches for the SDD solver (E-SOLVER / Lemma A.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_graph::generators;
+use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
+use pmcf_pram::Tracker;
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdd_solver");
+    for &(n, m) in &[(256usize, 2048usize), (1024, 16384)] {
+        let g = generators::gnm_digraph(n, m, 3);
+        let solver = LaplacianSolver::new(g, 0, SolverOpts::default());
+        let d = vec![1.0; m];
+        let mut b = vec![0.0; n];
+        b[1] = 1.0;
+        b[n - 1] = -1.0;
+        group.bench_with_input(BenchmarkId::new("pcg", m), &solver, |bch, solver| {
+            bch.iter(|| solver.solve(&mut Tracker::disabled(), &d, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

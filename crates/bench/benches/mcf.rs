@@ -1,0 +1,40 @@
+//! Criterion wall-clock benches for the solver engines (T1-MCF rows).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_baselines::ssp;
+use pmcf_core::{solve_mcf, Engine, SolverConfig};
+use pmcf_core::reference::PathFollowConfig;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcf");
+    group.sample_size(10);
+    for &n in &[16usize, 36] {
+        let m = generators::dense_m(n);
+        let p = generators::random_mcf(n, m, 6, 4, 31 + n as u64);
+        group.bench_with_input(BenchmarkId::new("ssp", n), &p, |b, p| {
+            b.iter(|| ssp::min_cost_flow(p).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("reference_ipm", n), &p, |b, p| {
+            b.iter(|| {
+                let mut t = Tracker::disabled();
+                solve_mcf(&mut t, p, &SolverConfig::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("robust_ipm", n), &p, |b, p| {
+            b.iter(|| {
+                let mut t = Tracker::disabled();
+                let cfg = SolverConfig {
+                    engine: Engine::Robust,
+                    path: PathFollowConfig::default(),
+                };
+                solve_mcf(&mut t, p, &cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

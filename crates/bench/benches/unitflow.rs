@@ -1,0 +1,33 @@
+//! Criterion benches for ParallelUnitFlow (E-UF).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn bench_unit_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("unit_flow");
+    for &n in &[512usize, 2048] {
+        let g = generators::random_regular_ugraph(n, 8, 1);
+        group.bench_with_input(BenchmarkId::new("route_64_units", n), &g, |b, g| {
+            let alive = vec![true; g.n()];
+            let edge_ok = vec![true; g.m()];
+            b.iter(|| {
+                let p = UnitFlowProblem {
+                    g,
+                    alive: &alive,
+                    edge_ok: &edge_ok,
+                    cap: 10.0,
+                    height: 50,
+                };
+                let mut s = UnitFlowState::new(g.n(), g.m());
+                let mut t = Tracker::disabled();
+                parallel_unit_flow(&mut t, &p, &mut s, &[(0, 64.0)], 0.5, 50_000)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_unit_flow);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment A-ABL — the §2.2 design-choice ablation: sampling `R`
+//! through the expander-decomposition-backed HeavySampler vs a dense
+//! `Θ(m)` correction of every coordinate.
+
+use pmcf_core::init;
+use pmcf_core::reference::PathFollowConfig;
+use pmcf_core::robust;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn main() {
+    println!("## A-ABL — δ_x sparsification ablation (robust engine)\n");
+    println!("| n | m | sampler | iterations | corrected coords/iter | work | work/iter |");
+    println!("|---|---|---|---|---|---|---|");
+    for &(n, m) in &[(64usize, 1024usize), (64, 4096), (144, 1728)] {
+        let p = generators::random_mcf(n, m, 4, 3, 9);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mu_end = init::final_mu(&ext.prob);
+        for (label, dense) in [("HeavySampler (paper)", false), ("dense Θ(m)", true)] {
+            let cfg = PathFollowConfig {
+                dense_sampling: dense,
+                ..PathFollowConfig::default()
+            };
+            let mut t = Tracker::new();
+            let (st, stats) =
+                robust::path_follow(&mut t, &ext.prob, ext.x0.clone(), mu0, mu_end, &cfg);
+            let ok = pmcf_core::rounding::round_to_optimal(&ext.prob, &st.x).is_some();
+            assert!(ok);
+            println!(
+                "| {n} | {m} | {label} | {} | {:.0} | {} | {:.0} |",
+                stats.iterations,
+                stats.sampled_coords as f64 / stats.iterations.max(1) as f64,
+                t.work(),
+                t.work() as f64 / stats.iterations.max(1) as f64
+            );
+        }
+    }
+    println!("\nShape: the dense variant corrects all m coordinates per iteration;");
+    println!("the HeavySampler touches Õ(m/√n + n) (paper §2.2, Theorem E.2).");
+    println!("Total work is solver-dominated at these sizes, so the step's own");
+    println!("footprint — the corrected-coordinates column — carries the claim.");
+}

@@ -1,0 +1,56 @@
+//! Experiments E-MATCH / E-SSSP / E-REACH — Corollaries 1.3–1.5:
+//! correctness vs the combinatorial oracles plus measured work/depth.
+
+use pmcf_baselines::{bellman_ford, bfs, hopcroft_karp};
+use pmcf_core::corollaries::{bipartite_matching, negative_sssp, reachability};
+use pmcf_core::SolverConfig;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn main() {
+    let cfg = SolverConfig::default();
+    println!("## E-MATCH — bipartite matching (Corollary 1.3)\n");
+    println!("| n_left | n_right | m | HK size | IPM size | IPM work | IPM depth |");
+    println!("|---|---|---|---|---|---|---|");
+    for &(nl, m) in &[(8usize, 24usize), (16, 64), (32, 160)] {
+        let g = generators::random_bipartite(nl, nl, m, 3);
+        let (want, _) = hopcroft_karp::max_matching(&g, nl);
+        let mut t = Tracker::new();
+        let (got, _) = bipartite_matching(&mut t, &g, nl, &cfg);
+        assert_eq!(got, want);
+        println!("| {nl} | {nl} | {m} | {want} | {got} | {} | {} |", t.work(), t.depth());
+    }
+
+    println!("\n## E-SSSP — negative-weight SSSP (Corollary 1.4)\n");
+    println!("| n | m | matches Bellman-Ford | IPM work | IPM depth |");
+    println!("|---|---|---|---|---|");
+    for &(n, m) in &[(12usize, 36usize), (24, 96), (48, 240)] {
+        let (g, w) = generators::random_negative_sssp(n, m, 6, 5);
+        let want = bellman_ford::sssp(&g, &w, 0).unwrap();
+        let mut t = Tracker::new();
+        let got = negative_sssp(&mut t, &g, &w, 0, &cfg).unwrap();
+        assert_eq!(got, want);
+        println!("| {n} | {m} | yes | {} | {} |", t.work(), t.depth());
+    }
+
+    println!("\n## E-REACH — reachability (Corollary 1.5)\n");
+    println!("| n | m | matches BFS | IPM work | IPM depth | BFS depth |");
+    println!("|---|---|---|---|---|---|");
+    for &k in &[4usize, 8] {
+        let g = generators::chained_cliques(k, 5, 2);
+        let want = bfs::reachable_seq(&g, 0);
+        let mut t = Tracker::new();
+        let got = reachability(&mut t, &g, 0, &cfg);
+        assert_eq!(got, want);
+        let mut tb = Tracker::new();
+        let _ = bfs::reachable_par(&mut tb, &g, 0);
+        println!(
+            "| {} | {} | yes | {} | {} | {} |",
+            g.n(),
+            g.m(),
+            t.work(),
+            t.depth(),
+            tb.depth()
+        );
+    }
+}

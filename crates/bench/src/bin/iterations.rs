@@ -1,0 +1,46 @@
+//! Experiment E-ITER — Theorem 1.2's iteration count: `Õ(√n)`.
+//!
+//! Sweeps n at m ≈ n^1.5 and fits iterations ~ n^a; the paper predicts
+//! a ≈ 0.5 (times log factors from the μ range).
+
+use pmcf_bench::fit_exponent;
+use pmcf_core::reference::{path_follow, PathFollowConfig};
+use pmcf_core::init;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+fn main() {
+    println!("## E-ITER — path-following iterations vs n (m = n^1.5)\n");
+    println!("| n | m | iterations | iterations/√n | iterations/(√n·log μ-range) |");
+    println!("|---|---|---|---|---|");
+    let mut pts = Vec::new();
+    for &n in &[36usize, 64, 100, 144, 196, 256] {
+        let m = generators::dense_m(n);
+        let p = generators::random_mcf(n, m, 8, 6, 11 + n as u64);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mu_end = init::final_mu(&ext.prob);
+        let mut t = Tracker::new();
+        let (_, stats) = path_follow(
+            &mut t,
+            &ext.prob,
+            ext.x0.clone(),
+            mu0,
+            mu_end,
+            &PathFollowConfig::default(),
+        );
+        let sq = (n as f64).sqrt();
+        let lg = (mu0 / mu_end).ln();
+        println!(
+            "| {n} | {m} | {} | {:.1} | {:.3} |",
+            stats.iterations,
+            stats.iterations as f64 / sq,
+            stats.iterations as f64 / (sq * lg)
+        );
+        pts.push((n as f64, stats.iterations as f64));
+    }
+    println!(
+        "\nFitted exponent: iterations ~ n^{:.2} (paper: 0.5 ± log factors)",
+        fit_exponent(&pts)
+    );
+}

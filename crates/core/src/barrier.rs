@@ -1,0 +1,78 @@
+//! The two-sided logarithmic barrier (paper eq. (2)).
+//!
+//! ```text
+//!   φ(x)_i  = −log x_i − log(u_i − x_i)
+//!   φ'(x)_i = −1/x_i + 1/(u_i − x_i)
+//!   φ''(x)_i = 1/x_i² + 1/(u_i − x_i)²
+//! ```
+
+/// Barrier value for one coordinate.
+#[inline]
+pub fn phi(x: f64, u: f64) -> f64 {
+    debug_assert!(x > 0.0 && x < u);
+    -x.ln() - (u - x).ln()
+}
+
+/// First derivative.
+#[inline]
+pub fn dphi(x: f64, u: f64) -> f64 {
+    -1.0 / x + 1.0 / (u - x)
+}
+
+/// Second derivative (always positive).
+#[inline]
+pub fn ddphi(x: f64, u: f64) -> f64 {
+    1.0 / (x * x) + 1.0 / ((u - x) * (u - x))
+}
+
+/// Vectorized `φ'`.
+pub fn dphi_vec(x: &[f64], u: &[f64]) -> Vec<f64> {
+    x.iter().zip(u).map(|(&xi, &ui)| dphi(xi, ui)).collect()
+}
+
+/// Vectorized `φ''`.
+pub fn ddphi_vec(x: &[f64], u: &[f64]) -> Vec<f64> {
+    x.iter().zip(u).map(|(&xi, &ui)| ddphi(xi, ui)).collect()
+}
+
+/// Clamp a point into the strict interior with margin `θ·u`.
+pub fn clamp_interior(x: &mut [f64], u: &[f64], theta: f64) {
+    for (xi, &ui) in x.iter_mut().zip(u) {
+        let lo = theta * ui;
+        let hi = (1.0 - theta) * ui;
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivative_signs_and_symmetry() {
+        // center of the box: φ' = 0, φ'' = 8/u²
+        assert_eq!(dphi(0.5, 1.0), 0.0);
+        assert!((ddphi(0.5, 1.0) - 8.0).abs() < 1e-12);
+        // close to 0: φ' very negative; close to u: very positive
+        assert!(dphi(0.01, 1.0) < -90.0);
+        assert!(dphi(0.99, 1.0) > 90.0);
+    }
+
+    #[test]
+    fn numeric_derivative_matches() {
+        let (x, u, h) = (0.3, 2.0, 1e-6);
+        let num1 = (phi(x + h, u) - phi(x - h, u)) / (2.0 * h);
+        assert!((num1 - dphi(x, u)).abs() < 1e-5);
+        let num2 = (dphi(x + h, u) - dphi(x - h, u)) / (2.0 * h);
+        assert!((num2 - ddphi(x, u)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn clamp_keeps_interior() {
+        let mut x = vec![-1.0, 0.5, 5.0];
+        let u = vec![1.0, 1.0, 2.0];
+        clamp_interior(&mut x, &u, 0.01);
+        assert!(x[0] >= 0.01 && x[2] <= 1.98);
+        assert_eq!(x[1], 0.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! ε-centered points (paper Definition F.1).
+//!
+//! A triple `(x, s, μ)` is ε-centered when
+//!
+//! 1. (approximate centrality) `‖(s + μτ(x)φ'(x)) / (μτ(x)√φ''(x))‖_∞ ≤ ε`,
+//! 2. (dual feasibility) `∃ z: Az + s = c`,
+//! 3. (approximate primal feasibility)
+//!    `‖Aᵀx − b‖_{(Aᵀ(T Φ'')⁻¹A)⁻¹} ≤ εγ/C_norm`.
+//!
+//! The engines maintain these invariants implicitly; this module makes
+//! them *checkable*, which the tests use to validate trajectories.
+
+use crate::barrier;
+use crate::reference::CentralPathState;
+use pmcf_graph::{incidence, McfProblem};
+use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
+use pmcf_pram::Tracker;
+
+/// The three Definition F.1 measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct CenteredReport {
+    /// Condition 1: `‖z‖_∞`.
+    pub centrality: f64,
+    /// Condition 2: `‖c − s − Az‖_∞` for the best `z` (least squares).
+    pub dual_residual: f64,
+    /// Condition 3: the weighted primal-infeasibility norm.
+    pub primal_infeasibility: f64,
+}
+
+impl CenteredReport {
+    /// Whether the point is ε-centered with slack `gamma_over_cnorm` for
+    /// condition 3 (paper: `εγ/C_norm`).
+    pub fn is_centered(&self, eps: f64, gamma_over_cnorm: f64, tol: f64) -> bool {
+        self.centrality <= eps + tol
+            && self.dual_residual <= tol
+            && self.primal_infeasibility <= eps * gamma_over_cnorm + tol
+    }
+}
+
+/// Measure Definition F.1 for a state on an instance.
+pub fn check_centered(t: &mut Tracker, p: &McfProblem, st: &CentralPathState) -> CenteredReport {
+    let m = p.m();
+    let cap: Vec<f64> = p.cap.iter().map(|&u| u as f64).collect();
+
+    // condition 1
+    let centrality = (0..m)
+        .map(|e| {
+            let z = (st.s[e] + st.mu * st.tau[e] * barrier::dphi(st.x[e], cap[e]))
+                / (st.mu * st.tau[e] * barrier::ddphi(st.x[e], cap[e]).sqrt());
+            z.abs()
+        })
+        .fold(0.0f64, f64::max);
+
+    // condition 2: the engines maintain s = c − Ay explicitly, so the
+    // best z is y itself
+    let ay = incidence::apply_a(t, &p.graph, &st.y);
+    let dual_residual = (0..m)
+        .map(|e| (p.cost[e] as f64 - st.s[e] - ay[e]).abs())
+        .fold(0.0f64, f64::max);
+
+    // condition 3: ‖r‖_{H⁻¹} with H = Aᵀ(TΦ'')⁻¹A — via one solve
+    let atx = incidence::apply_at(t, &p.graph, &st.x);
+    let mut r: Vec<f64> = (0..p.n())
+        .map(|v| atx[v] - p.demand[v] as f64)
+        .collect();
+    r[0] = 0.0;
+    let d: Vec<f64> = (0..m)
+        .map(|e| 1.0 / (st.tau[e] * barrier::ddphi(st.x[e], cap[e])))
+        .collect();
+    let solver = LaplacianSolver::new(p.graph.clone(), 0, SolverOpts::default());
+    let (hr, _) = solver.solve(t, &d, &r);
+    let primal_infeasibility = r
+        .iter()
+        .zip(&hr)
+        .map(|(&a, &b)| a * b)
+        .sum::<f64>()
+        .max(0.0)
+        .sqrt();
+
+    CenteredReport {
+        centrality,
+        dual_residual,
+        primal_infeasibility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::reference::{path_follow, PathFollowConfig};
+    use pmcf_graph::generators;
+
+    #[test]
+    fn engine_trajectory_stays_centered() {
+        let p = generators::random_mcf(10, 30, 4, 3, 1);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mut t = Tracker::new();
+        let (st, _) = path_follow(
+            &mut t,
+            &ext.prob,
+            ext.x0.clone(),
+            mu0,
+            mu0 / 1000.0,
+            &PathFollowConfig::default(),
+        );
+        let rep = check_centered(&mut t, &ext.prob, &st);
+        assert!(rep.centrality < 1.0, "centrality {}", rep.centrality);
+        assert!(rep.dual_residual < 1e-6, "dual residual {}", rep.dual_residual);
+        assert!(
+            rep.primal_infeasibility < 1e-3,
+            "infeasibility {}",
+            rep.primal_infeasibility
+        );
+    }
+
+    #[test]
+    fn off_path_point_is_flagged() {
+        let p = generators::random_mcf(8, 24, 4, 3, 2);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mut t = Tracker::new();
+        let (mut st, _) = path_follow(
+            &mut t,
+            &ext.prob,
+            ext.x0.clone(),
+            mu0,
+            mu0 / 100.0,
+            &PathFollowConfig::default(),
+        );
+        // breaking dual feasibility must be detected
+        st.s[0] += 123.0;
+        let rep = check_centered(&mut t, &ext.prob, &st);
+        assert!(rep.dual_residual > 100.0);
+        assert!(!rep.is_centered(0.25, 1.0, 1e-6));
+    }
+
+    #[test]
+    fn initial_point_is_centered_for_large_mu() {
+        // the init construction promises ε-centering at μ₀ by design
+        let p = generators::random_mcf(9, 27, 5, 4, 3);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let cap: Vec<f64> = ext.prob.cap.iter().map(|&u| u as f64).collect();
+        let m = ext.prob.m();
+        let st = CentralPathState {
+            x: ext.x0.clone(),
+            y: vec![0.0; ext.prob.n()],
+            s: ext.prob.cost.iter().map(|&c| c as f64).collect(),
+            tau: vec![ext.prob.n() as f64 / m as f64; m],
+            mu: mu0,
+        };
+        let mut t = Tracker::new();
+        let rep = check_centered(&mut t, &ext.prob, &st);
+        assert!(rep.centrality <= 0.5, "initial centrality {}", rep.centrality);
+        assert!(rep.primal_infeasibility < 1e-6);
+        let _ = cap;
+    }
+}

@@ -1,0 +1,222 @@
+//! The paper's corollaries: bipartite matching (1.3), negative-weight
+//! SSSP (1.4), and reachability (1.5), each by reduction to the flow
+//! solver.
+
+use crate::api::{solve_mcf, McfSolution, SolverConfig};
+use pmcf_graph::{DiGraph, McfProblem};
+use pmcf_pram::Tracker;
+
+/// Corollary 1.3 — maximum matching of a bipartite graph (left vertices
+/// `0..nl`, edges left→right). Returns `(size, matched edge ids)`.
+pub fn bipartite_matching(
+    t: &mut Tracker,
+    g: &DiGraph,
+    nl: usize,
+    cfg: &SolverConfig,
+) -> (usize, Vec<usize>) {
+    let n = g.n();
+    // source s* = n, sink t* = n+1; unit caps everywhere
+    let mut edges = Vec::with_capacity(g.m() + n);
+    let mut cap = Vec::new();
+    for &(u, v) in g.edges() {
+        assert!(u < nl && v >= nl, "edges must go left → right");
+        edges.push((u, v));
+        cap.push(1i64);
+    }
+    for u in 0..nl {
+        edges.push((n, u));
+        cap.push(1);
+    }
+    for v in nl..n {
+        edges.push((v, n + 1));
+        cap.push(1);
+    }
+    let g2 = DiGraph::from_edges(n + 2, edges);
+    let (p, back) = McfProblem::max_flow(&g2, &cap, n, n + 1);
+    let mut tt = Tracker::disabled();
+    let sol = solve_mcf(if t.is_enabled() { t } else { &mut tt }, &p, cfg)
+        .expect("matching reduction is always feasible");
+    let matched: Vec<usize> = (0..g.m()).filter(|&e| sol.flow.x[e] == 1).collect();
+    let size = sol.flow.st_value(back) as usize;
+    debug_assert_eq!(size, matched.len());
+    (size, matched)
+}
+
+/// Corollary 1.5 — reachability from `s`: single max-flow with unit
+/// collector edges into a super sink.
+pub fn reachability(t: &mut Tracker, g: &DiGraph, s: usize, cfg: &SolverConfig) -> Vec<bool> {
+    let n = g.n();
+    let big = n as i64;
+    let mut edges = Vec::with_capacity(g.m() + n);
+    let mut cap = Vec::new();
+    for &(u, v) in g.edges() {
+        edges.push((u, v));
+        cap.push(big);
+    }
+    let mut collector = vec![usize::MAX; n];
+    for v in 0..n {
+        if v != s {
+            collector[v] = edges.len();
+            edges.push((v, n));
+            cap.push(1);
+        }
+    }
+    let g2 = DiGraph::from_edges(n + 1, edges);
+    let (p, _) = McfProblem::max_flow(&g2, &cap, s, n);
+    let sol = solve_mcf(t, &p, cfg).expect("reachability reduction is feasible");
+    let mut out = vec![false; n];
+    out[s] = true;
+    for v in 0..n {
+        if v != s && sol.flow.x[collector[v]] == 1 {
+            out[v] = true;
+        }
+    }
+    out
+}
+
+/// Corollary 1.4 — single-source shortest paths with negative weights
+/// (no negative cycles). Returns `None` if a negative cycle is reachable
+/// from `s`; unreachable vertices get `i64::MAX`.
+pub fn negative_sssp(
+    t: &mut Tracker,
+    g: &DiGraph,
+    w: &[i64],
+    s: usize,
+    cfg: &SolverConfig,
+) -> Option<Vec<i64>> {
+    assert_eq!(w.len(), g.m());
+    let n = g.n();
+    // restrict to the reachable part
+    let reach = reachability(t, g, s, cfg);
+    // negative-cycle detection: a unit-capacity min-cost circulation on
+    // the reachable subgraph is negative iff a negative cycle exists
+    let reach_edges: Vec<usize> = (0..g.m())
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            reach[u] && reach[v]
+        })
+        .collect();
+    {
+        let edges: Vec<(usize, usize)> = reach_edges.iter().map(|&e| g.endpoints(e)).collect();
+        let cost: Vec<i64> = reach_edges.iter().map(|&e| w[e]).collect();
+        let cap = vec![1i64; edges.len()];
+        let p = McfProblem::circulation(DiGraph::from_edges(n, edges), cap, cost);
+        let sol = solve_mcf(t, &p, cfg)?;
+        if sol.cost < 0 {
+            return None; // negative cycle reachable from s (it lies in the
+                         // reachable subgraph by construction)
+        }
+    }
+    // broadcast flow: route 1 unit from s to every reachable vertex;
+    // min-cost ⇒ every unit travels a shortest path, so the support
+    // carries the shortest-path distances
+    let k = reach.iter().filter(|&&r| r).count() as i64 - 1;
+    if k <= 0 {
+        let mut d = vec![i64::MAX; n];
+        d[s] = 0;
+        return Some(d);
+    }
+    let edges: Vec<(usize, usize)> = reach_edges.iter().map(|&e| g.endpoints(e)).collect();
+    let cost: Vec<i64> = reach_edges.iter().map(|&e| w[e]).collect();
+    let cap = vec![k; edges.len()];
+    let mut demand = vec![0i64; n];
+    for (v, &r) in reach.iter().enumerate() {
+        if r && v != s {
+            demand[v] = 1;
+        }
+    }
+    demand[s] = -k;
+    let p = McfProblem::new(DiGraph::from_edges(n, edges), cap, cost, demand);
+    let sol: McfSolution = solve_mcf(t, &p, cfg)?;
+    // Bellman-Ford restricted to the support (small and cycle-free in
+    // cost) recovers the distances
+    let mut dist = vec![i64::MAX; n];
+    dist[s] = 0;
+    let support: Vec<(usize, usize, i64)> = sol
+        .flow
+        .x
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(re, _)| {
+            let (u, v) = p.graph.endpoints(re);
+            (u, v, p.cost[re])
+        })
+        .collect();
+    for _ in 0..n {
+        let mut any = false;
+        for &(u, v, c) in &support {
+            if dist[u] != i64::MAX && dist[u] + c < dist[v] {
+                dist[v] = dist[u] + c;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_baselines::{bellman_ford, bfs, hopcroft_karp};
+    use pmcf_graph::generators;
+
+    #[test]
+    fn matching_size_matches_hopcroft_karp() {
+        for seed in 0..3 {
+            let g = generators::random_bipartite(6, 6, 16, seed);
+            let (want, _) = hopcroft_karp::max_matching(&g, 6);
+            let mut t = Tracker::new();
+            let (got, matched) = bipartite_matching(&mut t, &g, 6, &SolverConfig::default());
+            assert_eq!(got, want, "seed {seed}");
+            // matched edges form a matching
+            let mut used = std::collections::HashSet::new();
+            for &e in &matched {
+                let (u, v) = g.endpoints(e);
+                assert!(used.insert(u) && used.insert(v), "vertex reused");
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_matches_bfs() {
+        for seed in 0..3 {
+            let g = generators::gnm_digraph(12, 24, seed);
+            let want = bfs::reachable_seq(&g, 0);
+            let mut t = Tracker::new();
+            let got = reachability(&mut t, &g, 0, &SolverConfig::default());
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sssp_matches_bellman_ford() {
+        for seed in 0..3 {
+            let (g, w) = generators::random_negative_sssp(10, 24, 5, seed);
+            let want = bellman_ford::sssp(&g, &w, 0).unwrap();
+            let mut t = Tracker::new();
+            let got = negative_sssp(&mut t, &g, &w, 0, &SolverConfig::default()).unwrap();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sssp_detects_negative_cycle() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 1)]);
+        let mut t = Tracker::new();
+        assert!(negative_sssp(&mut t, &g, &[1, -3, 1], 0, &SolverConfig::default()).is_none());
+    }
+
+    #[test]
+    fn sssp_handles_unreachable_vertices() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut t = Tracker::new();
+        let d = negative_sssp(&mut t, &g, &[2, -7], 0, &SolverConfig::default()).unwrap();
+        assert_eq!(d[1], 2);
+        assert_eq!(d[2], i64::MAX);
+        assert_eq!(d[3], i64::MAX);
+    }
+}

@@ -1,0 +1,177 @@
+//! Initial-point construction (paper Appendix F / [vdBLL+21] §8).
+//!
+//! The IPM needs a strictly interior primal point with `Aᵀx = b` and a
+//! dual-feasible `s = c − Ay` that is approximately centered for the
+//! starting `μ`. We use the standard auxiliary-vertex construction:
+//!
+//! * every original edge starts at its box center `x_e = u_e/2`, where
+//!   `φ'(x_e) = 0` — so with `y = 0` (hence `s = c`) the centrality error
+//!   is `|c_e| / (μ τ_e √φ''_e)`, which vanishes for large `μ`;
+//! * the resulting imbalance `d = b − Aᵀ(u/2)` is absorbed by auxiliary
+//!   edges between each imbalanced vertex and a fresh vertex `z`, sized
+//!   `2|d_v|` so that *they* also start at their centers;
+//! * auxiliary edges carry a `big-M` cost, so the LP optimum drives them
+//!   to zero whenever the original instance is feasible.
+
+use pmcf_graph::{DiGraph, McfProblem};
+
+/// The extended problem plus bookkeeping to map back.
+pub struct Extended {
+    /// The extended instance (original edges first, then auxiliaries).
+    pub prob: McfProblem,
+    /// Number of original edges.
+    pub m_orig: usize,
+    /// The auxiliary vertex (`= n_orig`), or `None` if no aux edges were
+    /// needed.
+    pub aux_vertex: Option<usize>,
+    /// Initial interior point (box centers).
+    pub x0: Vec<f64>,
+    /// The big-M cost used on auxiliary edges.
+    pub big_m: i64,
+}
+
+/// Build the extended instance. Edges with zero capacity are kept but
+/// pinned (the engines skip them); self-loops are tolerated and ignored.
+pub fn extend(p: &McfProblem) -> Extended {
+    let n = p.n();
+    let m = p.m();
+    // centre of the box per edge; zero-capacity edges are frozen at 0
+    let x0_orig: Vec<f64> = p.cap.iter().map(|&u| u as f64 / 2.0).collect();
+    // imbalance d = b − Aᵀ x0
+    let mut d: Vec<f64> = p.demand.iter().map(|&b| b as f64).collect();
+    for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
+        d[u] += x0_orig[e];
+        d[v] -= x0_orig[e];
+    }
+    let imbalanced: Vec<(usize, f64)> = d
+        .iter()
+        .enumerate()
+        .filter(|&(_, &dv)| dv.abs() > 1e-9)
+        .map(|(v, &dv)| (v, dv))
+        .collect();
+
+    let big_m: i64 = 2 + 4 * p
+        .cost
+        .iter()
+        .zip(&p.cap)
+        .map(|(&c, &u)| c.unsigned_abs() as i64 * u)
+        .sum::<i64>();
+
+    if imbalanced.is_empty() {
+        return Extended {
+            prob: p.clone(),
+            m_orig: m,
+            aux_vertex: None,
+            x0: x0_orig,
+            big_m,
+        };
+    }
+
+    let z = n; // auxiliary vertex
+    let mut edges = p.graph.edges().to_vec();
+    let mut cap = p.cap.clone();
+    let mut cost = p.cost.clone();
+    let mut x0 = x0_orig;
+    for &(v, dv) in &imbalanced {
+        // d_v > 0: v needs net inflow d_v → edge z→v at x0 = d_v, cap 2d_v
+        // d_v < 0: v needs net outflow → edge v→z
+        // |d_v| is integral when caps are even; for odd caps it is a
+        // half-integer — double the aux capacity to keep it integral.
+        let need = dv.abs();
+        let cap_aux = (2.0 * need).ceil() as i64 + ((2.0 * need).ceil() as i64 % 2);
+        if dv > 0.0 {
+            edges.push((z, v));
+        } else {
+            edges.push((v, z));
+        }
+        cap.push(cap_aux.max(2));
+        cost.push(big_m);
+        x0.push(need);
+    }
+    let mut demand = p.demand.clone();
+    demand.push(0);
+    let graph = DiGraph::from_edges(n + 1, edges);
+    Extended {
+        prob: McfProblem::new(graph, cap, cost, demand),
+        m_orig: m,
+        aux_vertex: Some(z),
+        x0,
+        big_m,
+    }
+}
+
+/// The starting path parameter: large enough that the box-center point is
+/// `ε`-centered for `s = c` and `τ ≥ n/m` (see module docs).
+pub fn initial_mu(p: &McfProblem, eps: f64) -> f64 {
+    let c_max = p.max_cost().max(1) as f64;
+    let w_max = p.max_cap().max(1) as f64;
+    let ratio = p.m() as f64 / p.n() as f64;
+    // centrality_e = |c_e| u_e/(2√2 μ τ_e) ≤ c_max·w_max·ratio/(2√2 μ)
+    8.0 * c_max * w_max * ratio / eps
+}
+
+/// The final path parameter: small enough that the duality gap is below
+/// `1/4`, so rounding recovers the exact integral optimum.
+pub fn final_mu(p: &McfProblem) -> f64 {
+    // gap ≈ μ · Σ τ ≈ μ · 2n (Στ = Σσ + m·(n/m) ≤ 2n)
+    1.0 / (16.0 * (p.n() as f64 + 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn extension_is_primal_feasible_at_x0() {
+        for seed in 0..5 {
+            let p = generators::random_mcf(10, 30, 6, 4, seed);
+            let ext = extend(&p);
+            // Aᵀ x0 = b on the extended instance
+            let mut net: Vec<f64> = ext.prob.demand.iter().map(|&b| -b as f64).collect();
+            for (e, &(u, v)) in ext.prob.graph.edges().iter().enumerate() {
+                net[u] -= ext.x0[e];
+                net[v] += ext.x0[e];
+            }
+            for (v, r) in net.iter().enumerate() {
+                assert!(r.abs() < 1e-9, "seed {seed} vertex {v}: residual {r}");
+            }
+            // interior: 0 < x0 < cap for positive-cap edges
+            for (e, &x) in ext.x0.iter().enumerate() {
+                let u = ext.prob.cap[e] as f64;
+                if u > 0.0 {
+                    assert!(x > 0.0 && x < u, "edge {e}: {x} vs cap {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_instance_needs_no_aux() {
+        // circulation with even caps: u/2 is already balanced iff Aᵀ(u/2)=0
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
+        let p = McfProblem::circulation(g, vec![4, 4, 4], vec![1, 2, 3]);
+        let ext = extend(&p);
+        assert!(ext.aux_vertex.is_none());
+        assert_eq!(ext.prob.m(), 3);
+    }
+
+    #[test]
+    fn big_m_dominates_any_original_cost() {
+        let p = generators::random_mcf(8, 20, 5, 7, 3);
+        let ext = extend(&p);
+        let max_gain: i64 = p
+            .cost
+            .iter()
+            .zip(&p.cap)
+            .map(|(&c, &u)| c.unsigned_abs() as i64 * u)
+            .sum();
+        assert!(ext.big_m > 2 * max_gain);
+    }
+
+    #[test]
+    fn mu_bounds_are_ordered() {
+        let p = generators::random_mcf(12, 40, 8, 6, 4);
+        assert!(initial_mu(&p, 0.1) > final_mu(&p) * 100.0);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # pmcf-core — parallel minimum-cost flow via interior point methods
+//!
+//! The paper's primary contribution (Theorem 1.2): an IPM whose
+//! `Õ(√n)` iterations each cost `Õ(m/√n + n)` work and `Õ(1)` depth,
+//! giving exact min-cost flow in `Õ(m + n^{1.5})` work and `Õ(√n)`
+//! depth.
+//!
+//! * [`barrier`] — the two-sided log barrier `φ` and its derivatives,
+//! * [`init`] — auxiliary-edge construction of a centered initial point,
+//! * [`reference`] — the *reference engine*: weighted path following with
+//!   exact per-iteration recomputation (`Õ(m)`/iteration — the [LS14]
+//!   cost shape; also the correctness anchor),
+//! * [`robust`] — the *robust engine* of the paper: the same central
+//!   path, but all per-iteration quantities maintained by the
+//!   data-structure stack of `pmcf-ds` (`Õ(m/√n + n)` accounted
+//!   work/iteration),
+//! * [`rounding`] — rounding the interior iterate to an exact integral
+//!   optimum (with unconditional certification by negative-cycle
+//!   cancelling),
+//! * [`api`] — the public solver entry points,
+//! * [`corollaries`] — max flow, bipartite matching, negative-weight
+//!   SSSP, reachability (Corollaries 1.3–1.5).
+
+pub mod api;
+pub mod barrier;
+pub mod centered;
+pub mod corollaries;
+pub mod init;
+pub mod reference;
+pub mod robust;
+pub mod rounding;
+pub mod trace;
+
+pub use api::{max_flow, min_cost_flow, solve_mcf, Engine, McfSolution, SolverConfig};
+
+

@@ -1,0 +1,388 @@
+//! The reference path-following engine.
+//!
+//! Weighted-barrier primal-dual path following with *exact* per-iteration
+//! recomputation: every iteration recomputes `φ'`, `φ''`, the centrality
+//! residual and one Newton step through a grounded-Laplacian solve
+//! (Lemma A.1). Per-iteration work is `Õ(m)`, iteration count
+//! `Õ(√n · log(μ₀/μ_end))` — i.e. the `Õ(m√n)`-work/`Õ(√n)`-depth cost
+//! shape of the Lee–Sidford row of Table 1, and the correctness anchor
+//! the robust engine (the paper's contribution) is validated against.
+//!
+//! The Newton system at path parameter `μ` with weights `τ`:
+//!
+//! ```text
+//!   r_d = s + μ τ φ'(x)        (dual centrality residual, s = c − Ay)
+//!   r_p = b − Aᵀx              (primal residual)
+//!   AᵀDA δ_y = r_p + AᵀD r_d,  D = (μ τ φ''(x))⁻¹
+//!   δ_x = D (A δ_y − r_d)
+//! ```
+
+use crate::barrier;
+use pmcf_graph::{incidence, McfProblem};
+use pmcf_linalg::leverage::estimate_leverage;
+use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
+use pmcf_pram::{Cost, Tracker};
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PathFollowConfig {
+    /// Centering tolerance `‖z‖_∞` target after correction.
+    pub center_tol: f64,
+    /// μ shrink factor numerator: `μ ← μ(1 − r/√Στ)`.
+    pub step_r: f64,
+    /// Corrector Newton steps per μ value (cap).
+    pub max_correctors: usize,
+    /// Refresh the barrier weights every this many iterations.
+    pub tau_refresh: usize,
+    /// Hard iteration cap (safety).
+    pub max_iters: usize,
+    /// RNG seed for leverage estimation.
+    pub seed: u64,
+    /// Ablation (A-ABL): replace the HeavySampler's expander-driven
+    /// sparsification of `δ_x` with a dense `Θ(m)` correction.
+    pub dense_sampling: bool,
+}
+
+impl Default for PathFollowConfig {
+    fn default() -> Self {
+        PathFollowConfig {
+            center_tol: 0.25,
+            step_r: 0.5,
+            max_correctors: 12,
+            tau_refresh: 25,
+            max_iters: 200_000,
+            seed: 0x5eed,
+            dense_sampling: false,
+        }
+    }
+}
+
+/// Statistics from a path-following run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PathStats {
+    /// Outer iterations (μ decreases).
+    pub iterations: usize,
+    /// Total Newton steps (predictor + correctors).
+    pub newton_steps: usize,
+    /// Total CG iterations across all Laplacian solves.
+    pub cg_iterations: usize,
+    /// Final μ.
+    pub final_mu: f64,
+    /// Final ‖z‖_∞ centrality.
+    pub final_centrality: f64,
+    /// Coordinates touched by the sparsified δ_x corrections (robust
+    /// engine only; the A-ABL measurement).
+    pub sampled_coords: u64,
+}
+
+/// Internal state shared by engines.
+pub struct CentralPathState {
+    /// Primal iterate (strictly interior).
+    pub x: Vec<f64>,
+    /// Dual potentials.
+    pub y: Vec<f64>,
+    /// Dual slack `s = c − Ay`.
+    pub s: Vec<f64>,
+    /// Barrier weights `τ`.
+    pub tau: Vec<f64>,
+    /// Path parameter.
+    pub mu: f64,
+}
+
+/// Compute the centrality vector `z_i = (s + μτφ')/(μτ√φ'')` and its
+/// ∞-norm.
+pub fn centrality(st: &CentralPathState, cap: &[f64]) -> (Vec<f64>, f64) {
+    let mut worst = 0.0f64;
+    let z: Vec<f64> = st
+        .x
+        .iter()
+        .zip(cap)
+        .zip(&st.s)
+        .zip(&st.tau)
+        .map(|(((&xi, &ui), &si), &ti)| {
+            let zi = (si + st.mu * ti * barrier::dphi(xi, ui))
+                / (st.mu * ti * barrier::ddphi(xi, ui).sqrt());
+            worst = worst.max(zi.abs());
+            zi
+        })
+        .collect();
+    (z, worst)
+}
+
+/// Run path following from `(x0, μ0)` down to `μ_end`; returns the final
+/// state and statistics. `Õ(m)` work per iteration.
+pub fn path_follow(
+    t: &mut Tracker,
+    p: &McfProblem,
+    x0: Vec<f64>,
+    mu0: f64,
+    mu_end: f64,
+    cfg: &PathFollowConfig,
+) -> (CentralPathState, PathStats) {
+    path_follow_traced(t, p, x0, mu0, mu_end, cfg, None)
+}
+
+/// [`path_follow`] with an optional per-iteration trace recorder (the
+/// convergence-curve machinery of [`crate::trace`]).
+#[allow(clippy::too_many_arguments)]
+pub fn path_follow_traced(
+    t: &mut Tracker,
+    p: &McfProblem,
+    x0: Vec<f64>,
+    mu0: f64,
+    mu_end: f64,
+    cfg: &PathFollowConfig,
+    mut trace: Option<&mut crate::trace::TraceRecorder>,
+) -> (CentralPathState, PathStats) {
+    let (n, m) = (p.n(), p.m());
+    let cap: Vec<f64> = p.cap.iter().map(|&u| u as f64).collect();
+    let b: Vec<f64> = p.demand.iter().map(|&d| d as f64).collect();
+    let cost: Vec<f64> = p.cost.iter().map(|&c| c as f64).collect();
+    let solver = LaplacianSolver::new(p.graph.clone(), 0, SolverOpts::default());
+    // loose solver for weight estimation — constant-factor accuracy
+    let tau_solver = LaplacianSolver::new(
+        p.graph.clone(),
+        0,
+        SolverOpts { tol: 2e-3, max_iter: 300 },
+    );
+
+    let mut st = CentralPathState {
+        x: x0,
+        y: vec![0.0; n],
+        s: cost.clone(),
+        tau: vec![1.0; m],
+        mu: mu0,
+    };
+    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+    let mut stats = PathStats::default();
+
+    let refresh_tau = |t: &mut Tracker,
+                       st: &mut CentralPathState,
+                       stats: &mut PathStats,
+                       round: usize| {
+        // τ = σ(Φ''^{-1/2} A) + n/m  (leverage-score weights; the ℓ_p
+        // Lewis refinement changes polylog factors only — DESIGN.md §2)
+        let d: Vec<f64> = st
+            .x
+            .iter()
+            .zip(&cap)
+            .map(|(&xi, &ui)| 1.0 / barrier::ddphi(xi, ui))
+            .collect();
+        let sigma = estimate_leverage(t, &tau_solver, &d, 0.8, cfg.seed.wrapping_add(round as u64));
+        let reg = n as f64 / m as f64;
+        for (te, se) in st.tau.iter_mut().zip(&sigma) {
+            *te = se + reg;
+        }
+        stats.cg_iterations += 1; // counted coarsely inside estimate
+    };
+    refresh_tau(t, &mut st, &mut stats, 0);
+
+    let newton = |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats| -> f64 {
+        // residuals
+        let ddx: Vec<f64> = st
+            .x
+            .iter()
+            .zip(&cap)
+            .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
+            .collect();
+        let r_d: Vec<f64> = st
+            .x
+            .iter()
+            .zip(&cap)
+            .zip(&st.s)
+            .zip(&st.tau)
+            .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
+            .collect();
+        let atx = incidence::apply_at(t, &p.graph, &st.x);
+        let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
+        // D = 1/(μ τ φ'')
+        let d: Vec<f64> = st
+            .tau
+            .iter()
+            .zip(&ddx)
+            .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
+            .collect();
+        // rhs = r_p + AᵀD r_d
+        let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
+        let at_dr = incidence::apply_at(t, &p.graph, &dr);
+        let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
+        rhs[0] = 0.0;
+        let (dy, solve_stats) = solver.solve(t, &d, &rhs);
+        stats.cg_iterations += solve_stats.iterations;
+        // δ_x = D(A δ_y − r_d)
+        let ady = incidence::apply_a(t, &p.graph, &dy);
+        let dx: Vec<f64> = d
+            .iter()
+            .zip(&ady)
+            .zip(&r_d)
+            .map(|((&di, &ai), &ri)| di * (ai - ri))
+            .collect();
+        t.charge(Cost::par_flat(m as u64 * 4));
+        // line search: stay strictly inside the box
+        let mut alpha = 1.0f64;
+        for ((&xi, &ui), &dxi) in st.x.iter().zip(&cap).zip(&dx) {
+            if dxi > 0.0 {
+                alpha = alpha.min(0.90 * (ui - xi) / dxi);
+            } else if dxi < 0.0 {
+                alpha = alpha.min(0.90 * xi / (-dxi));
+            }
+        }
+        t.charge(Cost::reduce(m as u64));
+        for (xi, &dxi) in st.x.iter_mut().zip(&dx) {
+            *xi += alpha * dxi;
+        }
+        for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
+            *yi += alpha * dyi;
+        }
+        let ay = incidence::apply_a(t, &p.graph, &st.y);
+        for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
+            *si = ci - ayi;
+        }
+        stats.newton_steps += 1;
+        alpha
+    };
+
+    while st.mu > mu_end && stats.iterations < cfg.max_iters {
+        stats.iterations += 1;
+        if let Some(rec) = trace.as_deref_mut() {
+            let tau_sum: f64 = st.tau.iter().sum();
+            rec.record(t, stats.iterations, st.mu, tau_sum, None);
+        }
+        if stats.iterations % cfg.tau_refresh == 0 {
+            let round = stats.iterations;
+            refresh_tau(t, &mut st, &mut stats, round);
+        }
+        // corrector: re-center at current μ
+        for _ in 0..cfg.max_correctors {
+            let (_, worst) = centrality(&st, &cap);
+            t.charge(Cost::par_flat(m as u64));
+            if worst <= cfg.center_tol {
+                break;
+            }
+            let alpha = newton(t, &mut st, &mut stats);
+            if alpha < 1e-12 {
+                break; // numerically stuck; step μ anyway
+            }
+        }
+        // predictor: shrink μ
+        let tau_sum: f64 = st.tau.iter().sum();
+        let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
+        st.mu *= shrink.max(0.5);
+    }
+    // final polish at μ_end
+    for _ in 0..cfg.max_correctors {
+        let (_, worst) = centrality(&st, &cap);
+        if worst <= cfg.center_tol {
+            break;
+        }
+        if newton(t, &mut st, &mut stats) < 1e-12 {
+            break;
+        }
+    }
+    let (_, worst) = centrality(&st, &cap);
+    stats.final_centrality = worst;
+    stats.final_mu = st.mu;
+    (st, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use pmcf_baselines::ssp;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn stays_feasible_and_interior() {
+        let p = generators::random_mcf(10, 30, 4, 3, 1);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mu_end = init::final_mu(&ext.prob);
+        let mut t = Tracker::new();
+        let (st, stats) = path_follow(
+            &mut t,
+            &ext.prob,
+            ext.x0.clone(),
+            mu0,
+            mu_end,
+            &PathFollowConfig::default(),
+        );
+        assert!(stats.iterations > 0);
+        // interior
+        for (e, &xi) in st.x.iter().enumerate() {
+            let ui = ext.prob.cap[e] as f64;
+            assert!(xi > 0.0 && xi < ui, "edge {e}: {xi} vs {ui}");
+        }
+        // near-feasible
+        let mut net: Vec<f64> = ext.prob.demand.iter().map(|&b| -b as f64).collect();
+        for (e, &(u, v)) in ext.prob.graph.edges().iter().enumerate() {
+            net[u] -= st.x[e];
+            net[v] += st.x[e];
+        }
+        let worst = net.iter().fold(0.0f64, |a, &r| a.max(r.abs()));
+        assert!(worst < 1e-3, "conservation residual {worst}");
+        assert!(stats.final_centrality < 1.0);
+    }
+
+    #[test]
+    fn objective_approaches_optimum() {
+        for seed in 0..4 {
+            let p = generators::random_mcf(8, 24, 3, 3, seed);
+            let opt = ssp::min_cost_flow(&p).unwrap();
+            let opt_cost = opt.cost(&p) as f64;
+            let ext = init::extend(&p);
+            let mu0 = init::initial_mu(&ext.prob, 0.25);
+            let mu_end = init::final_mu(&ext.prob);
+            let mut t = Tracker::new();
+            let (st, _) = path_follow(
+                &mut t,
+                &ext.prob,
+                ext.x0.clone(),
+                mu0,
+                mu_end,
+                &PathFollowConfig::default(),
+            );
+            // cost of the original coordinates (aux flows ≈ 0)
+            let frac_cost: f64 = st.x[..ext.m_orig]
+                .iter()
+                .zip(&p.cost)
+                .map(|(&x, &c)| x * c as f64)
+                .sum();
+            let aux_flow: f64 = st.x[ext.m_orig..].iter().sum();
+            assert!(
+                aux_flow < 0.01,
+                "seed {seed}: auxiliary flow {aux_flow} should vanish"
+            );
+            assert!(
+                (frac_cost - opt_cost).abs() < 1.0,
+                "seed {seed}: fractional cost {frac_cost} vs optimum {opt_cost}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_count_grows_slowly_with_n() {
+        let mut iters = Vec::new();
+        for &(n, m) in &[(8usize, 24usize), (32, 160)] {
+            let p = generators::random_mcf(n, m, 4, 3, 7);
+            let ext = init::extend(&p);
+            let mu0 = init::initial_mu(&ext.prob, 0.25);
+            let mu_end = init::final_mu(&ext.prob);
+            let mut t = Tracker::new();
+            let (_, stats) = path_follow(
+                &mut t,
+                &ext.prob,
+                ext.x0.clone(),
+                mu0,
+                mu_end,
+                &PathFollowConfig::default(),
+            );
+            iters.push(stats.iterations);
+        }
+        // 4× n should grow iterations ≈ 2× (√n law), allow ≤ 4×
+        assert!(
+            iters[1] < iters[0] * 4,
+            "iterations grew too fast: {iters:?}"
+        );
+    }
+}

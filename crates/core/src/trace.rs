@@ -1,0 +1,178 @@
+//! Central-path iteration traces — the convergence "figure" machinery.
+//!
+//! The paper has no empirical figures; a production solver still needs
+//! observability. [`TraceRecorder`] snapshots `(μ, duality-gap proxy,
+//! centrality, cumulative work)` per iteration so harnesses can print
+//! convergence curves and tests can assert monotone μ-schedules.
+
+use pmcf_pram::Tracker;
+
+/// One iteration snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct TracePoint {
+    /// Outer iteration index.
+    pub iteration: usize,
+    /// Path parameter μ.
+    pub mu: f64,
+    /// Duality-gap proxy `μ·Στ`.
+    pub gap_proxy: f64,
+    /// Centrality `‖z‖_∞` (if measured this iteration).
+    pub centrality: Option<f64>,
+    /// Cumulative tracked work.
+    pub work: u64,
+}
+
+/// Collects [`TracePoint`]s; cheap enough to keep on in production.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    points: Vec<TracePoint>,
+}
+
+impl TraceRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a snapshot.
+    pub fn record(
+        &mut self,
+        t: &Tracker,
+        iteration: usize,
+        mu: f64,
+        tau_sum: f64,
+        centrality: Option<f64>,
+    ) {
+        self.points.push(TracePoint {
+            iteration,
+            mu,
+            gap_proxy: mu * tau_sum,
+            centrality,
+            work: t.work(),
+        });
+    }
+
+    /// All snapshots.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Render as a markdown table (the "convergence figure").
+    pub fn to_markdown(&self, stride: usize) -> String {
+        let mut out = String::from("| iter | μ | gap proxy | centrality | work |\n|---|---|---|---|---|\n");
+        for p in self.points.iter().step_by(stride.max(1)) {
+            out.push_str(&format!(
+                "| {} | {:.3e} | {:.3e} | {} | {} |\n",
+                p.iteration,
+                p.mu,
+                p.gap_proxy,
+                p.centrality
+                    .map(|c| format!("{c:.3}"))
+                    .unwrap_or_else(|| "—".into()),
+                p.work
+            ));
+        }
+        out
+    }
+
+    /// Verify the μ schedule is strictly decreasing (test helper).
+    pub fn mu_is_monotone(&self) -> bool {
+        self.points.windows(2).all(|w| w[1].mu <= w[0].mu)
+    }
+
+    /// Geometric decay rate of μ per iteration (fitted).
+    pub fn mu_decay_rate(&self) -> Option<f64> {
+        let (first, last) = (self.points.first()?, self.points.last()?);
+        if last.iteration == first.iteration || first.mu <= 0.0 || last.mu <= 0.0 {
+            return None;
+        }
+        Some(
+            ((last.mu / first.mu).ln() / (last.iteration - first.iteration) as f64).exp(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TraceRecorder {
+        let mut r = TraceRecorder::new();
+        let t = Tracker::new();
+        let mut mu = 1000.0;
+        for i in 0..50 {
+            r.record(&t, i, mu, 20.0, if i % 5 == 0 { Some(0.2) } else { None });
+            mu *= 0.9;
+        }
+        r
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let r = sample_trace();
+        assert_eq!(r.points().len(), 50);
+        let md = r.to_markdown(10);
+        assert!(md.lines().count() >= 6);
+        assert!(md.contains("0.200"));
+    }
+
+    #[test]
+    fn monotonicity_detected() {
+        let r = sample_trace();
+        assert!(r.mu_is_monotone());
+        let mut bad = sample_trace();
+        let t = Tracker::new();
+        bad.record(&t, 50, 999.0, 20.0, None);
+        assert!(!bad.mu_is_monotone());
+    }
+
+    #[test]
+    fn decay_rate_recovered() {
+        let r = sample_trace();
+        let rate = r.mu_decay_rate().unwrap();
+        assert!((rate - 0.9).abs() < 1e-9, "rate {rate}");
+    }
+
+    #[test]
+    fn empty_trace_has_no_rate() {
+        let r = TraceRecorder::new();
+        assert!(r.mu_decay_rate().is_none());
+        assert!(r.mu_is_monotone());
+    }
+}
+
+#[cfg(test)]
+mod integration_tests {
+    use super::*;
+    use crate::init;
+    use crate::reference::{path_follow_traced, PathFollowConfig};
+    use pmcf_graph::generators;
+
+    #[test]
+    fn engine_produces_monotone_geometric_trace() {
+        let p = generators::random_mcf(8, 24, 4, 3, 1);
+        let ext = init::extend(&p);
+        let mu0 = init::initial_mu(&ext.prob, 0.25);
+        let mut t = Tracker::new();
+        let mut rec = TraceRecorder::new();
+        let _ = path_follow_traced(
+            &mut t,
+            &ext.prob,
+            ext.x0.clone(),
+            mu0,
+            mu0 / 1e6,
+            &PathFollowConfig::default(),
+            Some(&mut rec),
+        );
+        assert!(rec.points().len() > 50);
+        assert!(rec.mu_is_monotone());
+        let rate = rec.mu_decay_rate().unwrap();
+        // μ shrinks geometrically by 1 − r/√Στ each iteration
+        assert!(rate < 1.0 && rate > 0.8, "decay rate {rate}");
+        // work accumulates monotonically
+        assert!(rec
+            .points()
+            .windows(2)
+            .all(|w| w[1].work >= w[0].work));
+    }
+}

@@ -1,0 +1,367 @@
+//! The gradient accumulator (paper Lemma D.5, Algorithm 7).
+//!
+//! Maintains a per-coordinate-accurate approximation `x̄` of
+//!
+//! ```text
+//!   x(t) = x_init + Σ_{ℓ≤t} ( h^{(ℓ)} + G·Σ_k 1_{I_k} s_k^{(ℓ)} )
+//! ```
+//!
+//! without touching all `m` coordinates per step: per bucket `k` only the
+//! cumulative step sum `f_k = Σ_ℓ s_k^{(ℓ)}` advances; a coordinate is
+//! lazily synced when its accumulated drift `|g_i (f_k − f_k^{sync_i})|`
+//! could exceed its accuracy `ε_i/10`. Two ordered maps per bucket (by
+//! upper / lower drift threshold) make finding violators
+//! output-sensitive.
+
+use pmcf_pram::{Cost, Tracker};
+use std::collections::BTreeMap;
+
+/// Monotone order-preserving mapping f64 → u64 (total order, NaN-free).
+fn okey(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// The accumulator.
+pub struct GradientAccumulator {
+    /// Approximation of `x(t)`.
+    xbar: Vec<f64>,
+    /// Scaling per coordinate.
+    g: Vec<f64>,
+    /// Per-coordinate accuracy.
+    eps: Vec<f64>,
+    /// Bucket per coordinate.
+    bucket: Vec<usize>,
+    /// Cumulative step per bucket.
+    f: Vec<f64>,
+    /// Value of `f[bucket(i)]` when `xbar[i]` was last synced.
+    fsync: Vec<f64>,
+    /// Per bucket: coordinates ordered by upper violation threshold.
+    hi: Vec<BTreeMap<(u64, usize), ()>>,
+    /// Per bucket: coordinates ordered by lower violation threshold
+    /// (negated so smallest key = most urgent).
+    lo: Vec<BTreeMap<(u64, usize), ()>>,
+    /// Query counter.
+    t_step: usize,
+}
+
+impl GradientAccumulator {
+    /// Initialize (Lemma D.5 `Initialize`): `Õ(m)` work.
+    pub fn initialize(
+        t: &mut Tracker,
+        x_init: Vec<f64>,
+        g: Vec<f64>,
+        bucket: Vec<usize>,
+        num_buckets: usize,
+        eps: Vec<f64>,
+    ) -> Self {
+        let m = x_init.len();
+        assert_eq!(g.len(), m);
+        assert_eq!(bucket.len(), m);
+        assert_eq!(eps.len(), m);
+        assert!(bucket.iter().all(|&b| b < num_buckets));
+        let mut s = GradientAccumulator {
+            xbar: x_init,
+            g,
+            eps,
+            bucket,
+            f: vec![0.0; num_buckets],
+            fsync: vec![0.0; m],
+            hi: (0..num_buckets).map(|_| BTreeMap::new()).collect(),
+            lo: (0..num_buckets).map(|_| BTreeMap::new()).collect(),
+            t_step: 0,
+        };
+        for i in 0..m {
+            s.insert_thresholds(i);
+        }
+        t.charge(Cost::sort(m as u64));
+        s
+    }
+
+    fn drift_allowance(&self, i: usize) -> f64 {
+        let gi = self.g[i].abs().max(1e-300);
+        (self.eps[i] / (10.0 * gi)).max(1e-300)
+    }
+
+    fn insert_thresholds(&mut self, i: usize) {
+        let b = self.bucket[i];
+        let d = self.drift_allowance(i);
+        self.hi[b].insert((okey(self.fsync[i] + d), i), ());
+        self.lo[b].insert((okey(-(self.fsync[i] - d)), i), ());
+    }
+
+    fn remove_thresholds(&mut self, i: usize) {
+        let b = self.bucket[i];
+        let d = self.drift_allowance(i);
+        self.hi[b].remove(&(okey(self.fsync[i] + d), i));
+        self.lo[b].remove(&(okey(-(self.fsync[i] - d)), i));
+    }
+
+    /// Bring `xbar[i]` up to date (plus optional direct increment `h`).
+    fn sync(&mut self, i: usize, h: f64, changed: &mut Vec<usize>) {
+        self.remove_thresholds(i);
+        let b = self.bucket[i];
+        let delta = self.g[i] * (self.f[b] - self.fsync[i]) + h;
+        if delta != 0.0 {
+            self.xbar[i] += delta;
+            changed.push(i);
+        }
+        self.fsync[i] = self.f[b];
+        self.insert_thresholds(i);
+    }
+
+    /// Move coordinates to new buckets (Lemma D.5 `Move`): `Õ(|I|)` work.
+    pub fn move_buckets(&mut self, t: &mut Tracker, moves: &[(usize, usize)]) {
+        t.charge(Cost::par_flat(moves.len() as u64));
+        let mut changed = Vec::new();
+        for &(i, k) in moves {
+            self.sync(i, 0.0, &mut changed);
+            self.remove_thresholds(i);
+            self.bucket[i] = k;
+            self.fsync[i] = self.f[k];
+            self.insert_thresholds(i);
+        }
+    }
+
+    /// Update scalings `g_i ← a_i` (Lemma D.5 `Scale`): `Õ(|I|)` work.
+    pub fn scale(&mut self, t: &mut Tracker, updates: &[(usize, f64)]) {
+        t.charge(Cost::par_flat(updates.len() as u64));
+        let mut changed = Vec::new();
+        for &(i, a) in updates {
+            self.sync(i, 0.0, &mut changed);
+            self.remove_thresholds(i);
+            self.g[i] = a;
+            self.insert_thresholds(i);
+        }
+    }
+
+    /// Update accuracies (Lemma D.5 `SetAccuracy`): `Õ(|I|)` work.
+    pub fn set_accuracy(&mut self, t: &mut Tracker, updates: &[(usize, f64)]) {
+        t.charge(Cost::par_flat(updates.len() as u64));
+        let mut changed = Vec::new();
+        for &(i, d) in updates {
+            assert!(d > 0.0);
+            self.sync(i, 0.0, &mut changed);
+            self.remove_thresholds(i);
+            self.eps[i] = d;
+            self.insert_thresholds(i);
+        }
+    }
+
+    /// One step (Lemma D.5 `Query`): advance every bucket by `s_k`, apply
+    /// the sparse direct increment `h`, and return `(x̄, J)` where `J`
+    /// lists coordinates whose `x̄` changed. Output-sensitive work.
+    pub fn query(&mut self, t: &mut Tracker, s: &[f64], h: &[(usize, f64)]) -> Vec<usize> {
+        assert_eq!(s.len(), self.f.len());
+        self.t_step += 1;
+        let mut changed = Vec::new();
+        for (fk, sk) in self.f.iter_mut().zip(s) {
+            *fk += sk;
+        }
+        let mut touched = s.len() as u64 + h.len() as u64;
+        for &(i, hi) in h {
+            self.sync(i, hi, &mut changed);
+        }
+        // violators: f_k beyond a stored threshold
+        for k in 0..self.f.len() {
+            let fk = self.f[k];
+            loop {
+                let Some((&(key, i), ())) = self.hi[k].iter().next() else {
+                    break;
+                };
+                if key >= okey(fk) {
+                    break;
+                }
+                let _ = key;
+                self.sync(i, 0.0, &mut changed);
+                touched += 1;
+            }
+            loop {
+                let Some((&(key, i), ())) = self.lo[k].iter().next() else {
+                    break;
+                };
+                if key >= okey(-fk) {
+                    break;
+                }
+                self.sync(i, 0.0, &mut changed);
+                touched += 1;
+            }
+        }
+        t.charge(Cost::new(touched.max(1), pmcf_pram::par_depth(touched.max(1))));
+        changed.sort_unstable();
+        changed.dedup();
+        changed
+    }
+
+    /// The maintained approximation.
+    pub fn xbar(&self) -> &[f64] {
+        &self.xbar
+    }
+
+    /// Exact `x(t)` (Lemma D.5 `ComputeExactSum`): `Õ(m)` work.
+    pub fn compute_exact(&mut self, t: &mut Tracker) -> Vec<f64> {
+        let mut changed = Vec::new();
+        for i in 0..self.xbar.len() {
+            self.sync(i, 0.0, &mut changed);
+        }
+        t.charge(Cost::par_flat(self.xbar.len() as u64));
+        self.xbar.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Reference: exact dense accumulation.
+    struct Dense {
+        x: Vec<f64>,
+        g: Vec<f64>,
+        bucket: Vec<usize>,
+    }
+    impl Dense {
+        fn step(&mut self, s: &[f64], h: &[(usize, f64)]) {
+            for i in 0..self.x.len() {
+                self.x[i] += self.g[i] * s[self.bucket[i]];
+            }
+            for &(i, hi) in h {
+                self.x[i] += hi;
+            }
+        }
+    }
+
+    #[test]
+    fn tracks_dense_reference_within_accuracy() {
+        let m = 60;
+        let kk = 5;
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g: Vec<f64> = (0..m).map(|_| rng.gen_range(0.5..2.0)).collect();
+        let bucket: Vec<usize> = (0..m).map(|_| rng.gen_range(0..kk)).collect();
+        let eps = vec![0.01; m];
+        let mut t = Tracker::new();
+        let mut acc = GradientAccumulator::initialize(
+            &mut t,
+            vec![0.0; m],
+            g.clone(),
+            bucket.clone(),
+            kk,
+            eps.clone(),
+        );
+        let mut dense = Dense {
+            x: vec![0.0; m],
+            g,
+            bucket,
+        };
+        for step in 0..50 {
+            let s: Vec<f64> = (0..kk).map(|_| rng.gen_range(-0.001..0.001)).collect();
+            let h: Vec<(usize, f64)> = if step % 7 == 0 {
+                vec![(rng.gen_range(0..m), rng.gen_range(-0.5..0.5))]
+            } else {
+                vec![]
+            };
+            dense.step(&s, &h);
+            let _ = acc.query(&mut t, &s, &h);
+            for i in 0..m {
+                assert!(
+                    (acc.xbar()[i] - dense.x[i]).abs() <= eps[i] + 1e-12,
+                    "step {step} coord {i}: {} vs {}",
+                    acc.xbar()[i],
+                    dense.x[i]
+                );
+            }
+        }
+        // exact sum matches dense exactly
+        let exact = acc.compute_exact(&mut t);
+        for i in 0..m {
+            assert!((exact[i] - dense.x[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn large_steps_trigger_immediate_sync() {
+        let mut t = Tracker::new();
+        let mut acc = GradientAccumulator::initialize(
+            &mut t,
+            vec![0.0; 3],
+            vec![1.0; 3],
+            vec![0, 0, 1],
+            2,
+            vec![0.1; 3],
+        );
+        let j = acc.query(&mut t, &[1.0, 0.0], &[]);
+        // bucket 0 moved by 1.0 ≫ ε/10: coordinates 0,1 must sync
+        assert!(j.contains(&0) && j.contains(&1));
+        assert!(!j.contains(&2));
+        assert!((acc.xbar()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_steps_do_not_touch_anything() {
+        let mut t = Tracker::new();
+        let mut acc = GradientAccumulator::initialize(
+            &mut t,
+            vec![0.0; 100],
+            vec![1.0; 100],
+            vec![0; 100],
+            1,
+            vec![1.0; 100],
+        );
+        t.reset();
+        for _ in 0..5 {
+            let j = acc.query(&mut t, &[0.001], &[]);
+            assert!(j.is_empty());
+        }
+        // work must be O(steps), not O(m·steps)
+        assert!(t.work() < 100, "work {}", t.work());
+        // but the drift is still recoverable exactly
+        let exact = acc.compute_exact(&mut t);
+        assert!((exact[17] - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moves_and_scales_preserve_value() {
+        let mut t = Tracker::new();
+        let mut acc = GradientAccumulator::initialize(
+            &mut t,
+            vec![0.0; 2],
+            vec![1.0; 2],
+            vec![0, 1],
+            2,
+            vec![0.05; 2],
+        );
+        acc.query(&mut t, &[1.0, 2.0], &[]);
+        // x = [1, 2]; now move coord 0 to bucket 1 and scale it; future
+        // steps use the new bucket/scale, past value preserved
+        acc.move_buckets(&mut t, &[(0, 1)]);
+        acc.scale(&mut t, &[(0, 10.0)]);
+        acc.query(&mut t, &[0.0, 0.5], &[]);
+        let exact = acc.compute_exact(&mut t);
+        assert!((exact[0] - (1.0 + 10.0 * 0.5)).abs() < 1e-9, "{}", exact[0]);
+        assert!((exact[1] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_accuracy_tightens_tracking() {
+        let mut t = Tracker::new();
+        let mut acc = GradientAccumulator::initialize(
+            &mut t,
+            vec![0.0; 1],
+            vec![1.0; 1],
+            vec![0],
+            1,
+            vec![10.0; 1],
+        );
+        acc.query(&mut t, &[0.5], &[]); // within slack 1.0: no sync
+        assert!((acc.xbar()[0] - 0.0).abs() < 1e-12);
+        acc.set_accuracy(&mut t, &[(0, 0.001)]); // sync + tighten
+        assert!((acc.xbar()[0] - 0.5).abs() < 1e-12);
+        let j = acc.query(&mut t, &[0.01], &[]);
+        assert_eq!(j, vec![0], "tight accuracy forces sync");
+    }
+}

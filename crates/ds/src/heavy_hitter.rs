@@ -1,0 +1,653 @@
+//! The HeavyHitter data structure (paper Appendix B, Lemma B.1).
+//!
+//! Maintains a weighted incidence operator `Diag(g)·A` of a directed
+//! graph under coordinate updates of `g`, and answers
+//! `HeavyQuery(h, ε)` — *all* edges `e` with `|(Diag(g)Ah)_e| ≥ ε` —
+//! plus proportional sampling, in work governed by `‖Diag(g)Ah‖₂²/ε²`
+//! rather than `m`.
+//!
+//! Structure: edges are bucketed by weight into powers of two
+//! (`g_e ∈ [2^i, 2^{i+1})`); each class keeps a
+//! [`DynamicExpanderDecomposition`] (Lemma 3.1) of its (undirected) edge
+//! set. A query shifts `h` per expander part to be degree-orthogonal;
+//! any `ε`-heavy edge has an endpoint with `|h'| ≥ δ/2` (triangle
+//! inequality — *correctness is unconditional*), while the expander
+//! property bounds how many light vertices can look heavy (Cheeger),
+//! which is what keeps the measured work near the paper's bound.
+
+use pmcf_expander::dynamic::{DynamicExpanderDecomposition, EdgeKey};
+use pmcf_graph::{DiGraph, EdgeId};
+use pmcf_pram::{Cost, Tracker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Expansion target for the per-class decompositions. The paper picks
+/// `φ = 1/log⁴ n`; at workstation scale that is indistinguishable from a
+/// small constant (DESIGN.md §2).
+const CLASS_PHI: f64 = 0.1;
+
+struct ClassState {
+    ded: DynamicExpanderDecomposition,
+    /// DED key → global edge id.
+    edge_of: HashMap<EdgeKey, EdgeId>,
+}
+
+/// Weighted-incidence heavy-hitter index (Lemma B.1).
+pub struct HeavyHitter {
+    graph: DiGraph,
+    weights: Vec<f64>,
+    /// Weight-class exponent per edge (`None` for zero weight).
+    class_of: Vec<Option<i32>>,
+    /// DED key per edge (valid when `class_of` is `Some`).
+    key_of: Vec<EdgeKey>,
+    classes: HashMap<i32, ClassState>,
+    rng: SmallRng,
+    seed: u64,
+}
+
+/// Weight-class base: classes are `[B^i, B^{i+1})`. The paper uses
+/// base 2; base 4 quarters the class-move churn under slowly drifting
+/// weights at the price of a 4× slack in the per-class query threshold.
+const CLASS_BASE: f64 = 4.0;
+
+fn exponent(w: f64) -> Option<i32> {
+    if w <= 0.0 {
+        None
+    } else {
+        Some(w.log2().div_euclid(CLASS_BASE.log2()).floor() as i32)
+    }
+}
+
+impl HeavyHitter {
+    /// Initialize over the directed graph `graph` with edge weights `g`
+    /// (Lemma B.1 `Initialize`): `Õ(m)` work, `Õ(1)` depth.
+    pub fn initialize(t: &mut Tracker, graph: DiGraph, g: Vec<f64>, seed: u64) -> Self {
+        let m = graph.m();
+        assert_eq!(g.len(), m);
+        assert!(g.iter().all(|&w| w >= 0.0), "weights must be ≥ 0");
+        let mut hh = HeavyHitter {
+            class_of: vec![None; m],
+            key_of: vec![0; m],
+            classes: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            seed,
+            weights: g,
+            graph,
+        };
+        // group edges by class, insert per class in one batch
+        let mut by_class: HashMap<i32, Vec<EdgeId>> = HashMap::new();
+        for e in 0..m {
+            if let Some(c) = exponent(hh.weights[e]) {
+                by_class.entry(c).or_default().push(e);
+            }
+        }
+        t.charge(Cost::sort(m as u64));
+        for (c, edges) in by_class {
+            hh.insert_into_class(t, c, &edges);
+        }
+        hh
+    }
+
+    fn insert_into_class(&mut self, t: &mut Tracker, c: i32, edges: &[EdgeId]) {
+        let n = self.graph.n();
+        let seed = self.seed.wrapping_add(c as u64);
+        let class = self.classes.entry(c).or_insert_with(|| ClassState {
+            ded: DynamicExpanderDecomposition::new(n, CLASS_PHI, seed),
+            edge_of: HashMap::new(),
+        });
+        let pairs: Vec<(usize, usize)> =
+            edges.iter().map(|&e| self.graph.endpoints(e)).collect();
+        let keys = class.ded.insert_edges(t, &pairs);
+        for (&e, k) in edges.iter().zip(keys) {
+            self.class_of[e] = Some(c);
+            self.key_of[e] = k;
+            class.edge_of.insert(k, e);
+        }
+    }
+
+    /// The current weight of edge `e`.
+    pub fn weight(&self, e: EdgeId) -> f64 {
+        self.weights[e]
+    }
+
+    /// Update weights `g_i ← s_i` (Lemma B.1 `Scale`): amortized `Õ(|I|)`
+    /// work, `Õ(1)` depth.
+    pub fn scale(&mut self, t: &mut Tracker, updates: &[(EdgeId, f64)]) {
+        // group moves per (old class) for batched deletion, then insert
+        let mut deletions: HashMap<i32, Vec<EdgeKey>> = HashMap::new();
+        let mut insertions: HashMap<i32, Vec<EdgeId>> = HashMap::new();
+        for &(e, w) in updates {
+            assert!(w >= 0.0);
+            let old = self.class_of[e];
+            let new = exponent(w);
+            self.weights[e] = w;
+            if old == new {
+                continue;
+            }
+            if let Some(c) = old {
+                deletions.entry(c).or_default().push(self.key_of[e]);
+                self.class_of[e] = None;
+            }
+            if let Some(c) = new {
+                insertions.entry(c).or_default().push(e);
+            }
+        }
+        t.charge(Cost::par_flat(updates.len() as u64));
+        for (c, keys) in deletions {
+            let class = self.classes.get_mut(&c).expect("class exists");
+            for k in &keys {
+                class.edge_of.remove(k);
+            }
+            class.ded.delete_edges(t, &keys);
+        }
+        for (c, edges) in insertions {
+            self.insert_into_class(t, c, &edges);
+        }
+    }
+
+    /// All edges with `|(Diag(g)Ah)_e| ≥ ε` (Lemma B.1 `HeavyQuery`).
+    ///
+    /// Returns every such edge with certainty; the expander structure only
+    /// bounds the work.
+    pub fn heavy_query(&self, t: &mut Tracker, h: &[f64], eps: f64) -> Vec<EdgeId> {
+        assert_eq!(h.len(), self.graph.n());
+        assert!(eps > 0.0);
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        for (&c, class) in &self.classes {
+            let delta = eps / CLASS_BASE.powi(c + 1);
+            for view in class.ded.part_views() {
+                // degree-weighted shift: h' = h − (Σ deg_v h_v / Σ deg_v)
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (lv, &gv) in view.verts.iter().enumerate() {
+                    let d = view.alive_deg[lv] as f64;
+                    num += d * h[gv];
+                    den += d;
+                }
+                touched += view.verts.len() as u64;
+                if den == 0.0 {
+                    continue;
+                }
+                let shift = num / den;
+                for (lv, &gv) in view.verts.iter().enumerate() {
+                    if view.alive_deg[lv] == 0 {
+                        continue;
+                    }
+                    if (h[gv] - shift).abs() < 0.5 * delta {
+                        continue;
+                    }
+                    for &(_, le) in &view.adj[lv] {
+                        touched += 1;
+                        if !view.alive_edge[le] {
+                            continue;
+                        }
+                        let e = class.edge_of[&view.keys[le]];
+                        let (tu, tv) = self.graph.endpoints(e);
+                        let val = self.weights[e] * (h[tv] - h[tu]);
+                        if val.abs() >= eps {
+                            out.push(e);
+                        }
+                    }
+                }
+            }
+        }
+        t.charge(Cost::new(
+            touched.max(1),
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Per-vertex sampling potentials for `sample`/`probability`: the
+    /// normalizer `Q` and per-part shifts.
+    fn sample_potentials(
+        &self,
+        h: &[f64],
+        k_scale: f64,
+    ) -> (f64, HashMap<(i32, usize, usize), f64>) {
+        let mut denom = 0.0;
+        let mut shifts = HashMap::new();
+        for (&c, class) in &self.classes {
+            let w2 = (CLASS_BASE * CLASS_BASE).powi(c + 1); // ≥ g_e² in class c
+            for ((bi, pi), view) in class.ded.part_views_keyed() {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (lv, &gv) in view.verts.iter().enumerate() {
+                    let d = view.alive_deg[lv] as f64;
+                    num += d * h[gv];
+                    den += d;
+                }
+                if den == 0.0 {
+                    continue;
+                }
+                let shift = num / den;
+                shifts.insert((c, bi, pi), shift);
+                for (lv, &gv) in view.verts.iter().enumerate() {
+                    let hv = h[gv] - shift;
+                    denom += w2 * hv * hv * view.alive_deg[lv] as f64;
+                }
+            }
+        }
+        let q = if denom > 0.0 { k_scale / denom } else { 0.0 };
+        (q, shifts)
+    }
+
+    /// Sample edges where each `e = (u,v)` is included with probability
+    /// `q_e ≥ min(K·(g_e(h_u−h_v))²/(16·‖Diag(g)Ah‖² log⁸n), 1)`-style
+    /// bounds (Lemma B.1 `Sample`): expected output `Õ(K)`.
+    pub fn sample(&mut self, t: &mut Tracker, h: &[f64], k_scale: f64) -> Vec<EdgeId> {
+        let (q, shifts) = self.sample_potentials(h, k_scale);
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        for (&c, class) in &self.classes {
+            let w2 = (CLASS_BASE * CLASS_BASE).powi(c + 1);
+            for ((bi, pi), view) in class.ded.part_views_keyed() {
+                let Some(&shift) = shifts.get(&(c, bi, pi)) else {
+                    continue;
+                };
+                for (lv, &gv) in view.verts.iter().enumerate() {
+                    let deg = view.adj[lv].len();
+                    if deg == 0 {
+                        continue;
+                    }
+                    let hv = h[gv] - shift;
+                    let p = (q * w2 * hv * hv).min(1.0);
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    // binomial + distinct picks: work ∝ output
+                    let cnt = {
+                        let mut cnt = 0usize;
+                        if deg <= 32 || (deg as f64 * p) < 16.0 {
+                            for _ in 0..deg {
+                                if self.rng.gen_bool(p) {
+                                    cnt += 1;
+                                }
+                            }
+                        } else {
+                            cnt = ((deg as f64 * p).round() as usize).min(deg);
+                        }
+                        cnt
+                    };
+                    let mut chosen = std::collections::HashSet::with_capacity(cnt);
+                    while chosen.len() < cnt {
+                        chosen.insert(self.rng.gen_range(0..deg));
+                        touched += 1;
+                    }
+                    for j in chosen {
+                        let (_, le) = view.adj[lv][j];
+                        if view.alive_edge[le] {
+                            out.push(class.edge_of[&view.keys[le]]);
+                        }
+                    }
+                }
+                touched += view.verts.len() as u64;
+            }
+        }
+        t.charge(Cost::new(
+            touched.max(1),
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Probability that `sample(h, k_scale)` would return each edge in
+    /// `idx` (Lemma B.1 `Probability`).
+    pub fn probability(
+        &self,
+        t: &mut Tracker,
+        idx: &[EdgeId],
+        h: &[f64],
+        k_scale: f64,
+    ) -> Vec<f64> {
+        let (q, shifts) = self.sample_potentials(h, k_scale);
+        // vertex → (class, part) lookup via registry-ish scan per edge
+        let mut out = Vec::with_capacity(idx.len());
+        for &e in idx {
+            let Some(c) = self.class_of[e] else {
+                out.push(0.0);
+                continue;
+            };
+            let class = &self.classes[&c];
+            let w2 = (CLASS_BASE * CLASS_BASE).powi(c + 1);
+            let key = self.key_of[e];
+            let mut q_e = 0.0;
+            if let Some(((bi, pi), view, le)) = class.ded.locate_keyed(key) {
+                if view.alive_edge[le] {
+                    if let Some(&shift) = shifts.get(&(c, bi, pi)) {
+                        let (lu, lv) = view.ends[le];
+                        let hu = h[view.verts[lu]] - shift;
+                        let hv = h[view.verts[lv]] - shift;
+                        let pu = (q * w2 * hu * hu).min(1.0);
+                        let pv = (q * w2 * hv * hv).min(1.0);
+                        q_e = 1.0 - (1.0 - pu) * (1.0 - pv);
+                    }
+                }
+            }
+            out.push(q_e);
+        }
+        t.charge(Cost::par_flat(idx.len().max(1) as u64));
+        out
+    }
+
+    /// Sample every edge with probability at least `K'·σ(Diag(g)A)_e`
+    /// (Lemma B.1 `LeverageScoreSample`): per part, each vertex samples
+    /// its incident edges with `p_v = min(16K'/(φ²·deg_v), 1)`, repeated
+    /// `O(log n)` rounds.
+    pub fn leverage_score_sample(&mut self, t: &mut Tracker, k_scale: f64) -> Vec<EdgeId> {
+        let rounds = (self.graph.n().max(4) as f64).log2().ceil() as usize;
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        for class in self.classes.values() {
+            for view in class.ded.part_views() {
+                for (lv, adj) in view.adj.iter().enumerate() {
+                    let deg = view.alive_deg[lv];
+                    if deg == 0 {
+                        continue;
+                    }
+                    let p = (16.0 * k_scale / (CLASS_PHI * CLASS_PHI * deg as f64)).min(1.0);
+                    for _ in 0..rounds {
+                        if p >= 1.0 {
+                            for &(_, le) in adj {
+                                if view.alive_edge[le] {
+                                    out.push(class.edge_of[&view.keys[le]]);
+                                }
+                            }
+                            touched += adj.len() as u64;
+                            break;
+                        }
+                        for &(_, le) in adj {
+                            touched += 1;
+                            if view.alive_edge[le] && self.rng.gen_bool(p) {
+                                out.push(class.edge_of[&view.keys[le]]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        t.charge(Cost::new(
+            touched.max(1),
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One-round spectral-sparsifier sampling: every vertex samples its
+    /// incident alive edges with `p_v = min(1, k/deg_v)`, so edge `e` is
+    /// kept with `p_e = 1−(1−p_u)(1−p_v) ≥ k/deg_max(e)` — proportional
+    /// to (an upper bound on) its intra-expander leverage score without
+    /// the `φ⁻²` union-bound slack of `leverage_score_sample`. Returns
+    /// `(edge, p_e)` pairs for inverse-probability reweighting. Expected
+    /// output and work `O(k·n)`.
+    pub fn sparsify_sample(&mut self, t: &mut Tracker, k: f64) -> Vec<(EdgeId, f64)> {
+        let mut picked: Vec<EdgeId> = Vec::new();
+        let mut touched = 0u64;
+        for class in self.classes.values() {
+            for view in class.ded.part_views() {
+                for (lv, adj) in view.adj.iter().enumerate() {
+                    let deg = view.alive_deg[lv];
+                    if deg == 0 {
+                        continue;
+                    }
+                    let p = (k / deg as f64).min(1.0);
+                    if p >= 1.0 {
+                        for &(_, le) in adj {
+                            if view.alive_edge[le] {
+                                picked.push(class.edge_of[&view.keys[le]]);
+                            }
+                        }
+                        touched += adj.len() as u64;
+                        continue;
+                    }
+                    // binomial + distinct picks, work ∝ output
+                    let want = {
+                        let mut c = 0usize;
+                        if adj.len() <= 64 {
+                            for _ in 0..adj.len() {
+                                if self.rng.gen_bool(p) {
+                                    c += 1;
+                                }
+                            }
+                            touched += adj.len().min(64) as u64;
+                            c
+                        } else {
+                            ((adj.len() as f64 * p).round() as usize).min(adj.len())
+                        }
+                    };
+                    let mut chosen = std::collections::HashSet::with_capacity(want);
+                    while chosen.len() < want {
+                        chosen.insert(self.rng.gen_range(0..adj.len()));
+                        touched += 1;
+                    }
+                    for j in chosen {
+                        let (_, le) = view.adj[lv][j];
+                        if view.alive_edge[le] {
+                            picked.push(class.edge_of[&view.keys[le]]);
+                        }
+                    }
+                }
+                touched += view.verts.len() as u64;
+            }
+        }
+        t.charge(Cost::new(touched.max(1), pmcf_pram::par_depth(touched.max(1))));
+        picked.sort_unstable();
+        picked.dedup();
+        // probabilities
+        let probs = self.sparsify_probability(t, &picked, k);
+        picked.into_iter().zip(probs).collect()
+    }
+
+    /// The inclusion probability `sparsify_sample(k)` gives each edge.
+    pub fn sparsify_probability(&self, t: &mut Tracker, idx: &[EdgeId], k: f64) -> Vec<f64> {
+        t.charge(Cost::par_flat(idx.len().max(1) as u64));
+        idx.iter()
+            .map(|&e| {
+                let Some(c) = self.class_of[e] else {
+                    return 0.0;
+                };
+                let class = &self.classes[&c];
+                let Some((view, le)) = class.ded.locate(self.key_of[e]) else {
+                    return 0.0;
+                };
+                if !view.alive_edge[le] {
+                    return 0.0;
+                }
+                let (lu, lv) = view.ends[le];
+                let pu = (k / view.alive_deg[lu].max(1) as f64).min(1.0);
+                let pv = (k / view.alive_deg[lv].max(1) as f64).min(1.0);
+                1.0 - (1.0 - pu) * (1.0 - pv)
+            })
+            .collect()
+    }
+
+    /// Lower bound on the probability each edge in `idx` is returned by
+    /// `leverage_score_sample(k_scale)` (Lemma B.1 `LeverageScoreBound`).
+    pub fn leverage_score_bound(&self, t: &mut Tracker, idx: &[EdgeId], k_scale: f64) -> Vec<f64> {
+        t.charge(Cost::par_flat(idx.len().max(1) as u64));
+        idx.iter()
+            .map(|&e| {
+                let Some(c) = self.class_of[e] else {
+                    return 0.0;
+                };
+                let class = &self.classes[&c];
+                let Some((view, le)) = class.ded.locate(self.key_of[e]) else {
+                    return 0.0;
+                };
+                if !view.alive_edge[le] {
+                    return 0.0;
+                }
+                let (lu, lv) = view.ends[le];
+                let du = view.alive_deg[lu].max(1) as f64;
+                let dv = view.alive_deg[lv].max(1) as f64;
+                let pu = (16.0 * k_scale / (CLASS_PHI * CLASS_PHI * du)).min(1.0);
+                let pv = (16.0 * k_scale / (CLASS_PHI * CLASS_PHI * dv)).min(1.0);
+                1.0 - (1.0 - pu) * (1.0 - pv)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    fn brute_heavy(g: &DiGraph, w: &[f64], h: &[f64], eps: f64) -> Vec<EdgeId> {
+        g.edges()
+            .iter()
+            .enumerate()
+            .filter(|&(e, &(u, v))| (w[e] * (h[v] - h[u])).abs() >= eps)
+            .map(|(e, _)| e)
+            .collect()
+    }
+
+    #[test]
+    fn finds_all_heavy_coordinates() {
+        let g = generators::gnm_digraph(40, 200, 1);
+        let mut t = Tracker::new();
+        let w: Vec<f64> = (0..200).map(|e| 0.5 + (e % 7) as f64).collect();
+        let hh = HeavyHitter::initialize(&mut t, g.clone(), w.clone(), 2);
+        let h: Vec<f64> = (0..40).map(|v| ((v * 31 % 17) as f64 - 8.0) / 8.0).collect();
+        for eps in [0.5, 1.0, 3.0] {
+            let got = hh.heavy_query(&mut t, &h, eps);
+            let want = brute_heavy(&g, &w, &h, eps);
+            assert_eq!(got, want, "eps={eps}");
+        }
+    }
+
+    #[test]
+    fn scale_keeps_queries_correct() {
+        let g = generators::gnm_digraph(24, 100, 3);
+        let mut t = Tracker::new();
+        let mut w = vec![1.0; 100];
+        let mut hh = HeavyHitter::initialize(&mut t, g.clone(), w.clone(), 4);
+        // move a third of the edges to very different weights
+        let updates: Vec<(EdgeId, f64)> = (0..100)
+            .step_by(3)
+            .map(|e| (e, if e % 2 == 0 { 8.0 } else { 0.25 }))
+            .collect();
+        for &(e, s) in &updates {
+            w[e] = s;
+        }
+        hh.scale(&mut t, &updates);
+        let h: Vec<f64> = (0..24).map(|v| (v as f64).sin()).collect();
+        let got = hh.heavy_query(&mut t, &h, 0.8);
+        let want = brute_heavy(&g, &w, &h, 0.8);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_weight_edges_never_heavy() {
+        let g = generators::gnm_digraph(10, 30, 5);
+        let mut t = Tracker::new();
+        let mut w = vec![0.0; 30];
+        w[3] = 2.0;
+        let hh = HeavyHitter::initialize(&mut t, g.clone(), w.clone(), 6);
+        let h: Vec<f64> = (0..10).map(|v| v as f64).collect();
+        let got = hh.heavy_query(&mut t, &h, 0.1);
+        assert_eq!(got, brute_heavy(&g, &w, &h, 0.1));
+        assert!(got.iter().all(|&e| e == 3 || w[e] > 0.0));
+    }
+
+    #[test]
+    fn sample_prefers_large_coordinates() {
+        let g = generators::gnm_digraph(30, 150, 7);
+        let mut t = Tracker::new();
+        let w = vec![1.0; 150];
+        let mut hh = HeavyHitter::initialize(&mut t, g.clone(), w, 8);
+        // h concentrated on one vertex ⇒ its incident edges are the big
+        // coordinates of Ah
+        let mut h = vec![0.0; 30];
+        h[5] = 10.0;
+        let mut counts = vec![0usize; 150];
+        for _ in 0..30 {
+            for e in hh.sample(&mut t, &h, 40.0) {
+                counts[e] += 1;
+            }
+        }
+        let incident: Vec<usize> = g
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(u, v))| u == 5 || v == 5)
+            .map(|(e, _)| e)
+            .collect();
+        let hit_incident: usize = incident.iter().map(|&e| counts[e]).sum();
+        let hit_other: usize = counts.iter().sum::<usize>() - hit_incident;
+        assert!(
+            hit_incident > hit_other,
+            "incident {hit_incident} vs other {hit_other}"
+        );
+    }
+
+    #[test]
+    fn probability_reports_positive_for_heavy_edges() {
+        let g = generators::gnm_digraph(16, 60, 9);
+        let mut t = Tracker::new();
+        let hh = HeavyHitter::initialize(&mut t, g.clone(), vec![1.0; 60], 10);
+        let mut h = vec![0.0; 16];
+        h[2] = 5.0;
+        let idx: Vec<EdgeId> = (0..60).collect();
+        let p = hh.probability(&mut t, &idx, &h, 50.0);
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            if u == 2 || v == 2 {
+                assert!(p[e] > 0.1, "edge {e} incident to hot vertex: p={}", p[e]);
+            }
+        }
+    }
+
+    #[test]
+    fn leverage_sample_covers_bridges() {
+        // a bridge has leverage 1 and lives in a tiny part, so p_v is
+        // large there — it must essentially always be sampled
+        let mut edges = Vec::new();
+        for base in [0usize, 10] {
+            for u in 0..10 {
+                for v in u + 1..10 {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        edges.push((9, 10)); // the bridge
+        let bridge = edges.len() - 1;
+        let g = DiGraph::from_edges(20, edges);
+        let mut t = Tracker::new();
+        let mut hh = HeavyHitter::initialize(&mut t, g, vec![1.0; 91], 11);
+        let mut hits = 0;
+        for _ in 0..10 {
+            if hh.leverage_score_sample(&mut t, 0.5).contains(&bridge) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 9, "bridge sampled {hits}/10");
+        let b = hh.leverage_score_bound(&mut t, &[bridge], 0.5);
+        assert!(b[0] > 0.9);
+    }
+
+    #[test]
+    fn query_work_scales_with_answer_not_m() {
+        // a query whose answer is empty and whose h is flat must cost
+        // ≪ m on a large expander-ish graph
+        let g = generators::gnm_digraph(512, 4096, 12);
+        let mut t = Tracker::new();
+        let hh = HeavyHitter::initialize(&mut t, g, vec![1.0; 4096], 13);
+        let h = vec![0.0; 512];
+        t.reset();
+        let got = hh.heavy_query(&mut t, &h, 0.5);
+        assert!(got.is_empty());
+        assert!(
+            t.work() < 4096,
+            "flat query cost {} should be ≪ m + n·classes",
+            t.work()
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! The parallel τ-sampler (paper Theorem A.3).
+//!
+//! Maintains a positive weight vector `τ ∈ R^m` bucketed by power of two
+//! and samples index sets where `P[i ∈ M] ≥ K·n·τ_i/‖τ‖₁`, in work
+//! proportional to the output (`Õ(Kn + log W)`), not to `m`. Used by the
+//! IPM's HeavySampler to include every edge with probability at least its
+//! (scaled) Lewis weight.
+
+use pmcf_pram::{Cost, Tracker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Bucketed proportional sampler over `m` weights.
+pub struct TauSampler {
+    n: usize,
+    /// Current weights.
+    tau: Vec<f64>,
+    /// Bucket exponent per index (`τ_i ∈ [2^j, 2^{j+1})`).
+    bucket_of: Vec<i32>,
+    /// Members per bucket, with `pos[i]` = index's position for O(1)
+    /// swap-removal.
+    buckets: HashMap<i32, Vec<usize>>,
+    pos: Vec<usize>,
+    /// Maintained `‖τ‖₁`.
+    sum: f64,
+    rng: SmallRng,
+}
+
+fn exponent(x: f64) -> i32 {
+    debug_assert!(x > 0.0, "τ must be positive");
+    x.log2().floor() as i32
+}
+
+impl TauSampler {
+    /// Initialize over weights `tau` (all positive); `n` is the scaling
+    /// dimension from the theorem statement (`P ≥ K·n·τ_i/‖τ‖₁`).
+    pub fn initialize(t: &mut Tracker, n: usize, tau: Vec<f64>, seed: u64) -> Self {
+        let m = tau.len();
+        let mut buckets: HashMap<i32, Vec<usize>> = HashMap::new();
+        let mut bucket_of = vec![0i32; m];
+        let mut pos = vec![0usize; m];
+        let mut sum = 0.0;
+        for (i, &w) in tau.iter().enumerate() {
+            assert!(w > 0.0, "τ[{i}] must be positive");
+            let b = exponent(w);
+            bucket_of[i] = b;
+            let list = buckets.entry(b).or_default();
+            pos[i] = list.len();
+            list.push(i);
+            sum += w;
+        }
+        t.charge(Cost::par_flat(m as u64).seq(Cost::reduce(m as u64)));
+        TauSampler {
+            n,
+            tau,
+            bucket_of,
+            buckets,
+            pos,
+            sum,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `‖τ‖₁` as maintained incrementally.
+    pub fn weight_sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Update `τ_i ← a_i` for each `(i, a_i)` (Theorem A.3 `Scale`).
+    pub fn scale(&mut self, t: &mut Tracker, updates: &[(usize, f64)]) {
+        t.charge(Cost::par_flat(updates.len() as u64));
+        for &(i, a) in updates {
+            assert!(a > 0.0, "τ[{i}] must stay positive");
+            let old_b = self.bucket_of[i];
+            let new_b = exponent(a);
+            self.sum += a - self.tau[i];
+            self.tau[i] = a;
+            if old_b != new_b {
+                // swap-remove from old bucket
+                let list = self.buckets.get_mut(&old_b).expect("bucket exists");
+                let p = self.pos[i];
+                let last = *list.last().unwrap();
+                list[p] = last;
+                self.pos[last] = p;
+                list.pop();
+                let nl = self.buckets.entry(new_b).or_default();
+                self.pos[i] = nl.len();
+                nl.push(i);
+                self.bucket_of[i] = new_b;
+            }
+        }
+    }
+
+    /// All indices with `τ_i ≥ threshold`, found by scanning only the
+    /// buckets that can contain them (work ∝ output + #buckets).
+    pub fn indices_above(&self, t: &mut Tracker, threshold: f64) -> Vec<usize> {
+        let min_bucket = threshold.max(1e-300).log2().floor() as i32;
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        for (&b, list) in &self.buckets {
+            if b < min_bucket {
+                continue;
+            }
+            for &i in list {
+                touched += 1;
+                if self.tau[i] >= threshold {
+                    out.push(i);
+                }
+            }
+        }
+        t.charge(Cost::new(
+            touched.max(1) + self.buckets.len() as u64,
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
+        out
+    }
+
+    /// Sample a set `M` with `P[i ∈ M] ≥ min(1, K·n·τ_i/‖τ‖₁)`
+    /// independently; expected output `O(K·n)` (Theorem A.3 `Sample`).
+    pub fn sample(&mut self, t: &mut Tracker, k_scale: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut touched = 0u64;
+        let buckets: Vec<i32> = self.buckets.keys().copied().collect();
+        for b in buckets {
+            let list = &self.buckets[&b];
+            if list.is_empty() {
+                continue;
+            }
+            let p = (k_scale * self.n as f64 * 2f64.powi(b + 1) / self.sum).min(1.0);
+            if p <= 0.0 {
+                continue;
+            }
+            if p >= 1.0 {
+                out.extend_from_slice(list);
+                touched += list.len() as u64;
+                continue;
+            }
+            // Binomial draw, then distinct uniform picks: work ∝ output.
+            let cnt = sample_binomial(&mut self.rng, list.len(), p);
+            let mut chosen = std::collections::HashSet::with_capacity(cnt);
+            while chosen.len() < cnt {
+                chosen.insert(self.rng.gen_range(0..list.len()));
+                touched += 1;
+            }
+            out.extend(chosen.into_iter().map(|j| list[j]));
+        }
+        t.charge(Cost::new(
+            touched.max(1) + self.buckets.len() as u64,
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
+        out
+    }
+
+    /// Probability with which `i` is included by `sample(k_scale)`
+    /// (Theorem A.3 `Probability`).
+    pub fn probability(&self, t: &mut Tracker, idx: &[usize], k_scale: f64) -> Vec<f64> {
+        t.charge(Cost::par_flat(idx.len() as u64));
+        idx.iter()
+            .map(|&i| {
+                let b = self.bucket_of[i];
+                (k_scale * self.n as f64 * 2f64.powi(b + 1) / self.sum).min(1.0)
+            })
+            .collect()
+    }
+}
+
+/// Draw from Binomial(n, p) by inversion for small n·p, else normal
+/// approximation clamped to [0, n] (exact distribution is irrelevant —
+/// only the ≥-probability marginals matter, and we use per-bucket
+/// uniform-without-replacement which preserves them).
+fn sample_binomial(rng: &mut SmallRng, n: usize, p: f64) -> usize {
+    let mean = n as f64 * p;
+    if n <= 64 || mean < 32.0 {
+        let mut c = 0;
+        for _ in 0..n {
+            if rng.gen_bool(p) {
+                c += 1;
+            }
+        }
+        c
+    } else {
+        let std = (mean * (1.0 - p)).sqrt();
+        let u: f64 = rng.gen_range(-1.0f64..1.0);
+        let v: f64 = rng.gen_range(0.0f64..1.0);
+        // crude Box-Muller-ish; bias is acceptable for the ≥ marginal
+        let z = u * (-2.0 * v.max(1e-12).ln()).sqrt();
+        ((mean + std * z).round().max(0.0) as usize).min(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_sum_maintained() {
+        let mut t = Tracker::new();
+        let mut s = TauSampler::initialize(&mut t, 4, vec![1.0, 2.0, 4.0, 0.5], 1);
+        assert!((s.weight_sum() - 7.5).abs() < 1e-12);
+        s.scale(&mut t, &[(0, 8.0), (3, 0.25)]);
+        assert!((s.weight_sum() - 14.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_weight_indices_sampled_more() {
+        let mut t = Tracker::new();
+        let mut tau = vec![0.01; 100];
+        tau[7] = 10.0;
+        let mut s = TauSampler::initialize(&mut t, 10, tau, 2);
+        let mut hits7 = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let m = s.sample(&mut t, 0.5);
+            hits7 += m.contains(&7) as usize;
+            total += m.len();
+        }
+        assert!(hits7 > 150, "heavy index sampled only {hits7}/200");
+        // expected total ≈ 200 · O(K n) = bounded
+        assert!(total < 200 * 10 * 6, "sampled too much: {total}");
+    }
+
+    #[test]
+    fn probability_lower_bounds_inclusion() {
+        let mut t = Tracker::new();
+        let s = TauSampler::initialize(&mut t, 5, vec![1.0, 3.0, 0.2], 3);
+        let p = s.probability(&mut t, &[0, 1, 2], 0.3);
+        // p_i ≥ K n τ_i / ‖τ‖₁
+        let sum = 4.2;
+        for (i, (&pi, &ti)) in p.iter().zip(&[1.0, 3.0, 0.2]).enumerate() {
+            assert!(
+                pi >= (0.3f64 * 5.0 * ti / sum).min(1.0) - 1e-12,
+                "index {i}: p={pi}"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_moves_between_buckets_correctly() {
+        let mut t = Tracker::new();
+        let mut s = TauSampler::initialize(&mut t, 2, vec![1.0, 1.0, 1.0], 4);
+        // move index 1 far up; sampling with tiny K should mostly get 1
+        s.scale(&mut t, &[(1, 1000.0)]);
+        let mut ones = 0;
+        for _ in 0..100 {
+            let m = s.sample(&mut t, 1.0);
+            ones += m.contains(&1) as usize;
+        }
+        assert!(ones >= 95, "index 1 sampled {ones}/100");
+    }
+
+    #[test]
+    #[should_panic(expected = "must stay positive")]
+    fn zero_weight_rejected() {
+        let mut t = Tracker::new();
+        let mut s = TauSampler::initialize(&mut t, 2, vec![1.0], 5);
+        s.scale(&mut t, &[(0, 0.0)]);
+    }
+}

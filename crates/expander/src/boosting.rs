@@ -1,0 +1,171 @@
+//! Batch-number boosting (paper Lemma 3.5).
+//!
+//! A data structure that only tolerates `b` batch updates is lifted to
+//! arbitrarily many by a base-`D` *merge counter*: incoming batches fill
+//! digit 0; when a digit reaches `D` groups they merge into one group of
+//! the next digit and the underlying structure is rebuilt from scratch,
+//! replaying one combined group per nonzero digit — at most
+//! `log_D(#batches)` groups, i.e. the inner structure never sees more
+//! than `O(b)` batches. Each update is merged `O(log_D b̄)` times, giving
+//! the lemma's `O(b · b̄^{1/b} · w)` amortized work shape.
+//!
+//! [`BatchCounter`] is the pure counter; [`crate::pruning`] combines it
+//! with the [`crate::trimming::Trimmer`] to obtain unbounded-batch
+//! expander pruning (Lemma 3.3).
+
+/// A base-`D` merge counter over batches of items.
+#[derive(Clone, Debug)]
+pub struct BatchCounter<T> {
+    base: usize,
+    /// `levels[k]` holds up to `base − 1` groups of "digit weight" `D^k`,
+    /// oldest first.
+    levels: Vec<Vec<Vec<T>>>,
+    batches_pushed: usize,
+}
+
+impl<T: Clone> BatchCounter<T> {
+    /// New counter with merge base `D ≥ 2`.
+    pub fn new(base: usize) -> Self {
+        assert!(base >= 2, "merge base must be ≥ 2");
+        BatchCounter {
+            base,
+            levels: vec![Vec::new()],
+            batches_pushed: 0,
+        }
+    }
+
+    /// Record one incoming batch. Returns `true` if a carry occurred —
+    /// i.e. groups merged and the underlying structure must be rebuilt by
+    /// replaying [`BatchCounter::groups`].
+    pub fn push(&mut self, batch: Vec<T>) -> bool {
+        self.batches_pushed += 1;
+        self.levels[0].push(batch);
+        let mut carried = false;
+        let mut k = 0;
+        while self.levels[k].len() >= self.base {
+            let merged: Vec<T> = self.levels[k].drain(..).flatten().collect();
+            if self.levels.len() == k + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[k + 1].push(merged);
+            carried = true;
+            k += 1;
+        }
+        carried
+    }
+
+    /// Append extra items to the most recent group (used to fold
+    /// pruning-spill edges into the batch that caused them).
+    pub fn append_to_newest(&mut self, extra: impl IntoIterator<Item = T>) {
+        // newest group = last group of the lowest nonempty level
+        for level in self.levels.iter_mut() {
+            if let Some(last) = level.last_mut() {
+                last.extend(extra);
+                return;
+            }
+        }
+        // counter is empty: start a group
+        self.levels[0].push(extra.into_iter().collect());
+    }
+
+    /// Groups in chronological (replay) order: highest digit first, oldest
+    /// group first within a digit.
+    pub fn groups(&self) -> impl Iterator<Item = &Vec<T>> {
+        self.levels.iter().rev().flatten()
+    }
+
+    /// Number of groups currently held (= batches a rebuilt inner
+    /// structure must replay).
+    pub fn num_groups(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Total items across all groups.
+    pub fn total_items(&self) -> usize {
+        self.levels.iter().flatten().map(|g| g.len()).sum()
+    }
+
+    /// Batches pushed over the counter's lifetime.
+    pub fn batches_pushed(&self) -> usize {
+        self.batches_pushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_carry_before_base() {
+        let mut c = BatchCounter::new(4);
+        assert!(!c.push(vec![1]));
+        assert!(!c.push(vec![2]));
+        assert!(!c.push(vec![3]));
+        assert_eq!(c.num_groups(), 3);
+    }
+
+    #[test]
+    fn carry_merges_groups() {
+        let mut c = BatchCounter::new(4);
+        for i in 0..3 {
+            c.push(vec![i]);
+        }
+        assert!(c.push(vec![3]), "4th push must carry");
+        assert_eq!(c.num_groups(), 1);
+        let g: Vec<_> = c.groups().next().unwrap().clone();
+        assert_eq!(g, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn group_count_stays_logarithmic() {
+        let mut c = BatchCounter::new(2);
+        for i in 0..1000 {
+            c.push(vec![i]);
+        }
+        // base 2 over 1000 batches: ≤ log2(1000)+1 ≈ 11 groups
+        assert!(c.num_groups() <= 11, "groups = {}", c.num_groups());
+        assert_eq!(c.total_items(), 1000);
+    }
+
+    #[test]
+    fn replay_order_is_chronological() {
+        let mut c = BatchCounter::new(2);
+        for i in 0..6 {
+            c.push(vec![i]);
+        }
+        let flat: Vec<i32> = c.groups().flatten().copied().collect();
+        assert_eq!(flat, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn append_to_newest_lands_in_latest_group() {
+        let mut c = BatchCounter::new(4);
+        c.push(vec![1]);
+        c.push(vec![2]);
+        c.append_to_newest([99]);
+        let all: Vec<i32> = c.groups().flatten().copied().collect();
+        assert_eq!(all, vec![1, 2, 99]);
+    }
+
+    #[test]
+    fn append_to_empty_counter_creates_group() {
+        let mut c: BatchCounter<i32> = BatchCounter::new(3);
+        c.append_to_newest([7]);
+        assert_eq!(c.num_groups(), 1);
+        assert_eq!(c.total_items(), 1);
+    }
+
+    #[test]
+    fn every_item_survives_merging() {
+        let mut c = BatchCounter::new(3);
+        let mut expect = Vec::new();
+        for i in 0..50 {
+            c.push(vec![i * 2, i * 2 + 1]);
+            expect.extend([i * 2, i * 2 + 1]);
+        }
+        let mut flat: Vec<i32> = c.groups().flatten().copied().collect();
+        flat.sort_unstable();
+        expect.sort_unstable();
+        assert_eq!(flat, expect);
+    }
+}

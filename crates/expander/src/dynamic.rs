@@ -1,0 +1,512 @@
+//! Fully dynamic edge-partitioned expander decomposition (paper
+//! Lemma 3.1, following the [BvdBG+22] reduction described in §2.3/§3).
+//!
+//! The edge set is maintained across `O(log m)` *buckets* `G_1, G_2, …`
+//! with `|E(G_i)| ≤ 2^i`. An insertion batch cascades: find the smallest
+//! `i` with `2^i ≥ |batch| + Σ_{j≤i} |E_j|`, gather those buckets plus
+//! the batch, recompute a static edge-partitioned decomposition
+//! ([`crate::static_decomp::edge_decompose`]) and install it as the new
+//! `G_i` — each part getting a fresh [`crate::pruning::BoostedPruner`].
+//! A deletion batch routes each edge to its part's pruner; spilled edges
+//! are reinserted at the bottom. Amortized update work is
+//! `Õ(|batch|/φ⁵)` with `Õ(1/φ⁴)` depth.
+//!
+//! Parts use *compact* local vertex indexing and expose a [`PartView`]
+//! (vertex list, local adjacency, alive flags) so consumers — notably the
+//! HeavyHitter of Appendix B — can run per-part computations in work
+//! proportional to the part, not to `n`.
+//!
+//! Edges are addressed by stable [`EdgeKey`]s assigned at insertion.
+
+use crate::pruning::BoostedPruner;
+use crate::static_decomp::{edge_decompose, ExpanderPart};
+use pmcf_graph::{UGraph, Vertex};
+use pmcf_pram::{Cost, Tracker};
+use std::collections::HashMap;
+
+/// Stable handle for an inserted edge.
+pub type EdgeKey = u64;
+
+/// Compact, incrementally-maintained view of one expander part.
+#[derive(Clone, Debug)]
+pub struct PartView {
+    /// Global vertex ids, in local order.
+    pub verts: Vec<Vertex>,
+    /// Local adjacency: `adj[lv] = [(local other, local edge), …]`.
+    pub adj: Vec<Vec<(usize, usize)>>,
+    /// Local edge id → user key.
+    pub keys: Vec<EdgeKey>,
+    /// Local edge endpoints `(local u, local v)`.
+    pub ends: Vec<(usize, usize)>,
+    /// Which local edges are still alive.
+    pub alive_edge: Vec<bool>,
+    /// Alive degree per local vertex.
+    pub alive_deg: Vec<usize>,
+    /// Number of alive edges.
+    pub alive_count: usize,
+}
+
+impl PartView {
+    fn from_edges(verts: Vec<Vertex>, ends: Vec<(usize, usize)>, keys: Vec<EdgeKey>) -> Self {
+        let mut adj = vec![Vec::new(); verts.len()];
+        let mut alive_deg = vec![0usize; verts.len()];
+        for (le, &(u, v)) in ends.iter().enumerate() {
+            adj[u].push((v, le));
+            alive_deg[u] += 1;
+            if v != u {
+                adj[v].push((u, le));
+                alive_deg[v] += 1;
+            } else {
+                alive_deg[u] += 1;
+            }
+        }
+        let alive_count = ends.len();
+        PartView {
+            verts,
+            adj,
+            alive_edge: vec![true; ends.len()],
+            keys,
+            ends,
+            alive_deg,
+            alive_count,
+        }
+    }
+
+    fn kill_edge(&mut self, le: usize) {
+        if !self.alive_edge[le] {
+            return;
+        }
+        self.alive_edge[le] = false;
+        self.alive_count -= 1;
+        let (u, v) = self.ends[le];
+        self.alive_deg[u] = self.alive_deg[u].saturating_sub(1);
+        if v != u {
+            self.alive_deg[v] = self.alive_deg[v].saturating_sub(1);
+        } else {
+            self.alive_deg[u] = self.alive_deg[u].saturating_sub(1);
+        }
+    }
+}
+
+/// One expander part: a pruner over its compact host subgraph + the view.
+struct PartState {
+    pruner: BoostedPruner,
+    view: PartView,
+}
+
+/// One size-capped bucket `G_i`.
+#[derive(Default)]
+struct Bucket {
+    parts: Vec<PartState>,
+    /// Alive edges currently homed in this bucket.
+    alive: usize,
+}
+
+/// Location of an alive edge: `(bucket, part, local edge id)`.
+type Loc = (usize, usize, usize);
+
+/// The Lemma 3.1 data structure.
+///
+/// ```
+/// use pmcf_expander::DynamicExpanderDecomposition;
+/// use pmcf_pram::Tracker;
+/// let mut d = DynamicExpanderDecomposition::new(8, 0.1, 42);
+/// let mut t = Tracker::new();
+/// let keys = d.insert_edges(&mut t, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+/// assert_eq!(d.edge_count(), 4);
+/// d.delete_edges(&mut t, &keys[..1]);
+/// assert_eq!(d.edge_count(), 3);
+/// // the parts always partition the alive edge set
+/// let total: usize = d.parts().iter().map(|p| p.len()).sum();
+/// assert_eq!(total, 3);
+/// ```
+pub struct DynamicExpanderDecomposition {
+    n: usize,
+    phi: f64,
+    seed: u64,
+    buckets: Vec<Bucket>,
+    /// Key → current location.
+    registry: HashMap<EdgeKey, Loc>,
+    /// Endpoints per key (needed to rebuild).
+    endpoints: HashMap<EdgeKey, (Vertex, Vertex)>,
+    next_key: EdgeKey,
+    /// Static rebuild count (for the amortized-work experiments).
+    pub rebuilds: u64,
+}
+
+impl DynamicExpanderDecomposition {
+    /// An initially empty decomposition over `n` vertices with expansion
+    /// target `phi`.
+    pub fn new(n: usize, phi: f64, seed: u64) -> Self {
+        assert!(phi > 0.0 && phi <= 1.0);
+        DynamicExpanderDecomposition {
+            n,
+            phi,
+            seed,
+            buckets: (0..48).map(|_| Bucket::default()).collect(),
+            registry: HashMap::new(),
+            endpoints: HashMap::new(),
+            next_key: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of alive edges.
+    pub fn edge_count(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Endpoints of an alive edge.
+    pub fn endpoints_of(&self, key: EdgeKey) -> Option<(Vertex, Vertex)> {
+        self.registry.get(&key).map(|_| self.endpoints[&key])
+    }
+
+    /// Insert a batch of edges; returns their keys.
+    pub fn insert_edges(&mut self, t: &mut Tracker, edges: &[(Vertex, Vertex)]) -> Vec<EdgeKey> {
+        let keys: Vec<EdgeKey> = edges
+            .iter()
+            .map(|&(u, v)| {
+                assert!(u < self.n && v < self.n, "endpoint out of range");
+                let k = self.next_key;
+                self.next_key += 1;
+                self.endpoints.insert(k, (u, v));
+                k
+            })
+            .collect();
+        t.charge(Cost::par_flat(edges.len() as u64));
+        self.home_keys(t, keys.clone());
+        keys
+    }
+
+    /// Delete a batch of edges by key. Unknown/already-deleted keys are
+    /// ignored.
+    pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
+        // Group the deletions per (bucket, part).
+        let mut per_part: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for &k in keys {
+            if let Some(&(b, p, e)) = self.registry.get(&k) {
+                per_part.entry((b, p)).or_default().push(e);
+                self.registry.remove(&k);
+                self.endpoints.remove(&k);
+                self.buckets[b].alive -= 1;
+            }
+        }
+        t.charge(Cost::par_flat(keys.len() as u64));
+
+        let mut spilled_keys: Vec<EdgeKey> = Vec::new();
+        for ((b, p), local_edges) in per_part {
+            let spilled = {
+                let part = &mut self.buckets[b].parts[p];
+                let outcome = part.pruner.delete_batch(t, &local_edges);
+                for &le in &local_edges {
+                    part.view.kill_edge(le);
+                }
+                let mut spilled = Vec::new();
+                for &le in &outcome.spilled_edges {
+                    part.view.kill_edge(le);
+                    spilled.push(part.view.keys[le]);
+                }
+                spilled
+            };
+            for k in spilled {
+                // spilled edges are alive user edges that must be re-homed
+                if self.registry.remove(&k).is_some() {
+                    self.buckets[b].alive -= 1;
+                    spilled_keys.push(k);
+                }
+            }
+        }
+        if !spilled_keys.is_empty() {
+            self.home_keys(t, spilled_keys);
+        }
+    }
+
+    /// Install a set of keys into the bucket structure (insertion cascade).
+    fn home_keys(&mut self, t: &mut Tracker, keys: Vec<EdgeKey>) {
+        if keys.is_empty() {
+            return;
+        }
+        // smallest i with 2^i ≥ |keys| + Σ_{j≤i} alive_j
+        let mut prefix = 0usize;
+        let mut target = 0usize;
+        for i in 0..self.buckets.len() {
+            prefix += self.buckets[i].alive;
+            if (1usize << i) >= keys.len() + prefix {
+                target = i;
+                break;
+            }
+            target = i;
+        }
+        // gather keys of buckets 0..=target plus the new ones
+        let mut all_keys = keys;
+        for b in 0..=target {
+            for part in self.buckets[b].parts.drain(..) {
+                for (le, &k) in part.view.keys.iter().enumerate() {
+                    if part.view.alive_edge[le] && self.registry.contains_key(&k) {
+                        all_keys.push(k);
+                    }
+                }
+            }
+            self.buckets[b].alive = 0;
+        }
+        for &k in &all_keys {
+            self.registry.remove(&k); // will be re-registered below
+        }
+
+        // static decomposition of the gathered edge set (Lemma 3.4)
+        self.rebuilds += 1;
+        self.seed = self.seed.wrapping_add(0x9e3779b97f4a7c15);
+        let edge_list: Vec<(Vertex, Vertex)> =
+            all_keys.iter().map(|k| self.endpoints[k]).collect();
+        let host = UGraph::from_edges(self.n, edge_list);
+        let parts: Vec<ExpanderPart> = edge_decompose(t, &host, self.phi, self.seed);
+
+        let bucket = &mut self.buckets[target];
+        for part in parts {
+            // compact local indexing
+            let mut local_of: HashMap<Vertex, usize> = HashMap::new();
+            let mut verts = Vec::new();
+            let local = |v: Vertex, verts: &mut Vec<Vertex>,
+                             local_of: &mut HashMap<Vertex, usize>| {
+                *local_of.entry(v).or_insert_with(|| {
+                    verts.push(v);
+                    verts.len() - 1
+                })
+            };
+            let mut ends = Vec::with_capacity(part.edges.len());
+            for &e in &part.edges {
+                let (u, v) = host.endpoints(e);
+                let lu = local(u, &mut verts, &mut local_of);
+                let lv = local(v, &mut verts, &mut local_of);
+                ends.push((lu, lv));
+            }
+            let part_keys: Vec<EdgeKey> = part.edges.iter().map(|&e| all_keys[e]).collect();
+            let sub = UGraph::from_edges(verts.len(), ends.clone());
+            let pruner = BoostedPruner::new(sub, self.phi);
+            let view = PartView::from_edges(verts, ends, part_keys);
+            let pidx = bucket.parts.len();
+            for (le, &k) in view.keys.iter().enumerate() {
+                self.registry.insert(k, (target, pidx, le));
+            }
+            bucket.alive += view.keys.len();
+            bucket.parts.push(PartState { pruner, view });
+        }
+    }
+
+    /// O(1) lookup of an alive edge's part view and local edge id.
+    pub fn locate(&self, key: EdgeKey) -> Option<(&PartView, usize)> {
+        self.registry
+            .get(&key)
+            .map(|&(b, p, le)| (&self.buckets[b].parts[p].view, le))
+    }
+
+    /// Like [`DynamicExpanderDecomposition::locate`] but also returns the
+    /// stable `(bucket, part)` address, matching the keys of
+    /// [`DynamicExpanderDecomposition::part_views_keyed`].
+    pub fn locate_keyed(&self, key: EdgeKey) -> Option<((usize, usize), &PartView, usize)> {
+        self.registry
+            .get(&key)
+            .map(|&(b, p, le)| ((b, p), &self.buckets[b].parts[p].view, le))
+    }
+
+    /// Live part views with their stable `(bucket, part)` address.
+    pub fn part_views_keyed(&self) -> impl Iterator<Item = ((usize, usize), &PartView)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bk)| bk.parts.iter().enumerate().map(move |(p, ps)| ((b, p), &ps.view)))
+            .filter(|(_, v)| v.alive_count > 0)
+    }
+
+    /// Iterate over the live part views (alive_count > 0).
+    pub fn part_views(&self) -> impl Iterator<Item = &PartView> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.parts.iter())
+            .map(|p| &p.view)
+            .filter(|v| v.alive_count > 0)
+    }
+
+    /// Enumerate the current expander parts as lists of `(key, (u, v))`.
+    pub fn parts(&self) -> Vec<Vec<(EdgeKey, (Vertex, Vertex))>> {
+        self.part_views()
+            .map(|view| {
+                view.keys
+                    .iter()
+                    .enumerate()
+                    .filter(|&(le, k)| view.alive_edge[le] && self.registry.contains_key(k))
+                    .map(|(_, &k)| (k, self.endpoints[&k]))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|p: &Vec<_>| !p.is_empty())
+            .collect()
+    }
+
+    /// Total vertex multiplicity `Σ_i |V(G_i)|` across parts (Lemma 3.1
+    /// promises `Õ(n)`).
+    pub fn vertex_multiplicity(&self) -> usize {
+        self.part_views()
+            .map(|v| {
+                v.alive_deg
+                    .iter()
+                    .filter(|&&d| d > 0)
+                    .count()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn check_partition(d: &DynamicExpanderDecomposition, expected: usize) {
+        let parts = d.parts();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, expected, "parts must partition the alive edges");
+        let mut seen = std::collections::HashSet::new();
+        for p in &parts {
+            for &(k, _) in p {
+                assert!(seen.insert(k), "edge {k} in two parts");
+            }
+        }
+    }
+
+    #[test]
+    fn insert_then_enumerate() {
+        let mut d = DynamicExpanderDecomposition::new(16, 0.15, 1);
+        let mut t = Tracker::new();
+        let edges: Vec<(usize, usize)> = (0..16).map(|i| (i, (i + 1) % 16)).collect();
+        let keys = d.insert_edges(&mut t, &edges);
+        assert_eq!(keys.len(), 16);
+        assert_eq!(d.edge_count(), 16);
+        check_partition(&d, 16);
+    }
+
+    #[test]
+    fn deletions_remove_edges() {
+        let mut d = DynamicExpanderDecomposition::new(32, 0.15, 2);
+        let mut t = Tracker::new();
+        let g = pmcf_graph::generators::random_regular_ugraph(32, 6, 3);
+        let keys = d.insert_edges(&mut t, g.edges());
+        d.delete_edges(&mut t, &keys[0..10]);
+        assert_eq!(d.edge_count(), g.m() - 10);
+        check_partition(&d, g.m() - 10);
+        // deleting unknown keys is a no-op
+        d.delete_edges(&mut t, &[999_999]);
+        assert_eq!(d.edge_count(), g.m() - 10);
+    }
+
+    #[test]
+    fn parts_are_expanders() {
+        let mut d = DynamicExpanderDecomposition::new(48, 0.1, 3);
+        let mut t = Tracker::new();
+        let g = pmcf_graph::generators::gnm_ugraph(48, 240, 4);
+        let keys = d.insert_edges(&mut t, g.edges());
+        d.delete_edges(&mut t, &keys[0..20]);
+        for part in d.parts() {
+            if part.len() <= 2 {
+                continue;
+            }
+            let edges: Vec<(usize, usize)> = part.iter().map(|&(_, e)| e).collect();
+            let sub = UGraph::from_edges(48, edges);
+            if let Some((_, phi)) = conductance::find_sparse_cut(&sub, 0.03, 9) {
+                panic!("part of {} edges has conductance {phi}", part.len());
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes() {
+        let mut d = DynamicExpanderDecomposition::new(64, 0.1, 5);
+        let mut t = Tracker::new();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut alive: Vec<EdgeKey> = Vec::new();
+        for round in 0..20 {
+            let batch: Vec<(usize, usize)> = (0..8)
+                .map(|_| {
+                    let u = rng.gen_range(0..64);
+                    let mut v = rng.gen_range(0..64);
+                    if v == u {
+                        v = (v + 1) % 64;
+                    }
+                    (u, v)
+                })
+                .collect();
+            alive.extend(d.insert_edges(&mut t, &batch));
+            if round % 3 == 2 && alive.len() > 6 {
+                let del: Vec<EdgeKey> = (0..4).map(|i| alive[i * 2]).collect();
+                d.delete_edges(&mut t, &del);
+                alive.retain(|k| !del.contains(k));
+            }
+            check_partition(&d, alive.len());
+        }
+    }
+
+    #[test]
+    fn vertex_multiplicity_stays_near_linear() {
+        let mut d = DynamicExpanderDecomposition::new(64, 0.1, 6);
+        let mut t = Tracker::new();
+        let g = pmcf_graph::generators::gnm_ugraph(64, 512, 7);
+        let _ = d.insert_edges(&mut t, g.edges());
+        // Lemma 3.1: Σ|V(G_i)| = Õ(n); allow a generous log factor
+        assert!(
+            d.vertex_multiplicity() <= 64 * 12,
+            "multiplicity {}",
+            d.vertex_multiplicity()
+        );
+    }
+
+    #[test]
+    fn part_views_are_consistent() {
+        let mut d = DynamicExpanderDecomposition::new(32, 0.1, 7);
+        let mut t = Tracker::new();
+        let g = pmcf_graph::generators::random_regular_ugraph(32, 6, 8);
+        let keys = d.insert_edges(&mut t, g.edges());
+        d.delete_edges(&mut t, &keys[0..5]);
+        for view in d.part_views() {
+            // alive_deg consistent with alive_edge
+            let mut deg = vec![0usize; view.verts.len()];
+            for (le, &(u, v)) in view.ends.iter().enumerate() {
+                if view.alive_edge[le] {
+                    deg[u] += 1;
+                    if v != u {
+                        deg[v] += 1;
+                    } else {
+                        deg[u] += 1;
+                    }
+                }
+            }
+            assert_eq!(deg, view.alive_deg);
+            assert_eq!(
+                view.alive_edge.iter().filter(|&&a| a).count(),
+                view.alive_count
+            );
+        }
+    }
+
+    #[test]
+    fn amortized_insert_work_is_sublinear_per_edge() {
+        let mut d = DynamicExpanderDecomposition::new(128, 0.1, 8);
+        let g = pmcf_graph::generators::gnm_ugraph(128, 1024, 9);
+        // insert in many small batches; total work should be far below
+        // batches × m (full static recompute every time)
+        let mut t = Tracker::new();
+        for chunk in g.edges().chunks(32) {
+            let _ = d.insert_edges(&mut t, chunk);
+        }
+        let total_work = t.work();
+        let mut t2 = Tracker::new();
+        let mut d2 = DynamicExpanderDecomposition::new(128, 0.1, 10);
+        let _ = d2.insert_edges(&mut t2, g.edges());
+        let one_shot = t2.work();
+        // 32 batches, each ≪ a full rebuild: expect < 32× one-shot cost
+        assert!(
+            total_work < one_shot * 32,
+            "incremental {total_work} vs one-shot {one_shot}"
+        );
+    }
+}

@@ -1,0 +1,333 @@
+//! Vertex-partitioned dynamic expander decomposition (paper §2.3,
+//! "Vertex Decomposition").
+//!
+//! The paper notes that the same machinery maintaining the
+//! edge-partitioned decomposition of Lemma 3.1 also maintains the more
+//! conventional *vertex*-partitioned one: `V = V₁ ∪ … ∪ V_z` with every
+//! induced subgraph `G[V_i]` a `φ`-expander and `Õ(φm)` inter-cluster
+//! edges — "expander pruning will give a pruned vertex set instead of an
+//! edge set, and all the arguments above should work." This module is
+//! that variant: clusters carry [`crate::pruning::BoostedPruner`]s over
+//! their induced subgraphs; decremental updates prune vertices, which
+//! split off as singleton clusters; insertion batches trigger a
+//! re-clustering of the touched region once enough churn accumulates.
+
+use crate::pruning::BoostedPruner;
+use crate::static_decomp::vertex_decompose;
+use pmcf_graph::{UGraph, Vertex};
+use pmcf_pram::{Cost, Tracker};
+use std::collections::HashMap;
+
+/// Stable edge handle.
+pub type EdgeKey = u64;
+
+struct Cluster {
+    /// Global vertices of this cluster.
+    verts: Vec<Vertex>,
+    /// Pruner over the induced subgraph (local indexing).
+    pruner: Option<BoostedPruner>,
+    /// Local edge id → key (edges inside the cluster).
+    keys: Vec<EdgeKey>,
+}
+
+/// The vertex-partitioned dynamic decomposition.
+pub struct DynamicVertexDecomposition {
+    n: usize,
+    phi: f64,
+    seed: u64,
+    clusters: Vec<Cluster>,
+    /// vertex → cluster index
+    cluster_of: Vec<usize>,
+    /// key → endpoints
+    endpoints: HashMap<EdgeKey, (Vertex, Vertex)>,
+    /// key → Some((cluster, local edge)) if intra-cluster, None if crossing
+    location: HashMap<EdgeKey, Option<(usize, usize)>>,
+    /// crossing edges (cluster boundaries)
+    crossing: usize,
+    next_key: EdgeKey,
+    /// edges inserted since the last full re-clustering
+    churn: usize,
+}
+
+impl DynamicVertexDecomposition {
+    /// Empty decomposition: every vertex its own cluster.
+    pub fn new(n: usize, phi: f64, seed: u64) -> Self {
+        let clusters = (0..n)
+            .map(|v| Cluster {
+                verts: vec![v],
+                pruner: None,
+                keys: Vec::new(),
+            })
+            .collect();
+        DynamicVertexDecomposition {
+            n,
+            phi,
+            seed,
+            clusters,
+            cluster_of: (0..n).collect(),
+            endpoints: HashMap::new(),
+            location: HashMap::new(),
+            crossing: 0,
+            next_key: 0,
+            churn: 0,
+        }
+    }
+
+    /// Number of alive edges.
+    pub fn edge_count(&self) -> usize {
+        self.location.len()
+    }
+
+    /// Number of inter-cluster edges (paper: `Õ(φm)` of them).
+    pub fn crossing_edges(&self) -> usize {
+        self.crossing
+    }
+
+    /// The current vertex partition (clusters with ≥ 1 vertex).
+    pub fn clusters(&self) -> Vec<Vec<Vertex>> {
+        self.clusters
+            .iter()
+            .filter(|c| !c.verts.is_empty())
+            .map(|c| c.verts.clone())
+            .collect()
+    }
+
+    /// Insert edges; re-clusters lazily once churn reaches half the edge
+    /// set (amortized `Õ(1)` per edge, the standard rebuilding schedule).
+    pub fn insert_edges(&mut self, t: &mut Tracker, edges: &[(Vertex, Vertex)]) -> Vec<EdgeKey> {
+        let mut keys = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!(u < self.n && v < self.n);
+            let k = self.next_key;
+            self.next_key += 1;
+            self.endpoints.insert(k, (u, v));
+            // until the next re-clustering the new edge is crossing unless
+            // it lands inside one cluster — but its cluster has no pruner
+            // slot for it, so count it as crossing either way
+            self.location.insert(k, None);
+            self.crossing += 1;
+            keys.push(k);
+        }
+        t.charge(Cost::par_flat(edges.len() as u64));
+        self.churn += edges.len();
+        if self.churn * 2 >= self.edge_count().max(8) {
+            self.recluster(t);
+        }
+        keys
+    }
+
+    /// Delete edges by key; intra-cluster deletions go through the
+    /// cluster's pruner, pruned vertices split off as singletons.
+    pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
+        let mut per_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &k in keys {
+            let Some(loc) = self.location.remove(&k) else {
+                continue;
+            };
+            self.endpoints.remove(&k);
+            match loc {
+                None => self.crossing -= 1,
+                Some((c, le)) => {
+                    per_cluster.entry(c).or_default().push(le);
+                }
+            }
+        }
+        t.charge(Cost::par_flat(keys.len() as u64));
+        for (c, locals) in per_cluster {
+            let (removed, spilled_keys) = {
+                let cluster = &mut self.clusters[c];
+                let pruner = cluster.pruner.as_mut().expect("intra edges ⇒ pruner");
+                let out = pruner.delete_batch(t, &locals);
+                let spilled: Vec<EdgeKey> =
+                    out.spilled_edges.iter().map(|&le| cluster.keys[le]).collect();
+                (out.newly_pruned, spilled)
+            };
+            // pruned local vertices become singleton clusters
+            let cluster_verts = self.clusters[c].verts.clone();
+            for lv in removed {
+                let gv = cluster_verts[lv];
+                let idx = self.clusters.len();
+                self.clusters.push(Cluster {
+                    verts: vec![gv],
+                    pruner: None,
+                    keys: Vec::new(),
+                });
+                self.cluster_of[gv] = idx;
+                self.clusters[c].verts.retain(|&w| w != gv);
+            }
+            // spilled edges become crossing edges (their endpoint left)
+            for k in spilled_keys {
+                if let Some(slot) = self.location.get_mut(&k) {
+                    if slot.is_some() {
+                        *slot = None;
+                        self.crossing += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recompute the clustering from scratch (Theorem 3.2 contract).
+    fn recluster(&mut self, t: &mut Tracker) {
+        self.churn = 0;
+        self.seed = self.seed.wrapping_add(0x9e3779b97f4a7c15);
+        let all: Vec<(EdgeKey, (Vertex, Vertex))> =
+            self.endpoints.iter().map(|(&k, &e)| (k, e)).collect();
+        let host = UGraph::from_edges(self.n, all.iter().map(|&(_, e)| e).collect());
+        let parts = vertex_decompose(t, &host, self.phi, self.seed);
+        self.clusters.clear();
+        self.cluster_of = vec![usize::MAX; self.n];
+        for verts in parts {
+            let idx = self.clusters.len();
+            for &v in &verts {
+                self.cluster_of[v] = idx;
+            }
+            self.clusters.push(Cluster {
+                verts,
+                pruner: None,
+                keys: Vec::new(),
+            });
+        }
+        // assign edges: intra-cluster edges get local ids + a pruner
+        self.crossing = 0;
+        let mut per_cluster: HashMap<usize, Vec<(EdgeKey, Vertex, Vertex)>> = HashMap::new();
+        for &(k, (u, v)) in &all {
+            if self.cluster_of[u] == self.cluster_of[v] {
+                per_cluster
+                    .entry(self.cluster_of[u])
+                    .or_default()
+                    .push((k, u, v));
+            } else {
+                self.location.insert(k, None);
+                self.crossing += 1;
+            }
+        }
+        for (c, edges) in per_cluster {
+            let cluster = &mut self.clusters[c];
+            let local_of: HashMap<Vertex, usize> = cluster
+                .verts
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i))
+                .collect();
+            let ends: Vec<(usize, usize)> = edges
+                .iter()
+                .map(|&(_, u, v)| (local_of[&u], local_of[&v]))
+                .collect();
+            cluster.keys = edges.iter().map(|&(k, ..)| k).collect();
+            let sub = UGraph::from_edges(cluster.verts.len(), ends);
+            cluster.pruner = Some(BoostedPruner::new(sub, self.phi));
+            for (le, &(k, ..)) in edges.iter().enumerate() {
+                self.location.insert(k, Some((c, le)));
+            }
+        }
+        t.charge(Cost::par_flat(all.len() as u64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conductance::find_sparse_cut;
+    use pmcf_graph::generators;
+
+    fn check_invariants(d: &DynamicVertexDecomposition, host_edges: &[(usize, usize)]) {
+        // partition covers all vertices exactly once
+        let mut seen = vec![false; d.n];
+        for c in d.clusters() {
+            for v in c {
+                assert!(!seen[v], "vertex {v} in two clusters");
+                seen[v] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // crossing count consistent with the partition
+        let crossing_direct = host_edges
+            .iter()
+            .filter(|&&(u, v)| d.cluster_of[u] != d.cluster_of[v])
+            .count();
+        assert_eq!(d.crossing_edges(), crossing_direct);
+    }
+
+    #[test]
+    fn expander_becomes_one_cluster() {
+        let g = generators::random_regular_ugraph(48, 8, 1);
+        let mut d = DynamicVertexDecomposition::new(48, 0.1, 2);
+        let mut t = Tracker::new();
+        let _ = d.insert_edges(&mut t, g.edges());
+        let big = d.clusters().into_iter().filter(|c| c.len() > 1).count();
+        assert_eq!(big, 1, "one non-trivial cluster expected");
+        check_invariants(&d, g.edges());
+    }
+
+    #[test]
+    fn barbell_splits_and_bridge_crosses() {
+        let mut edges = Vec::new();
+        for base in [0usize, 8] {
+            for u in 0..8 {
+                for v in u + 1..8 {
+                    edges.push((base + u, base + v));
+                }
+            }
+        }
+        edges.push((7, 8));
+        let mut d = DynamicVertexDecomposition::new(16, 0.2, 3);
+        let mut t = Tracker::new();
+        let _ = d.insert_edges(&mut t, &edges);
+        check_invariants(&d, &edges);
+        assert!(d.crossing_edges() >= 1, "bridge must cross");
+        let nontrivial: Vec<_> = d.clusters().into_iter().filter(|c| c.len() > 1).collect();
+        assert_eq!(nontrivial.len(), 2);
+    }
+
+    #[test]
+    fn deletions_prune_vertices_into_singletons() {
+        let g = generators::random_regular_ugraph(32, 6, 4);
+        let mut d = DynamicVertexDecomposition::new(32, 0.2, 5);
+        let mut t = Tracker::new();
+        let keys = d.insert_edges(&mut t, g.edges());
+        // delete one vertex's entire star
+        let target = 7usize;
+        let star: Vec<EdgeKey> = g
+            .neighbors(target)
+            .iter()
+            .map(|&(_, e)| keys[e])
+            .collect();
+        d.delete_edges(&mut t, &star);
+        check_invariants(
+            &d,
+            &g.edges()
+                .iter()
+                .enumerate()
+                .filter(|&(e, _)| !star.contains(&keys[e]))
+                .map(|(_, &x)| x)
+                .collect::<Vec<_>>(),
+        );
+        // the detached vertex must be a singleton cluster
+        let c = d.cluster_of[target];
+        assert_eq!(d.clusters[c].verts, vec![target]);
+    }
+
+    #[test]
+    fn clusters_are_expanders() {
+        let g = generators::gnm_ugraph(40, 200, 6);
+        let mut d = DynamicVertexDecomposition::new(40, 0.1, 7);
+        let mut t = Tracker::new();
+        let _ = d.insert_edges(&mut t, g.edges());
+        for cluster in d.clusters() {
+            if cluster.len() < 4 {
+                continue;
+            }
+            let mut keep = vec![false; 40];
+            for &v in &cluster {
+                keep[v] = true;
+            }
+            let (sub, _) = g.induced(&keep);
+            assert!(
+                find_sparse_cut(&sub, 0.03, 9).is_none(),
+                "cluster of {} vertices has a sparse cut",
+                cluster.len()
+            );
+        }
+    }
+}

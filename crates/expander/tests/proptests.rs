@@ -1,0 +1,114 @@
+//! Property-based tests of the expander machinery.
+
+use pmcf_expander::boosting::BatchCounter;
+use pmcf_expander::conductance::{cut_conductance, exact_conductance, find_sparse_cut, sweep_cut, approx_fiedler};
+use pmcf_expander::static_decomp::{check_decomposition, edge_decompose};
+use pmcf_expander::trimming::Trimmer;
+use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
+use pmcf_graph::{generators, UGraph};
+use pmcf_pram::Tracker;
+use proptest::prelude::*;
+
+fn arb_ugraph(n: usize, max_m: usize) -> impl Strategy<Value = UGraph> {
+    prop::collection::vec((0..n, 0..n), 1..max_m)
+        .prop_map(move |edges| UGraph::from_edges(n, edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sweep_cut_value_is_consistent(g in arb_ugraph(10, 30), seed in 0u64..50) {
+        let x = approx_fiedler(&g, 30, seed);
+        if let Some((mask, phi)) = sweep_cut(&g, &x) {
+            let direct = cut_conductance(&g, &mask).unwrap();
+            prop_assert!((direct - phi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn found_cut_never_beats_exact_optimum(g in arb_ugraph(9, 20), seed in 0u64..30) {
+        if let (Some(best), Some((_, phi))) = (exact_conductance(&g), find_sparse_cut(&g, 1.0, seed)) {
+            prop_assert!(phi >= best - 1e-12, "found {} below optimum {}", phi, best);
+        }
+    }
+
+    #[test]
+    fn edge_decomposition_always_partitions(g in arb_ugraph(16, 60), seed in 0u64..30) {
+        let mut t = Tracker::new();
+        let parts = edge_decompose(&mut t, &g, 0.1, seed);
+        // partition + multiplicity bound (loose); expansion check on the
+        // small side of the budget
+        check_decomposition(&g, &parts, 0.01, 64, seed).unwrap();
+    }
+
+    #[test]
+    fn batch_counter_preserves_and_bounds(batches in prop::collection::vec(prop::collection::vec(0usize..1000, 0..6), 1..80), base in 2usize..6) {
+        let mut c = BatchCounter::new(base);
+        let mut expect = Vec::new();
+        for b in &batches {
+            c.push(b.clone());
+            expect.extend(b.iter().copied());
+        }
+        let mut flat: Vec<usize> = c.groups().flatten().copied().collect();
+        let mut want = expect;
+        flat.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(flat, want);
+        // group count logarithmic-ish
+        let bound = (base - 1) * (64 - (batches.len() as u64).leading_zeros() as usize + 2);
+        prop_assert!(c.num_groups() <= bound, "{} groups for {} batches", c.num_groups(), batches.len());
+    }
+
+    #[test]
+    fn unit_flow_conserves_under_arbitrary_demands(
+        demands in prop::collection::vec((0usize..32, 0.5f64..6.0), 1..8),
+        seed in 0u64..20,
+    ) {
+        let g = generators::random_regular_ugraph(32, 6, seed);
+        let alive = vec![true; 32];
+        let edge_ok = vec![true; g.m()];
+        let p = UnitFlowProblem { g: &g, alive: &alive, edge_ok: &edge_ok, cap: 8.0, height: 20 };
+        let mut s = UnitFlowState::new(32, g.m());
+        let mut t = Tracker::new();
+        let _ = parallel_unit_flow(&mut t, &p, &mut s, &demands, 0.4, 20_000);
+        // conservation: Δ + net inflow == absorbed + excess at every vertex
+        let mut net = vec![0.0f64; 32];
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            net[u] -= s.flow[e];
+            net[v] += s.flow[e];
+        }
+        for &(v, amt) in &demands {
+            net[v] += amt;
+        }
+        for v in 0..32 {
+            prop_assert!((net[v] - (s.absorbed[v] + s.excess[v])).abs() < 1e-9);
+        }
+        // capacity bounds
+        prop_assert!(s.flow.iter().all(|f| f.abs() <= 8.0 + 1e-9));
+    }
+
+    #[test]
+    fn trimmer_never_resurrects(batches in prop::collection::vec(prop::collection::vec(0usize..96, 1..4), 1..6)) {
+        let g = generators::random_regular_ugraph(32, 6, 3);
+        let mut tr = Trimmer::new(g, 0.2);
+        let mut t = Tracker::new();
+        let mut dead_edges = std::collections::HashSet::new();
+        let mut dead_verts = std::collections::HashSet::new();
+        for batch in &batches {
+            let r = tr.delete_batch(&mut t, batch);
+            for &e in batch {
+                dead_edges.insert(e);
+            }
+            for &v in &r.removed {
+                prop_assert!(dead_verts.insert(v), "vertex {} pruned twice", v);
+            }
+            for &e in &dead_edges {
+                prop_assert!(!tr.edge_alive(e), "deleted edge {} alive again", e);
+            }
+            for &v in &dead_verts {
+                prop_assert!(!tr.is_alive(v), "pruned vertex {} alive again", v);
+            }
+        }
+    }
+}

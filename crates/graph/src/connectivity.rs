@@ -1,0 +1,126 @@
+//! Parallel connected components by pointer-jumping label propagation —
+//! the `Õ(m)`-work, `Õ(log² n)`-depth folklore routine the decomposition
+//! stack leans on (component splits are zero-conductance cuts, and the
+//! robust IPM checks sparsifier connectivity every iteration).
+
+use crate::UGraph;
+use pmcf_pram::{Cost, Tracker};
+
+/// Connected components with PRAM accounting: returns
+/// `(component label per vertex, component count)`. Labels are the
+/// minimum vertex id of each component (canonical, comparable across
+/// runs).
+pub fn parallel_components(t: &mut Tracker, g: &UGraph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut label: Vec<usize> = (0..n).collect();
+    t.charge(Cost::par_flat(n as u64));
+    // Label propagation: each round every vertex takes the min label in
+    // its closed neighborhood, then pointer-jumps. O(log n) rounds on
+    // typical graphs; worst case (paths) O(diameter) propagation is
+    // avoided by the pointer-jumping (label[label[v]]) contraction.
+    let max_rounds = 2 * (64 - (n.max(2) as u64).leading_zeros() as usize) + 4;
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        // hook: adopt smaller neighbor labels
+        let mut next = label.clone();
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            let _ = e;
+            let lu = label[u];
+            let lv = label[v];
+            if lu < next[v] {
+                next[v] = lu;
+            }
+            if lv < next[u] {
+                next[u] = lv;
+            }
+        }
+        t.charge(Cost::par_flat(g.m() as u64));
+        // pointer jumping: compress label chains
+        for v in 0..n {
+            let mut l = next[v];
+            while next[l] < l {
+                l = next[l];
+            }
+            if l != label[v] {
+                changed = true;
+            }
+            next[v] = l;
+        }
+        t.charge(Cost::par_flat(n as u64));
+        label = next;
+        if !changed {
+            break;
+        }
+    }
+    // final compression + count
+    let mut roots: Vec<usize> = label
+        .iter()
+        .enumerate()
+        .filter(|&(v, &l)| v == l)
+        .map(|(v, _)| v)
+        .collect();
+    roots.sort_unstable();
+    let count = roots.len();
+    t.charge(Cost::sort(count as u64));
+    (label, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn agree_with_sequential(g: &UGraph) {
+        let (seq, seq_count) = g.components();
+        let mut t = Tracker::new();
+        let (par, par_count) = parallel_components(&mut t, g);
+        assert_eq!(seq_count, par_count);
+        // same partition (labels may differ; compare as equivalences)
+        for &(u, v) in g.edges() {
+            assert_eq!(par[u], par[v]);
+        }
+        for a in 0..g.n() {
+            for b in 0..g.n() {
+                assert_eq!(seq[a] == seq[b], par[a] == par[b], "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        for seed in 0..5 {
+            agree_with_sequential(&generators::gnm_ugraph(24, 40, seed));
+        }
+    }
+
+    #[test]
+    fn handles_isolated_vertices_and_fragments() {
+        let g = UGraph::from_edges(8, vec![(0, 1), (2, 3), (3, 4)]);
+        agree_with_sequential(&g);
+        let mut t = Tracker::new();
+        let (_, count) = parallel_components(&mut t, &g);
+        assert_eq!(count, 5); // {0,1},{2,3,4},{5},{6},{7}
+    }
+
+    #[test]
+    fn long_path_converges_within_round_budget() {
+        let edges: Vec<(usize, usize)> = (0..499).map(|i| (i, i + 1)).collect();
+        let g = UGraph::from_edges(500, edges);
+        let mut t = Tracker::new();
+        let (label, count) = parallel_components(&mut t, &g);
+        assert_eq!(count, 1);
+        assert!(label.iter().all(|&l| l == 0));
+        // depth must stay polylog-ish, not Θ(n)
+        assert!(t.depth() < 2_000, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn labels_are_canonical_minima() {
+        let g = UGraph::from_edges(6, vec![(4, 5), (1, 2)]);
+        let mut t = Tracker::new();
+        let (label, _) = parallel_components(&mut t, &g);
+        assert_eq!(label[5], 4);
+        assert_eq!(label[2], 1);
+        assert_eq!(label[0], 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! A CSR directed multigraph.
+
+use crate::{EdgeId, Vertex};
+
+/// A directed multigraph in compressed-sparse-row form.
+///
+/// Edges are identified by insertion order; parallel edges and self loops
+/// are permitted (self loops are useless for flow but harmless).
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    n: usize,
+    /// `(tail, head)` per edge, in id order.
+    edges: Vec<(Vertex, Vertex)>,
+    /// CSR offsets into `out_list` per vertex.
+    out_off: Vec<usize>,
+    /// Edge ids ordered by tail vertex.
+    out_list: Vec<EdgeId>,
+    /// CSR offsets into `in_list` per vertex.
+    in_off: Vec<usize>,
+    /// Edge ids ordered by head vertex.
+    in_list: Vec<EdgeId>,
+}
+
+impl DiGraph {
+    /// Build from an edge list over `n` vertices.
+    ///
+    /// Panics if any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: Vec<(Vertex, Vertex)>) -> Self {
+        for &(u, v) in &edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+        }
+        let m = edges.len();
+        let mut out_deg = vec![0usize; n];
+        let mut in_deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            out_deg[u] += 1;
+            in_deg[v] += 1;
+        }
+        let mut out_off = vec![0usize; n + 1];
+        let mut in_off = vec![0usize; n + 1];
+        for v in 0..n {
+            out_off[v + 1] = out_off[v] + out_deg[v];
+            in_off[v + 1] = in_off[v] + in_deg[v];
+        }
+        let mut out_list = vec![0 as EdgeId; m];
+        let mut in_list = vec![0 as EdgeId; m];
+        let mut out_cur = out_off.clone();
+        let mut in_cur = in_off.clone();
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            out_list[out_cur[u]] = e;
+            out_cur[u] += 1;
+            in_list[in_cur[v]] = e;
+            in_cur[v] += 1;
+        }
+        DiGraph {
+            n,
+            edges,
+            out_off,
+            out_list,
+            in_off,
+            in_list,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `(tail, head)` of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (Vertex, Vertex) {
+        self.edges[e]
+    }
+
+    /// Tail of edge `e`.
+    #[inline]
+    pub fn tail(&self, e: EdgeId) -> Vertex {
+        self.edges[e].0
+    }
+
+    /// Head of edge `e`.
+    #[inline]
+    pub fn head(&self, e: EdgeId) -> Vertex {
+        self.edges[e].1
+    }
+
+    /// All edges as a slice of `(tail, head)` pairs.
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        &self.edges
+    }
+
+    /// Ids of edges leaving `v`.
+    pub fn out_edges(&self, v: Vertex) -> &[EdgeId] {
+        &self.out_list[self.out_off[v]..self.out_off[v + 1]]
+    }
+
+    /// Ids of edges entering `v`.
+    pub fn in_edges(&self, v: Vertex) -> &[EdgeId] {
+        &self.in_list[self.in_off[v]..self.in_off[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: Vertex) -> usize {
+        self.out_off[v + 1] - self.out_off[v]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: Vertex) -> usize {
+        self.in_off[v + 1] - self.in_off[v]
+    }
+
+    /// Total degree (in + out) of `v`.
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// The reverse graph (every edge flipped, same edge ids).
+    pub fn reversed(&self) -> DiGraph {
+        DiGraph::from_edges(self.n, self.edges.iter().map(|&(u, v)| (v, u)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let g = diamond();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.out_edges(0), &[0, 1]);
+        assert_eq!(g.in_edges(3), &[2, 3]);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.endpoints(2), (1, 3));
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let g = diamond().reversed();
+        assert_eq!(g.endpoints(0), (1, 0));
+        assert_eq!(g.out_edges(3), &[2, 3]);
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_allowed() {
+        let g = DiGraph::from_edges(2, vec![(0, 1), (0, 1), (1, 1)]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(1), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        DiGraph::from_edges(2, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(3, vec![]);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.out_edges(1), &[] as &[EdgeId]);
+    }
+}

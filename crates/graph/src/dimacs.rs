@@ -1,0 +1,221 @@
+//! DIMACS min-cost flow format I/O.
+//!
+//! The standard interchange format of the DIMACS implementation
+//! challenges (`p min`, `n <id> <flow>`, `a <src> <dst> <low> <cap>
+//! <cost>`), so instances from existing benchmark suites can be fed to
+//! the solver and solutions exported. Vertices are 1-based in the file,
+//! 0-based in memory. Lower bounds must be zero (the LP form used
+//! throughout the paper).
+
+use crate::problem::{Flow, McfProblem};
+use crate::DiGraph;
+
+/// Parse a DIMACS `min` instance from a string.
+///
+/// Returns a descriptive error for malformed input.
+///
+/// ```
+/// let text = "p min 2 1\nn 1 3\nn 2 -3\na 1 2 0 5 7\n";
+/// let p = pmcf_graph::dimacs::parse_min(text).unwrap();
+/// assert_eq!(p.n(), 2);
+/// assert_eq!(p.demand, vec![-3, 3]); // DIMACS supply → net-inflow demand
+/// assert_eq!(pmcf_graph::dimacs::parse_min(&pmcf_graph::dimacs::write_min(&p)).unwrap().cap, vec![5]);
+/// ```
+pub fn parse_min(input: &str) -> Result<McfProblem, String> {
+    let mut n: Option<usize> = None;
+    let mut m_declared: Option<usize> = None;
+    let mut edges = Vec::new();
+    let mut cap = Vec::new();
+    let mut cost = Vec::new();
+    let mut demand: Vec<i64> = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let mut it = line.split_whitespace();
+        let Some(tag) = it.next() else { continue };
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        match tag {
+            "c" => {} // comment
+            "p" => {
+                if it.next() != Some("min") {
+                    return Err(err("expected 'p min <n> <m>'"));
+                }
+                let nn: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad vertex count"))?;
+                let m: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad edge count"))?;
+                m_declared = Some(m);
+                n = Some(nn);
+                demand = vec![0; nn];
+            }
+            "n" => {
+                let n = n.ok_or_else(|| err("'n' before 'p'"))?;
+                let v: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad node id"))?;
+                let b: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad node supply"))?;
+                if v == 0 || v > n {
+                    return Err(err("node id out of range"));
+                }
+                // DIMACS supply > 0 means the node SENDS flow; our demand
+                // convention is net inflow, so negate
+                demand[v - 1] = -b;
+            }
+            "a" => {
+                let n = n.ok_or_else(|| err("'a' before 'p'"))?;
+                let u: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad tail"))?;
+                let v: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad head"))?;
+                let low: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad lower bound"))?;
+                let c: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad capacity"))?;
+                let w: i64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad cost"))?;
+                if low != 0 {
+                    return Err(err("nonzero lower bounds unsupported"));
+                }
+                if u == 0 || u > n || v == 0 || v > n {
+                    return Err(err("endpoint out of range"));
+                }
+                edges.push((u - 1, v - 1));
+                cap.push(c);
+                cost.push(w);
+            }
+            _ => return Err(err("unknown line tag")),
+        }
+    }
+    let n = n.ok_or("missing 'p min' line")?;
+    if let Some(m_declared) = m_declared {
+        if edges.len() != m_declared {
+            return Err(format!(
+                "arc count mismatch: header declares {m_declared}, found {}",
+                edges.len()
+            ));
+        }
+    }
+    if demand.iter().sum::<i64>() != 0 {
+        return Err("supplies do not balance".into());
+    }
+    Ok(McfProblem::new(
+        DiGraph::from_edges(n, edges),
+        cap,
+        cost,
+        demand,
+    ))
+}
+
+/// Serialize an instance to DIMACS `min` format.
+pub fn write_min(p: &McfProblem) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("p min {} {}\n", p.n(), p.m()));
+    for (v, &b) in p.demand.iter().enumerate() {
+        if b != 0 {
+            // our net-inflow demand → DIMACS supply (negated)
+            out.push_str(&format!("n {} {}\n", v + 1, -b));
+        }
+    }
+    for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
+        out.push_str(&format!(
+            "a {} {} 0 {} {}\n",
+            u + 1,
+            v + 1,
+            p.cap[e],
+            p.cost[e]
+        ));
+    }
+    out
+}
+
+/// Serialize a solution as DIMACS flow lines (`s <cost>`, `f <u> <v> <x>`).
+pub fn write_solution(p: &McfProblem, f: &Flow) -> String {
+    let mut out = format!("s {}\n", f.cost(p));
+    for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
+        if f.x[e] != 0 {
+            out.push_str(&format!("f {} {} {}\n", u + 1, v + 1, f.x[e]));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    const SAMPLE: &str = "c sample transshipment\n\
+        p min 4 5\n\
+        n 1 4\n\
+        n 4 -4\n\
+        a 1 2 0 4 2\n\
+        a 1 3 0 2 2\n\
+        a 2 3 0 2 1\n\
+        a 2 4 0 3 3\n\
+        a 3 4 0 5 1\n";
+
+    #[test]
+    fn parse_roundtrip() {
+        let p = parse_min(SAMPLE).unwrap();
+        assert_eq!(p.n(), 4);
+        assert_eq!(p.m(), 5);
+        assert_eq!(p.demand, vec![-4, 0, 0, 4]);
+        assert_eq!(p.cap, vec![4, 2, 2, 3, 5]);
+        let text = write_min(&p);
+        let p2 = parse_min(&text).unwrap();
+        assert_eq!(p2.demand, p.demand);
+        assert_eq!(p2.cap, p.cap);
+        assert_eq!(p2.cost, p.cost);
+        assert_eq!(p2.graph.edges(), p.graph.edges());
+    }
+
+    #[test]
+    fn generated_instances_roundtrip() {
+        for seed in 0..4 {
+            let p = generators::random_mcf(12, 40, 9, 7, seed);
+            let p2 = parse_min(&write_min(&p)).unwrap();
+            assert_eq!(p2.demand, p.demand);
+            assert_eq!(p2.cost, p.cost);
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(parse_min("p max 3 1\na 1 2 0 1 1\n").is_err());
+        assert!(parse_min("a 1 2 0 1 1\n").is_err(), "'a' before 'p'");
+        assert!(parse_min("p min 2 1\na 1 3 0 1 1\n").is_err(), "range");
+        assert!(parse_min("p min 2 1\na 1 2 1 5 1\n").is_err(), "lower bound");
+        assert!(parse_min("p min 2 1\nn 1 5\na 1 2 0 1 1\n").is_err(), "unbalanced");
+        assert!(parse_min("p min 2 1\nz 1\n").is_err(), "unknown tag");
+        assert!(
+            parse_min("p min 2 3\na 1 2 0 1 1\n").is_err(),
+            "arc count mismatch"
+        );
+    }
+
+    #[test]
+    fn solution_serialization() {
+        let p = parse_min(SAMPLE).unwrap();
+        let f = Flow { x: vec![3, 1, 1, 2, 2] };
+        let s = write_solution(&p, &f);
+        assert!(s.starts_with("s "));
+        assert!(s.contains("f 1 2 3"));
+        assert!(!s.contains("f 9"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Matrix-free application of the edge-vertex incidence matrix.
+//!
+//! For a directed graph, `A ∈ {-1,0,1}^{m×n}` has `A[e, tail(e)] = -1`
+//! and `A[e, head(e)] = +1` (paper, Appendix A "Graph Matrices"). The IPM
+//! only ever needs `A h` (a per-edge potential difference), `Aᵀ x` (a
+//! per-vertex net inflow), and the SDD matvec `Aᵀ D A y`. All are applied
+//! matrix-free off the CSR graph with PRAM costs charged to the tracker.
+//!
+//! The IPM requires `A` to have full rank, achieved by deleting one
+//! column (the *grounded* vertex, paper Fact 7.3 of [vdBLL+21]). We keep
+//! n-dimensional vectors and pin the grounded coordinate to zero, which
+//! is algebraically identical.
+
+use crate::DiGraph;
+use pmcf_pram::{Cost, Tracker};
+use rayon::prelude::*;
+
+/// Threshold below which sequential loops are used (model cost unchanged).
+const SEQ_CUTOFF: usize = 4096;
+
+/// `(A h)_e = h[head(e)] - h[tail(e)]` for every edge.
+pub fn apply_a(t: &mut Tracker, g: &DiGraph, h: &[f64]) -> Vec<f64> {
+    assert_eq!(h.len(), g.n());
+    t.charge(Cost::par_flat(g.m() as u64));
+    let edges = g.edges();
+    if edges.len() < SEQ_CUTOFF {
+        edges.iter().map(|&(u, v)| h[v] - h[u]).collect()
+    } else {
+        edges.par_iter().map(|&(u, v)| h[v] - h[u]).collect()
+    }
+}
+
+/// `(Aᵀ x)_v = Σ_{e into v} x_e − Σ_{e out of v} x_e` for every vertex.
+///
+/// Parallel over vertices using the CSR in/out lists (no atomics needed).
+pub fn apply_at(t: &mut Tracker, g: &DiGraph, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), g.m());
+    // Each vertex sums over its incident edges: total work Θ(m), depth
+    // O(log max-degree) for the per-vertex reduction.
+    t.charge(Cost::new(
+        (g.m() as u64) * 2 + g.n() as u64,
+        pmcf_pram::par_depth(g.n() as u64) + pmcf_pram::log2_ceil(g.m() as u64 + 1),
+    ));
+    let body = |v: usize| -> f64 {
+        let mut acc = 0.0;
+        for &e in g.in_edges(v) {
+            acc += x[e];
+        }
+        for &e in g.out_edges(v) {
+            acc -= x[e];
+        }
+        acc
+    };
+    if g.n() < SEQ_CUTOFF {
+        (0..g.n()).map(body).collect()
+    } else {
+        (0..g.n()).into_par_iter().map(body).collect()
+    }
+}
+
+/// The SDD / grounded-Laplacian matvec `y ↦ Aᵀ D A y`, where `D = diag(d)`
+/// with positive entries and the `ground` coordinate of input and output
+/// is pinned to zero (column-deleted `A`).
+pub fn apply_laplacian(
+    t: &mut Tracker,
+    g: &DiGraph,
+    d: &[f64],
+    ground: usize,
+    y: &[f64],
+) -> Vec<f64> {
+    assert_eq!(d.len(), g.m());
+    assert_eq!(y.len(), g.n());
+    debug_assert!(y[ground] == 0.0, "grounded coordinate must be zero");
+    let mut ay = apply_a(t, g, y);
+    t.charge(Cost::par_flat(g.m() as u64));
+    if ay.len() < SEQ_CUTOFF {
+        for (a, w) in ay.iter_mut().zip(d) {
+            *a *= w;
+        }
+    } else {
+        ay.par_iter_mut().zip(d.par_iter()).for_each(|(a, w)| *a *= w);
+    }
+    let mut out = apply_at(t, g, &ay);
+    out[ground] = 0.0;
+    out
+}
+
+/// Dense representation of `Aᵀ D A` with the grounded row/column zeroed
+/// except for a 1 on the diagonal (for small-instance test oracles).
+pub fn dense_grounded_laplacian(g: &DiGraph, d: &[f64], ground: usize) -> Vec<Vec<f64>> {
+    let n = g.n();
+    let mut l = vec![vec![0.0; n]; n];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        let w = d[e];
+        l[u][u] += w;
+        l[v][v] += w;
+        l[u][v] -= w;
+        l[v][u] -= w;
+    }
+    for i in 0..n {
+        l[ground][i] = 0.0;
+        l[i][ground] = 0.0;
+    }
+    l[ground][ground] = 1.0;
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn apply_a_is_potential_difference() {
+        let g = diamond();
+        let mut t = Tracker::new();
+        let h = vec![0.0, 1.0, 2.0, 3.0];
+        let ah = apply_a(&mut t, &g, &h);
+        assert_eq!(ah, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(t.work() >= 4);
+    }
+
+    #[test]
+    fn apply_at_is_net_inflow() {
+        let g = diamond();
+        let mut t = Tracker::new();
+        let x = vec![1.0, 2.0, 1.0, 2.0];
+        let atx = apply_at(&mut t, &g, &x);
+        // vertex 0: -1-2 = -3; vertex 1: +1-1 = 0; vertex 2: +2-2 = 0; vertex 3: +1+2 = 3
+        assert_eq!(atx, vec![-3.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn a_and_at_are_adjoint() {
+        // <A h, x> == <h, A^T x>
+        let g = diamond();
+        let mut t = Tracker::new();
+        let h = vec![0.5, -1.0, 2.0, 0.25];
+        let x = vec![1.0, -2.0, 3.0, 0.5];
+        let ah = apply_a(&mut t, &g, &h);
+        let atx = apply_at(&mut t, &g, &x);
+        let lhs: f64 = ah.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let rhs: f64 = h.iter().zip(&atx).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_matvec_matches_dense() {
+        let g = diamond();
+        let mut t = Tracker::new();
+        let d = vec![1.0, 2.0, 3.0, 4.0];
+        let ground = 0;
+        let mut y = vec![0.0, 1.0, -1.0, 2.0];
+        y[ground] = 0.0;
+        let got = apply_laplacian(&mut t, &g, &d, ground, &y);
+        let dense = dense_grounded_laplacian(&g, &d, ground);
+        for i in 0..4 {
+            let want: f64 = (0..4).map(|j| dense[i][j] * y[j]).sum();
+            if i == ground {
+                assert_eq!(got[i], 0.0);
+            } else {
+                assert!((got[i] - want).abs() < 1e-12, "row {i}: {} vs {want}", got[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_annihilates_constants_when_ungrounded() {
+        // A * 1 = 0, so A^T D A 1 = 0 (check via per-coordinate identity
+        // before grounding).
+        let g = diamond();
+        let mut t = Tracker::new();
+        let ones = vec![1.0; 4];
+        let a1 = apply_a(&mut t, &g, &ones);
+        assert!(a1.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # pmcf-graph — graph types, generators, and flow problems
+//!
+//! Shared substrate for the whole workspace:
+//!
+//! * [`digraph::DiGraph`] — a CSR directed multigraph,
+//! * [`undirected::UGraph`] — an undirected multigraph with edge ids and
+//!   adjacency lists, the representation Section 3 of the paper works on,
+//! * [`incidence`] — the edge-vertex incidence operator `A` of the
+//!   min-cost flow LP, applied matrix-free,
+//! * [`problem`] — the [`problem::McfProblem`] LP
+//!   (`min cᵀx  s.t.  Aᵀx = b, 0 ≤ x ≤ u`), flows, and validators,
+//! * [`generators`] — seeded instance generators used by tests, examples
+//!   and the experiment harnesses (dense G(n,m), bipartite, high-diameter
+//!   chained cliques, grids, feasibility-guaranteed flow instances).
+
+pub mod digraph;
+pub mod connectivity;
+pub mod dimacs;
+pub mod generators;
+pub mod incidence;
+pub mod problem;
+pub mod undirected;
+
+pub use digraph::DiGraph;
+pub use problem::{Flow, McfProblem};
+pub use undirected::UGraph;
+
+/// Vertex index.
+pub type Vertex = usize;
+/// Edge index.
+pub type EdgeId = usize;

@@ -1,0 +1,297 @@
+//! The minimum-cost flow problem and its solutions.
+//!
+//! The LP (paper §2.2):
+//!
+//! ```text
+//!   min cᵀx   subject to   Aᵀx = b,   0 ≤ x ≤ u
+//! ```
+//!
+//! with integer capacities `u ≥ 0`, integer costs `c`, and an integer
+//! demand vector `b` with `Σ b = 0`. Our sign convention: `b_v` is the
+//! required *net inflow* at `v` (so an s-t flow of value `F` has
+//! `b_s = -F`, `b_t = +F`).
+
+use crate::DiGraph;
+
+/// A minimum-cost flow instance.
+#[derive(Clone, Debug)]
+pub struct McfProblem {
+    /// Underlying directed graph.
+    pub graph: DiGraph,
+    /// Edge capacities `u ≥ 0`.
+    pub cap: Vec<i64>,
+    /// Edge costs `c` (may be negative).
+    pub cost: Vec<i64>,
+    /// Required net inflow per vertex; sums to zero.
+    pub demand: Vec<i64>,
+}
+
+impl McfProblem {
+    /// Construct and validate an instance.
+    pub fn new(graph: DiGraph, cap: Vec<i64>, cost: Vec<i64>, demand: Vec<i64>) -> Self {
+        assert_eq!(cap.len(), graph.m(), "capacity per edge");
+        assert_eq!(cost.len(), graph.m(), "cost per edge");
+        assert_eq!(demand.len(), graph.n(), "demand per vertex");
+        assert!(cap.iter().all(|&u| u >= 0), "capacities must be ≥ 0");
+        assert_eq!(demand.iter().sum::<i64>(), 0, "demands must sum to zero");
+        McfProblem {
+            graph,
+            cap,
+            cost,
+            demand,
+        }
+    }
+
+    /// A min-cost *circulation* instance (all demands zero).
+    pub fn circulation(graph: DiGraph, cap: Vec<i64>, cost: Vec<i64>) -> Self {
+        let n = graph.n();
+        McfProblem::new(graph, cap, cost, vec![0; n])
+    }
+
+    /// The classic reduction of s-t **max flow** to min-cost circulation:
+    /// add a `t → s` back edge of capacity `Σu` and cost `-1`; all original
+    /// edges get cost `0`. The optimal circulation saturates the back edge
+    /// as much as possible, i.e. routes a maximum s-t flow; its value is
+    /// the flow on the back edge (equivalently, `-cost`).
+    ///
+    /// Returns the instance and the id of the back edge.
+    pub fn max_flow(graph: &DiGraph, cap: &[i64], s: usize, t: usize) -> (Self, usize) {
+        assert_eq!(cap.len(), graph.m());
+        assert_ne!(s, t, "source and sink must differ");
+        let total: i64 = cap.iter().sum();
+        let mut edges = graph.edges().to_vec();
+        edges.push((t, s));
+        let back = edges.len() - 1;
+        let g2 = DiGraph::from_edges(graph.n(), edges);
+        let mut cap2 = cap.to_vec();
+        cap2.push(total.max(1));
+        let mut cost2 = vec![0i64; cap.len()];
+        cost2.push(-1);
+        (McfProblem::circulation(g2, cap2, cost2), back)
+    }
+
+    /// Minimum-cost *maximum* s-t flow: first maximize the s-t value, then
+    /// minimize cost among maximum flows. Standard reduction: back edge
+    /// `t → s` with cost `-M` where `M = 1 + Σ|c|·(scale)` dominates every
+    /// achievable cost difference, original costs kept.
+    ///
+    /// Returns the instance and the id of the back edge.
+    pub fn min_cost_max_flow(
+        graph: &DiGraph,
+        cap: &[i64],
+        cost: &[i64],
+        s: usize,
+        t: usize,
+    ) -> (Self, usize) {
+        assert_eq!(cap.len(), graph.m());
+        assert_eq!(cost.len(), graph.m());
+        assert_ne!(s, t);
+        let total_cap: i64 = cap.iter().sum();
+        // Any circulation's cost magnitude is at most Σ_e |c_e| u_e; one
+        // extra unit on the back edge must beat all of it.
+        let big: i64 = 1 + cost
+            .iter()
+            .zip(cap)
+            .map(|(&c, &u)| c.unsigned_abs() as i64 * u)
+            .sum::<i64>();
+        let mut edges = graph.edges().to_vec();
+        edges.push((t, s));
+        let back = edges.len() - 1;
+        let g2 = DiGraph::from_edges(graph.n(), edges);
+        let mut cap2 = cap.to_vec();
+        cap2.push(total_cap.max(1));
+        let mut cost2 = cost.to_vec();
+        cost2.push(-big);
+        (McfProblem::circulation(g2, cap2, cost2), back)
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.graph.m()
+    }
+
+    /// Largest capacity `W = ‖u‖_∞`.
+    pub fn max_cap(&self) -> i64 {
+        self.cap.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest cost magnitude `C = ‖c‖_∞`.
+    pub fn max_cost(&self) -> i64 {
+        self.cost.iter().map(|c| c.abs()).max().unwrap_or(0)
+    }
+
+    /// Net inflow at every vertex under flow `x` minus the demand
+    /// (all-zero iff `x` satisfies conservation).
+    pub fn imbalance(&self, x: &[i64]) -> Vec<i64> {
+        assert_eq!(x.len(), self.m());
+        let mut im: Vec<i64> = self.demand.iter().map(|&d| -d).collect();
+        for (e, &(u, v)) in self.graph.edges().iter().enumerate() {
+            im[u] -= x[e];
+            im[v] += x[e];
+        }
+        im
+    }
+}
+
+/// An integral flow assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Flow {
+    /// Flow per edge.
+    pub x: Vec<i64>,
+}
+
+impl Flow {
+    /// Zero flow for an `m`-edge instance.
+    pub fn zero(m: usize) -> Self {
+        Flow { x: vec![0; m] }
+    }
+
+    /// Total cost `cᵀx`.
+    pub fn cost(&self, p: &McfProblem) -> i64 {
+        self.x.iter().zip(&p.cost).map(|(&x, &c)| x * c).sum()
+    }
+
+    /// Check capacity bounds and conservation against the instance.
+    pub fn is_feasible(&self, p: &McfProblem) -> bool {
+        if self.x.len() != p.m() {
+            return false;
+        }
+        if self
+            .x
+            .iter()
+            .zip(&p.cap)
+            .any(|(&x, &u)| x < 0 || x > u)
+        {
+            return false;
+        }
+        p.imbalance(&self.x).iter().all(|&b| b == 0)
+    }
+
+    /// For an instance built by [`McfProblem::max_flow`] /
+    /// [`McfProblem::min_cost_max_flow`], the s-t flow value (= flow on the
+    /// back edge).
+    pub fn st_value(&self, back_edge: usize) -> i64 {
+        self.x[back_edge]
+    }
+}
+
+/// A fractional (LP-interior) flow, as maintained by the IPM.
+#[derive(Clone, Debug)]
+pub struct FractionalFlow {
+    /// Flow per edge.
+    pub x: Vec<f64>,
+}
+
+impl FractionalFlow {
+    /// Total cost `cᵀx`.
+    pub fn cost(&self, p: &McfProblem) -> f64 {
+        self.x
+            .iter()
+            .zip(&p.cost)
+            .map(|(&x, &c)| x * c as f64)
+            .sum()
+    }
+
+    /// Max violation of `0 ≤ x ≤ u` and of conservation.
+    pub fn infeasibility(&self, p: &McfProblem) -> f64 {
+        let mut worst: f64 = 0.0;
+        for (e, &x) in self.x.iter().enumerate() {
+            worst = worst.max(-x).max(x - p.cap[e] as f64);
+        }
+        let mut im: Vec<f64> = p.demand.iter().map(|&d| -d as f64).collect();
+        for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
+            im[u] -= self.x[e];
+            im[v] += self.x[e];
+        }
+        for b in im {
+            worst = worst.max(b.abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond_problem() -> McfProblem {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+        McfProblem::new(
+            g,
+            vec![2, 2, 2, 2],
+            vec![1, 3, 1, 3],
+            vec![-2, 0, 0, 2],
+        )
+    }
+
+    #[test]
+    fn feasibility_checks() {
+        let p = diamond_problem();
+        let good = Flow { x: vec![1, 1, 1, 1] };
+        assert!(good.is_feasible(&p));
+        assert_eq!(good.cost(&p), 8);
+        let cheap = Flow { x: vec![2, 0, 2, 0] };
+        assert!(cheap.is_feasible(&p));
+        assert_eq!(cheap.cost(&p), 4);
+        let over = Flow { x: vec![3, 0, 3, 0] };
+        assert!(!over.is_feasible(&p)); // capacity violated
+        let unbalanced = Flow { x: vec![2, 0, 0, 0] };
+        assert!(!unbalanced.is_feasible(&p)); // conservation violated
+    }
+
+    #[test]
+    fn imbalance_zero_iff_conserving() {
+        let p = diamond_problem();
+        assert_eq!(p.imbalance(&[2, 0, 2, 0]), vec![0, 0, 0, 0]);
+        assert_eq!(p.imbalance(&[2, 0, 1, 0]), vec![0, 1, 0, -1]);
+    }
+
+    #[test]
+    fn max_flow_reduction_structure() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let (p, back) = McfProblem::max_flow(&g, &[5, 3], 0, 2);
+        assert_eq!(p.m(), 3);
+        assert_eq!(back, 2);
+        assert_eq!(p.graph.endpoints(back), (2, 0));
+        assert_eq!(p.cost[back], -1);
+        assert_eq!(p.cost[0], 0);
+        assert!(p.cap[back] >= 8);
+        // circulation pushing 3 everywhere is feasible and has value 3
+        let f = Flow { x: vec![3, 3, 3] };
+        assert!(f.is_feasible(&p));
+        assert_eq!(f.st_value(back), 3);
+    }
+
+    #[test]
+    fn min_cost_max_flow_big_m_dominates() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let (p, back) = McfProblem::min_cost_max_flow(&g, &[5, 3], &[7, 9], 0, 2);
+        // |back cost| must exceed max possible routing cost 5*7+3*9 = 62
+        assert!(p.cost[back] < -62);
+    }
+
+    #[test]
+    fn fractional_infeasibility() {
+        let p = diamond_problem();
+        let f = FractionalFlow {
+            x: vec![1.0, 1.0, 1.0, 1.0],
+        };
+        assert!(f.infeasibility(&p) < 1e-12);
+        let g = FractionalFlow {
+            x: vec![2.5, 0.0, 2.0, 0.0],
+        };
+        assert!(g.infeasibility(&p) >= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to zero")]
+    fn unbalanced_demand_rejected() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        McfProblem::new(g, vec![1], vec![1], vec![1, 1]);
+    }
+}

@@ -1,0 +1,199 @@
+//! An undirected multigraph with stable edge ids.
+//!
+//! This is the representation the expander machinery (paper Section 3)
+//! operates on: adjacency lists of `(neighbor, edge_id)` pairs, volumes
+//! (degree sums), and induced/filtered subgraph construction.
+
+use crate::{EdgeId, Vertex};
+
+/// Undirected multigraph. Self loops contribute 2 to the degree.
+#[derive(Clone, Debug)]
+pub struct UGraph {
+    n: usize,
+    edges: Vec<(Vertex, Vertex)>,
+    adj: Vec<Vec<(Vertex, EdgeId)>>,
+}
+
+impl UGraph {
+    /// Build from an edge list over `n` vertices.
+    pub fn from_edges(n: usize, edges: Vec<(Vertex, Vertex)>) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for (e, &(u, v)) in edges.iter().enumerate() {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            adj[u].push((v, e));
+            if u != v {
+                adj[v].push((u, e));
+            } else {
+                adj[u].push((u, e)); // self loop counted twice
+            }
+        }
+        UGraph { n, edges, adj }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Endpoints of edge `e` (unordered; stored as inserted).
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (Vertex, Vertex) {
+        self.edges[e]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[(Vertex, Vertex)] {
+        &self.edges
+    }
+
+    /// `(neighbor, edge_id)` pairs incident to `v`.
+    pub fn neighbors(&self, v: Vertex) -> &[(Vertex, EdgeId)] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v` (self loops count twice).
+    pub fn degree(&self, v: Vertex) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Sum of degrees over a vertex set.
+    pub fn volume(&self, vs: &[Vertex]) -> usize {
+        vs.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Total volume `2m`.
+    pub fn total_volume(&self) -> usize {
+        2 * self.m()
+    }
+
+    /// Number of edges crossing between `inside` (a boolean mask) and its
+    /// complement.
+    pub fn cut_size(&self, inside: &[bool]) -> usize {
+        assert_eq!(inside.len(), self.n);
+        self.edges
+            .iter()
+            .filter(|&&(u, v)| inside[u] != inside[v])
+            .count()
+    }
+
+    /// The subgraph induced on `keep` (boolean mask): vertices keep their
+    /// indices, edges with both endpoints kept survive with *new* dense
+    /// edge ids; returns the mapping from new edge ids to original ids.
+    pub fn induced(&self, keep: &[bool]) -> (UGraph, Vec<EdgeId>) {
+        assert_eq!(keep.len(), self.n);
+        let mut kept_edges = Vec::new();
+        let mut orig = Vec::new();
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            if keep[u] && keep[v] {
+                kept_edges.push((u, v));
+                orig.push(e);
+            }
+        }
+        (UGraph::from_edges(self.n, kept_edges), orig)
+    }
+
+    /// Subgraph keeping only the listed edges (new dense ids); returns the
+    /// mapping from new edge ids to original ids.
+    pub fn edge_subgraph(&self, edge_ids: &[EdgeId]) -> (UGraph, Vec<EdgeId>) {
+        let edges = edge_ids.iter().map(|&e| self.edges[e]).collect();
+        (UGraph::from_edges(self.n, edges), edge_ids.to_vec())
+    }
+
+    /// Connected components; returns `(component_id_per_vertex, count)`.
+    /// Isolated vertices get their own components.
+    pub fn components(&self) -> (Vec<usize>, usize) {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut count = 0;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            comp[s] = count;
+            stack.push(s);
+            while let Some(v) = stack.pop() {
+                for &(w, _) in &self.adj[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = count;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+
+    /// Vertices with degree > 0.
+    pub fn support(&self) -> Vec<Vertex> {
+        (0..self.n).filter(|&v| self.degree(v) > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> UGraph {
+        UGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn degrees_and_volume() {
+        let g = path4();
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.volume(&[0, 1]), 3);
+        assert_eq!(g.total_volume(), 6);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let g = UGraph::from_edges(2, vec![(0, 0), (0, 1)]);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn cut_size_counts_crossing_edges() {
+        let g = path4();
+        assert_eq!(g.cut_size(&[true, true, false, false]), 1);
+        assert_eq!(g.cut_size(&[true, false, true, false]), 3);
+        assert_eq!(g.cut_size(&[true, true, true, true]), 0);
+    }
+
+    #[test]
+    fn induced_subgraph_maps_edges() {
+        let g = path4();
+        let (h, orig) = g.induced(&[true, true, true, false]);
+        assert_eq!(h.m(), 2);
+        assert_eq!(orig, vec![0, 1]);
+        assert_eq!(h.degree(3), 0);
+    }
+
+    #[test]
+    fn edge_subgraph_selects() {
+        let g = path4();
+        let (h, orig) = g.edge_subgraph(&[2]);
+        assert_eq!(h.m(), 1);
+        assert_eq!(h.endpoints(0), (2, 3));
+        assert_eq!(orig, vec![2]);
+    }
+
+    #[test]
+    fn components_found() {
+        let g = UGraph::from_edges(5, vec![(0, 1), (2, 3)]);
+        let (comp, count) = g.components();
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert_ne!(comp[4], comp[2]);
+    }
+}

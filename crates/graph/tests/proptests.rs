@@ -1,0 +1,114 @@
+//! Property-based tests of graph structures and the flow LP types.
+
+use pmcf_graph::{generators, incidence, DiGraph, Flow, McfProblem, UGraph};
+use pmcf_pram::Tracker;
+use proptest::prelude::*;
+
+fn arb_edges(n: usize, max_m: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 1..max_m)
+}
+
+proptest! {
+    #[test]
+    fn csr_degrees_match_edge_list(edges in arb_edges(12, 60)) {
+        let g = DiGraph::from_edges(12, edges.clone());
+        for v in 0..12 {
+            let out = edges.iter().filter(|&&(u, _)| u == v).count();
+            let inn = edges.iter().filter(|&&(_, w)| w == v).count();
+            prop_assert_eq!(g.out_degree(v), out);
+            prop_assert_eq!(g.in_degree(v), inn);
+        }
+        // every edge id appears exactly once in its tail's out list
+        for (e, &(u, _)) in edges.iter().enumerate() {
+            prop_assert_eq!(g.out_edges(u).iter().filter(|&&x| x == e).count(), 1);
+        }
+    }
+
+    #[test]
+    fn reversed_twice_is_identity(edges in arb_edges(10, 40)) {
+        let g = DiGraph::from_edges(10, edges);
+        let rr = g.reversed().reversed();
+        prop_assert_eq!(g.edges(), rr.edges());
+    }
+
+    #[test]
+    fn incidence_adjoint_identity(edges in arb_edges(10, 50),
+                                  h in prop::collection::vec(-10.0f64..10.0, 10),
+                                  seedx in 0u64..100) {
+        let g = DiGraph::from_edges(10, edges);
+        let mut t = Tracker::new();
+        // pseudo-random x from seed (proptest vec len must match m)
+        let x: Vec<f64> = (0..g.m()).map(|e| ((e as u64 * 2654435761 + seedx) % 17) as f64 - 8.0).collect();
+        let ah = incidence::apply_a(&mut t, &g, &h);
+        let atx = incidence::apply_at(&mut t, &g, &x);
+        let lhs: f64 = ah.iter().zip(&x).map(|(a, b)| a * b).sum();
+        let rhs: f64 = h.iter().zip(&atx).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn ugraph_volume_is_twice_edges(edges in arb_edges(14, 70)) {
+        let g = UGraph::from_edges(14, edges);
+        let total: usize = (0..14).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.m());
+        prop_assert_eq!(g.total_volume(), 2 * g.m());
+    }
+
+    #[test]
+    fn cut_size_symmetric(edges in arb_edges(10, 40), mask in prop::collection::vec(any::<bool>(), 10)) {
+        let g = UGraph::from_edges(10, edges);
+        let flipped: Vec<bool> = mask.iter().map(|b| !b).collect();
+        prop_assert_eq!(g.cut_size(&mask), g.cut_size(&flipped));
+    }
+
+    #[test]
+    fn components_partition_vertices(edges in arb_edges(12, 30)) {
+        let g = UGraph::from_edges(12, edges);
+        let (comp, count) = g.components();
+        prop_assert!(count >= 1 && count <= 12);
+        prop_assert!(comp.iter().all(|&c| c < count));
+        // vertices joined by an edge share a component
+        for &(u, v) in g.edges() {
+            prop_assert_eq!(comp[u], comp[v]);
+        }
+    }
+
+    #[test]
+    fn random_mcf_always_feasible_by_witness(n in 4usize..16, seed in 0u64..50) {
+        let m = 3 * n;
+        let p = generators::random_mcf(n, m, 6, 4, seed);
+        prop_assert_eq!(p.demand.iter().sum::<i64>(), 0);
+        // the embedded witness exists: SSP must find a feasible flow
+        let f = pmcf_baselines_stub_feasible(&p);
+        prop_assert!(f, "seed {} n {}", seed, n);
+    }
+
+    #[test]
+    fn flow_cost_is_linear(edges in arb_edges(8, 20), scale in 1i64..5) {
+        let g = DiGraph::from_edges(8, edges);
+        let m = g.m();
+        let cap = vec![10i64; m];
+        let cost: Vec<i64> = (0..m).map(|e| (e as i64 % 7) - 3).collect();
+        let p = McfProblem::circulation(g, cap, cost);
+        let x: Vec<i64> = (0..m).map(|e| (e as i64) % 3).collect();
+        let f1 = Flow { x: x.clone() };
+        let f2 = Flow { x: x.iter().map(|v| v * scale).collect() };
+        prop_assert_eq!(f2.cost(&p), f1.cost(&p) * scale);
+    }
+
+    #[test]
+    fn imbalance_of_conserving_flow_is_zero(n in 4usize..12, seed in 0u64..30) {
+        // route along the generator's embedded witness: x = flow used to
+        // define b, so imbalance must vanish
+        let m = 3 * n;
+        let p = generators::random_mcf(n, m, 5, 3, seed);
+        // reconstruct a feasible flow via SSP oracle
+        let f = pmcf_baselines::ssp::min_cost_flow(&p).unwrap();
+        prop_assert!(p.imbalance(&f.x).iter().all(|&r| r == 0));
+    }
+}
+
+/// SSP feasibility probe (kept out of the proptest macro for clarity).
+fn pmcf_baselines_stub_feasible(p: &McfProblem) -> bool {
+    pmcf_baselines::ssp::min_cost_flow(p).is_some()
+}

@@ -1,0 +1,147 @@
+//! Dense Gaussian elimination — the test oracle for the iterative solver.
+
+/// Solve `M x = b` for a square dense matrix by Gaussian elimination with
+/// partial pivoting. Returns `None` if the matrix is (numerically)
+/// singular.
+pub fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(m.len(), n);
+    for row in &m {
+        assert_eq!(row.len(), n);
+    }
+    for col in 0..n {
+        // partial pivot
+        let (pivot, pv) = (col..n)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
+        if pv < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = m[col][col];
+        for r in col + 1..n {
+            let f = m[r][col] / diag;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m[col][c];
+                m[r][c] -= f * v;
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= m[row][c] * x[c];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Multiply dense matrix by vector.
+pub fn matvec(m: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+    m.iter()
+        .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+        .collect()
+}
+
+/// `n×n` identity.
+pub fn identity(n: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    m
+}
+
+/// Dense inverse via column-by-column solves; `None` if singular.
+pub fn inverse(m: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = m.len();
+    let mut cols = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut e = vec![0.0; n];
+        e[j] = 1.0;
+        cols.push(solve(m.to_vec(), e)?);
+    }
+    // cols[j] is the j-th column of the inverse
+    let mut inv = vec![vec![0.0; n]; n];
+    for (j, col) in cols.iter().enumerate() {
+        for i in 0..n {
+            inv[i][j] = col[i];
+        }
+    }
+    Some(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let m = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(m, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let m = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(m, vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let m = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(m, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let m = vec![vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 5.0]];
+        let inv = inverse(&m).unwrap();
+        let prod_col0 = matvec(&m, &[inv[0][0], inv[1][0], inv[2][0]]);
+        assert!((prod_col0[0] - 1.0).abs() < 1e-9);
+        assert!(prod_col0[1].abs() < 1e-9);
+        assert!(prod_col0[2].abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_spd_systems_solve_accurately() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..8);
+            // B random, M = BᵀB + I is SPD
+            let b_mat: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let mut m = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in 0..n {
+                    for k in 0..n {
+                        m[i][j] += b_mat[k][i] * b_mat[k][j];
+                    }
+                }
+                m[i][i] += 1.0;
+            }
+            let xs: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let rhs = matvec(&m, &xs);
+            let got = solve(m, rhs).unwrap();
+            for (a, b) in got.iter().zip(&xs) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+}

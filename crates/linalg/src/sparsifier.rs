@@ -1,0 +1,143 @@
+//! Spectral sparsification of weighted graph Laplacians.
+//!
+//! The robust IPM solves `AᵀDA δ = r` against an `Õ(n)`-edge spectral
+//! approximation `H ≈ AᵀDA` rather than the full matrix (paper §2.2,
+//! "spectral sparsifier" in eq. (5)). This module is the standalone
+//! primitive: importance-sample edges with probability proportional to
+//! (an upper bound on) their leverage scores and reweight by inverse
+//! probability, so `E[H] = AᵀDA` and `H ≈_ε AᵀDA` w.h.p. for
+//! `p_e ≳ σ_e·log n / ε²`.
+
+use pmcf_graph::{DiGraph, EdgeId};
+use pmcf_pram::{Cost, Tracker};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampled sparsifier: a subgraph with reweighted edges.
+#[derive(Clone, Debug)]
+pub struct Sparsifier {
+    /// The sampled subgraph (same vertex set as the host).
+    pub graph: DiGraph,
+    /// Reweighted diagonal `d_e / p_e` per sampled edge.
+    pub weights: Vec<f64>,
+    /// The host edge each sampled edge came from.
+    pub origin: Vec<EdgeId>,
+}
+
+/// Sample a sparsifier given per-edge weights `d` and *probability
+/// lower bounds* `p` (any `p_e ≥ min(1, c·σ_e·log n)` gives a spectral
+/// approximation; callers typically use Lewis weights / leverage
+/// estimates for `p`).
+pub fn sample_sparsifier(
+    t: &mut Tracker,
+    g: &DiGraph,
+    d: &[f64],
+    p: &[f64],
+    seed: u64,
+) -> Sparsifier {
+    assert_eq!(d.len(), g.m());
+    assert_eq!(p.len(), g.m());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    let mut weights = Vec::new();
+    let mut origin = Vec::new();
+    for e in 0..g.m() {
+        let pe = p[e].clamp(0.0, 1.0);
+        if pe >= 1.0 || (pe > 0.0 && rng.gen_bool(pe)) {
+            edges.push(g.endpoints(e));
+            weights.push(d[e] / pe.max(1e-12));
+            origin.push(e);
+        }
+    }
+    t.charge(Cost::par_flat(g.m() as u64));
+    Sparsifier {
+        graph: DiGraph::from_edges(g.n(), edges),
+        weights,
+        origin,
+    }
+}
+
+/// Compare the quadratic forms `xᵀHx` vs `xᵀLx` on a probe vector
+/// (diagnostic / tests).
+pub fn quadratic_form_ratio(
+    host: &DiGraph,
+    d: &[f64],
+    sp: &Sparsifier,
+    x: &[f64],
+) -> f64 {
+    let q = |g: &DiGraph, w: &[f64]| -> f64 {
+        g.edges()
+            .iter()
+            .enumerate()
+            .map(|(e, &(u, v))| w[e] * (x[v] - x[u]) * (x[v] - x[u]))
+            .sum()
+    };
+    let full = q(host, d);
+    let approx = q(&sp.graph, &sp.weights);
+    if full <= 1e-300 {
+        1.0
+    } else {
+        approx / full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leverage::exact_leverage;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn leverage_proportional_sampling_preserves_quadratic_forms() {
+        let g = generators::gnm_digraph(24, 240, 1);
+        let d = vec![1.0; 240];
+        let sigma = exact_leverage(&g, &d, 0);
+        let logn = (24f64).log2();
+        let p: Vec<f64> = sigma.iter().map(|&s| (6.0 * s * logn).min(1.0)).collect();
+        let mut t = Tracker::new();
+        let mut worst: f64 = 0.0;
+        let mut rng = SmallRng::seed_from_u64(9);
+        for trial in 0..5 {
+            let sp = sample_sparsifier(&mut t, &g, &d, &p, trial);
+            for _ in 0..8 {
+                let x: Vec<f64> = (0..24).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let r = quadratic_form_ratio(&g, &d, &sp, &x);
+                worst = worst.max((r - 1.0).abs());
+            }
+        }
+        assert!(worst < 0.9, "worst quadratic-form distortion {worst}");
+    }
+
+    #[test]
+    fn bridges_always_sampled() {
+        // leverage-1 edges get p = 1 and exact weight
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (1, 2), (2, 3)]);
+        let d = vec![1.0; 4];
+        let sigma = exact_leverage(&g, &d, 0);
+        let p: Vec<f64> = sigma.iter().map(|&s| (4.0 * s).min(1.0)).collect();
+        let mut t = Tracker::new();
+        for seed in 0..10 {
+            let sp = sample_sparsifier(&mut t, &g, &d, &p, seed);
+            assert!(sp.origin.contains(&0), "bridge 0 dropped (seed {seed})");
+            assert!(sp.origin.contains(&3), "bridge 3 dropped (seed {seed})");
+            // deterministic edges keep their exact weight
+            let i = sp.origin.iter().position(|&e| e == 0).unwrap();
+            assert_eq!(sp.weights[i], 1.0);
+        }
+    }
+
+    #[test]
+    fn expected_size_is_sum_of_probabilities() {
+        let g = generators::gnm_digraph(16, 160, 2);
+        let d = vec![1.0; 160];
+        let p = vec![0.25; 160];
+        let mut t = Tracker::new();
+        let mut total = 0usize;
+        let trials = 60;
+        for s in 0..trials {
+            total += sample_sparsifier(&mut t, &g, &d, &p, s).origin.len();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!((avg - 40.0).abs() < 8.0, "avg sampled {avg}, expected 40");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the linear-algebra substrate.
+
+use pmcf_graph::{generators, incidence};
+use pmcf_linalg::leverage::exact_leverage;
+use pmcf_linalg::sketch::JlSketch;
+use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
+use pmcf_linalg::dense;
+use pmcf_pram::Tracker;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cg_matches_dense_on_random_weighted_graphs(
+        seed in 0u64..500,
+        n in 5usize..14,
+    ) {
+        let m = 3 * n;
+        let g = generators::gnm_digraph(n, m, seed);
+        let d: Vec<f64> = (0..m).map(|e| 0.1 + ((e as u64 * 31 + seed) % 50) as f64 / 10.0).collect();
+        let mut b: Vec<f64> = (0..n).map(|v| ((v as u64 * 17 + seed) % 11) as f64 - 5.0).collect();
+        b[0] = 0.0;
+        let solver = LaplacianSolver::new(g.clone(), 0, SolverOpts::default());
+        let mut t = Tracker::new();
+        let (x, stats) = solver.solve(&mut t, &d, &b);
+        prop_assert!(stats.rel_residual < 1e-7);
+        let l = incidence::dense_grounded_laplacian(&g, &d, 0);
+        let xd = dense::solve(l, b).unwrap();
+        for i in 0..n {
+            prop_assert!((x[i] - xd[i]).abs() < 1e-5 * (1.0 + xd[i].abs()),
+                "coord {}: {} vs {}", i, x[i], xd[i]);
+        }
+    }
+
+    #[test]
+    fn leverage_scores_sum_to_rank_and_bounded(seed in 0u64..200, n in 5usize..12) {
+        let m = 3 * n;
+        let g = generators::gnm_digraph(n, m, seed);
+        let d: Vec<f64> = (0..m).map(|e| 0.2 + ((e * 13) % 9) as f64).collect();
+        let sigma = exact_leverage(&g, &d, 0);
+        let sum: f64 = sigma.iter().sum();
+        prop_assert!((sum - (n as f64 - 1.0)).abs() < 1e-6, "Σσ = {}", sum);
+        prop_assert!(sigma.iter().all(|&s| (-1e-9..=1.0 + 1e-9).contains(&s)));
+    }
+
+    #[test]
+    fn leverage_monotone_in_own_weight(seed in 0u64..100) {
+        // raising an edge's weight cannot decrease its leverage score
+        let g = generators::gnm_digraph(8, 24, seed);
+        let mut d = vec![1.0; 24];
+        let before = exact_leverage(&g, &d, 0);
+        d[5] *= 4.0;
+        let after = exact_leverage(&g, &d, 0);
+        prop_assert!(after[5] >= before[5] - 1e-9);
+    }
+
+    #[test]
+    fn jl_adjoint_identity(r in 2usize..10, m in 4usize..40, seed in 0u64..100) {
+        let q = JlSketch::new(r, m, seed);
+        let v: Vec<f64> = (0..m).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..r).map(|i| (i as f64).cos()).collect();
+        let lhs: f64 = q.apply(&v).iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f64 = v.iter().zip(&q.apply_transpose(&y)).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_solve_then_matvec_roundtrips(n in 2usize..8, seed in 0u64..200) {
+        // build SPD system, solve, verify residual
+        let mut mat = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                let v = (((i * 7 + j * 13 + seed as usize) % 19) as f64 - 9.0) / 9.0;
+                mat[i][j] += v;
+            }
+        }
+        // M = BᵀB + I
+        let mut spd = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    spd[i][j] += mat[k][i] * mat[k][j];
+                }
+            }
+            spd[i][i] += 1.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x = dense::solve(spd.clone(), b.clone()).unwrap();
+        let back = dense::matvec(&spd, &x);
+        for i in 0..n {
+            prop_assert!((back[i] - b[i]).abs() < 1e-7);
+        }
+    }
+}

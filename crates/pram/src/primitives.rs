@@ -1,0 +1,278 @@
+//! Instrumented parallel primitives.
+//!
+//! Each primitive executes on rayon (real parallelism, per the domain
+//! guide's idiom of `par_iter` over slices) and charges its standard PRAM
+//! cost to the supplied [`Tracker`]. Small inputs fall back to sequential
+//! execution to avoid fork overhead, which does not change the charged
+//! model cost.
+
+use crate::{Cost, Tracker};
+use rayon::prelude::*;
+
+/// Below this size rayon fork overhead dominates; run sequentially.
+const SEQ_CUTOFF: usize = 2048;
+
+/// Parallel map: `out[i] = f(&xs[i])`. Work `n`, depth `log n + 1`.
+pub fn par_map<T: Sync, U: Send>(t: &mut Tracker, xs: &[T], f: impl Fn(&T) -> U + Sync + Send) -> Vec<U> {
+    t.charge_par_flat(xs.len() as u64);
+    if xs.len() < SEQ_CUTOFF {
+        xs.iter().map(f).collect()
+    } else {
+        xs.par_iter().map(f).collect()
+    }
+}
+
+/// Parallel indexed map: `out[i] = f(i, &xs[i])`.
+pub fn par_map_idx<T: Sync, U: Send>(
+    t: &mut Tracker,
+    xs: &[T],
+    f: impl Fn(usize, &T) -> U + Sync + Send,
+) -> Vec<U> {
+    t.charge_par_flat(xs.len() as u64);
+    if xs.len() < SEQ_CUTOFF {
+        xs.iter().enumerate().map(|(i, x)| f(i, x)).collect()
+    } else {
+        xs.par_iter().enumerate().map(|(i, x)| f(i, x)).collect()
+    }
+}
+
+/// Parallel in-place update: `xs[i] = f(i, xs[i])`.
+pub fn par_update<T: Send + Sync + Copy>(
+    t: &mut Tracker,
+    xs: &mut [T],
+    f: impl Fn(usize, T) -> T + Sync + Send,
+) {
+    t.charge_par_flat(xs.len() as u64);
+    if xs.len() < SEQ_CUTOFF {
+        for (i, x) in xs.iter_mut().enumerate() {
+            *x = f(i, *x);
+        }
+    } else {
+        xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i, *x));
+    }
+}
+
+/// Parallel tree reduction. Work `n`, depth `log n + 1`.
+pub fn par_reduce<T: Sync, U: Send + Sync + Copy>(
+    t: &mut Tracker,
+    xs: &[T],
+    identity: U,
+    map: impl Fn(&T) -> U + Sync + Send,
+    combine: impl Fn(U, U) -> U + Sync + Send,
+) -> U {
+    t.charge(Cost::reduce(xs.len() as u64));
+    if xs.len() < SEQ_CUTOFF {
+        xs.iter().map(map).fold(identity, &combine)
+    } else {
+        xs.par_iter()
+            .map(map)
+            .reduce(|| identity, &combine)
+    }
+}
+
+/// Parallel sum of `f64`s. (Floating-point reduction order differs between
+/// the sequential and parallel paths; callers must tolerate this, as all
+/// IPM quantities here do.)
+pub fn par_sum(t: &mut Tracker, xs: &[f64]) -> f64 {
+    par_reduce(t, xs, 0.0, |x| *x, |a, b| a + b)
+}
+
+/// Parallel max over `f64`s (NaN-free inputs assumed).
+pub fn par_max(t: &mut Tracker, xs: &[f64]) -> f64 {
+    par_reduce(t, xs, f64::NEG_INFINITY, |x| *x, f64::max)
+}
+
+/// Exclusive prefix scan (Blelloch). Returns `(prefix, total)` where
+/// `prefix[i] = Σ_{j<i} xs[j]`. Work `2n`, depth `2 log n + 1`.
+pub fn par_exclusive_scan(t: &mut Tracker, xs: &[u64]) -> (Vec<u64>, u64) {
+    t.charge(Cost::scan(xs.len() as u64));
+    if xs.len() < SEQ_CUTOFF {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0u64;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    // Blocked two-pass scan: per-chunk sums, scan of sums, then local scans.
+    let nchunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = xs.len().div_ceil(nchunks);
+    let sums: Vec<u64> = xs.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut acc = 0u64;
+    for &s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    let mut out = vec![0u64; xs.len()];
+    out.par_chunks_mut(chunk)
+        .zip(xs.par_chunks(chunk))
+        .zip(offsets.par_iter())
+        .for_each(|((o, c), &base)| {
+            let mut a = base;
+            for (oi, &ci) in o.iter_mut().zip(c) {
+                *oi = a;
+                a += ci;
+            }
+        });
+    (out, acc)
+}
+
+/// Parallel filter keeping elements where `keep` is true, preserving order.
+/// Work `O(n)`, depth `O(log n)` (flag + scan + scatter).
+pub fn par_filter<T: Sync + Send + Clone>(
+    t: &mut Tracker,
+    xs: &[T],
+    keep: impl Fn(&T) -> bool + Sync + Send,
+) -> Vec<T> {
+    // flag pass + scan + scatter
+    t.charge(Cost::par_flat(xs.len() as u64).seq(Cost::scan(xs.len() as u64)));
+    if xs.len() < SEQ_CUTOFF {
+        xs.iter().filter(|x| keep(x)).cloned().collect()
+    } else {
+        xs.par_iter().filter(|x| keep(x)).cloned().collect()
+    }
+}
+
+/// Parallel sort (unstable). Work `n log n`, depth `log² n`.
+pub fn par_sort<T: Send + Ord>(t: &mut Tracker, xs: &mut Vec<T>) {
+    t.charge(Cost::sort(xs.len() as u64));
+    if xs.len() < SEQ_CUTOFF {
+        xs.sort_unstable();
+    } else {
+        xs.par_sort_unstable();
+    }
+}
+
+/// Parallel sort by key. Same cost as [`par_sort`].
+pub fn par_sort_by_key<T: Send, K: Ord>(
+    t: &mut Tracker,
+    xs: &mut Vec<T>,
+    key: impl Fn(&T) -> K + Sync + Send,
+) {
+    t.charge(Cost::sort(xs.len() as u64));
+    if xs.len() < SEQ_CUTOFF {
+        xs.sort_unstable_by_key(key);
+    } else {
+        xs.par_sort_unstable_by_key(key);
+    }
+}
+
+/// Dot product of two equal-length vectors. Work `2n`, depth `log n + 1`.
+pub fn par_dot(t: &mut Tracker, a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    t.charge(Cost::par_flat(a.len() as u64).par(Cost::reduce(a.len() as u64)));
+    if a.len() < SEQ_CUTOFF {
+        a.iter().zip(b).map(|(x, y)| x * y).sum()
+    } else {
+        a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
+    }
+}
+
+/// `y ← y + alpha * x`, elementwise.
+pub fn par_axpy(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    t.charge_par_flat(x.len() as u64);
+    if x.len() < SEQ_CUTOFF {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    } else {
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential() {
+        let mut t = Tracker::new();
+        let xs: Vec<u64> = (0..100).collect();
+        let ys = par_map(&mut t, &xs, |x| x * 2);
+        assert_eq!(ys, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(t.work(), 100);
+        assert_eq!(t.depth(), 9); // item depth 1 + log2_ceil(100)=7 + 1
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let mut t = Tracker::new();
+        let xs: Vec<u64> = (1..=100).collect();
+        let s = par_reduce(&mut t, &xs, 0u64, |x| *x, |a, b| a + b);
+        assert_eq!(s, 5050);
+    }
+
+    #[test]
+    fn scan_small_and_large_agree() {
+        let mut t = Tracker::new();
+        for n in [0usize, 1, 7, 100, 5000] {
+            let xs: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+            let (pre, total) = par_exclusive_scan(&mut t, &xs);
+            let mut expect = Vec::with_capacity(n);
+            let mut acc = 0;
+            for &x in &xs {
+                expect.push(acc);
+                acc += x;
+            }
+            assert_eq!(pre, expect, "n={n}");
+            assert_eq!(total, acc);
+        }
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let mut t = Tracker::new();
+        let xs: Vec<u64> = (0..50).collect();
+        let ys = par_filter(&mut t, &xs, |x| x % 3 == 0);
+        assert_eq!(ys, (0..50).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sort_large_input() {
+        let mut t = Tracker::new();
+        let mut xs: Vec<u64> = (0..10_000).map(|i| (i * 2654435761) % 10_000).collect();
+        par_sort(&mut t, &mut xs);
+        assert!(xs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(t.work() >= 10_000);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let mut t = Tracker::new();
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![4.0, 5.0, 6.0];
+        assert_eq!(par_dot(&mut t, &a, &b), 32.0);
+        let mut y = vec![1.0, 1.0, 1.0];
+        par_axpy(&mut t, 2.0, &a, &mut y);
+        assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn par_update_applies_in_place() {
+        let mut t = Tracker::new();
+        let mut xs = vec![1.0f64, 2.0, 3.0];
+        par_update(&mut t, &mut xs, |i, x| x + i as f64);
+        assert_eq!(xs, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn par_max_handles_negatives() {
+        let mut t = Tracker::new();
+        assert_eq!(par_max(&mut t, &[-5.0, -2.0, -9.0]), -2.0);
+    }
+
+    #[test]
+    fn large_parallel_paths_match_sequential() {
+        let mut t = Tracker::new();
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys = par_map(&mut t, &xs, |x| x + 1);
+        assert_eq!(ys[9999], 10_000);
+        let s = par_reduce(&mut t, &xs, 0u64, |x| *x, |a, b| a + b);
+        assert_eq!(s, 10_000 * 9_999 / 2);
+        let f = par_filter(&mut t, &xs, |x| x % 2 == 0);
+        assert_eq!(f.len(), 5_000);
+    }
+}

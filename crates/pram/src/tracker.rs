@@ -1,0 +1,226 @@
+//! A mutable accumulator for threading PRAM costs through an algorithm.
+//!
+//! Algorithms in this workspace take `&mut Tracker` and charge costs as
+//! they go. Sequential program order maps to [`Tracker::charge`]
+//! (sequential composition); parallel sections are expressed with
+//! [`Tracker::join`] / [`Tracker::parallel`], which compose the branch
+//! costs with `par` before charging them.
+
+use crate::Cost;
+
+/// Accumulates the work/depth of an algorithm run.
+///
+/// ```
+/// use pmcf_pram::{Cost, Tracker};
+/// let mut t = Tracker::new();
+/// t.charge(Cost::par_flat(1024));              // one parallel pass
+/// t.join(|t| t.charge(Cost::new(10, 5)),       // two parallel branches
+///        |t| t.charge(Cost::new(20, 9)));
+/// assert_eq!(t.work(), 1024 + 30);
+/// assert_eq!(t.depth(), 12 + 9); // (1 + log2(1024) + 1) then max(5, 9)
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Tracker {
+    total: Cost,
+    /// When true the tracker ignores charges (zero-overhead "off" mode for
+    /// wall-clock benchmarking of the same code paths).
+    disabled: bool,
+}
+
+impl Tracker {
+    /// A fresh tracker with zero accumulated cost.
+    pub fn new() -> Self {
+        Tracker::default()
+    }
+
+    /// A tracker that ignores all charges.
+    pub fn disabled() -> Self {
+        Tracker {
+            total: Cost::ZERO,
+            disabled: true,
+        }
+    }
+
+    /// Whether this tracker is accounting (false if built via [`Tracker::disabled`]).
+    pub fn is_enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Total cost accumulated so far.
+    pub fn total(&self) -> Cost {
+        self.total
+    }
+
+    /// Accumulated work.
+    pub fn work(&self) -> u64 {
+        self.total.work
+    }
+
+    /// Accumulated depth.
+    pub fn depth(&self) -> u64 {
+        self.total.depth
+    }
+
+    /// Reset to zero (keeps the enabled/disabled flag).
+    pub fn reset(&mut self) {
+        self.total = Cost::ZERO;
+    }
+
+    /// Charge a cost in sequence with everything charged so far.
+    #[inline]
+    pub fn charge(&mut self, c: Cost) {
+        if !self.disabled {
+            self.total += c;
+        }
+    }
+
+    /// Charge a flat parallel loop over `n` constant-work items.
+    #[inline]
+    pub fn charge_par_flat(&mut self, n: u64) {
+        self.charge(Cost::par_flat(n));
+    }
+
+    /// Charge a flat parallel loop over `n` items of `per_item` cost each.
+    #[inline]
+    pub fn charge_par_for(&mut self, n: u64, per_item: Cost) {
+        self.charge(Cost::par_for(n, per_item));
+    }
+
+    /// Run two closures as parallel branches; their charges compose with
+    /// `par` (work adds, depth maxes) before being charged here.
+    ///
+    /// The closures run sequentially on this thread — the *cost model* is
+    /// parallel; use rayon inside the closures when real concurrency is
+    /// profitable.
+    pub fn join<A, B>(
+        &mut self,
+        f: impl FnOnce(&mut Tracker) -> A,
+        g: impl FnOnce(&mut Tracker) -> B,
+    ) -> (A, B) {
+        let mut ta = self.fork();
+        let mut tb = self.fork();
+        let a = f(&mut ta);
+        let b = g(&mut tb);
+        self.charge_branches([ta.total, tb.total]);
+        (a, b)
+    }
+
+    /// Run `k` closures as parallel branches over indices `0..k`.
+    pub fn parallel<T>(&mut self, k: usize, mut f: impl FnMut(usize, &mut Tracker) -> T) -> Vec<T> {
+        let mut outs = Vec::with_capacity(k);
+        let mut branch_costs = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut t = self.fork();
+            outs.push(f(i, &mut t));
+            branch_costs.push(t.total);
+        }
+        self.charge_branches(branch_costs);
+        outs
+    }
+
+    /// Run a closure in a sub-scope and return its cost alongside its value
+    /// without charging it here (caller decides how to compose).
+    pub fn scoped<T>(&mut self, f: impl FnOnce(&mut Tracker) -> T) -> (T, Cost) {
+        let mut t = self.fork();
+        let v = f(&mut t);
+        (v, t.total)
+    }
+
+    fn fork(&self) -> Tracker {
+        Tracker {
+            total: Cost::ZERO,
+            disabled: self.disabled,
+        }
+    }
+
+    fn charge_branches(&mut self, costs: impl IntoIterator<Item = Cost>) {
+        if self.disabled {
+            return;
+        }
+        let combined = costs.into_iter().fold(Cost::ZERO, Cost::par);
+        // Fork/join overhead of spawning the branches is already reflected
+        // in each branch's own accounting; charge the combined cost
+        // sequentially after whatever preceded it.
+        self.total += combined;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_charges_accumulate() {
+        let mut t = Tracker::new();
+        t.charge(Cost::new(3, 3));
+        t.charge(Cost::new(4, 2));
+        assert_eq!(t.total(), Cost::new(7, 5));
+    }
+
+    #[test]
+    fn join_takes_max_depth() {
+        let mut t = Tracker::new();
+        t.join(
+            |t| t.charge(Cost::new(10, 2)),
+            |t| t.charge(Cost::new(5, 9)),
+        );
+        assert_eq!(t.total(), Cost::new(15, 9));
+    }
+
+    #[test]
+    fn parallel_branches_compose() {
+        let mut t = Tracker::new();
+        let outs = t.parallel(4, |i, t| {
+            t.charge(Cost::new(1, (i + 1) as u64));
+            i * 2
+        });
+        assert_eq!(outs, vec![0, 2, 4, 6]);
+        assert_eq!(t.total(), Cost::new(4, 4));
+    }
+
+    #[test]
+    fn nested_join_depth() {
+        let mut t = Tracker::new();
+        t.join(
+            |t| {
+                t.join(
+                    |t| t.charge(Cost::new(1, 4)),
+                    |t| t.charge(Cost::new(1, 5)),
+                );
+            },
+            |t| t.charge(Cost::new(1, 2)),
+        );
+        assert_eq!(t.total(), Cost::new(3, 5));
+    }
+
+    #[test]
+    fn disabled_tracker_ignores_everything() {
+        let mut t = Tracker::disabled();
+        t.charge(Cost::new(100, 100));
+        t.join(
+            |t| t.charge(Cost::new(1, 1)),
+            |t| t.charge(Cost::new(1, 1)),
+        );
+        assert_eq!(t.total(), Cost::ZERO);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn scoped_does_not_charge() {
+        let mut t = Tracker::new();
+        let ((), c) = t.scoped(|t| t.charge(Cost::new(7, 7)));
+        assert_eq!(c, Cost::new(7, 7));
+        assert_eq!(t.total(), Cost::ZERO);
+        t.charge(c);
+        assert_eq!(t.total(), Cost::new(7, 7));
+    }
+
+    #[test]
+    fn reset_clears_totals() {
+        let mut t = Tracker::new();
+        t.charge(Cost::new(5, 5));
+        t.reset();
+        assert_eq!(t.total(), Cost::ZERO);
+        assert!(t.is_enabled());
+    }
+}

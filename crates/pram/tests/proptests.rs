@@ -1,0 +1,91 @@
+//! Property-based tests of the PRAM cost algebra and primitives.
+
+use pmcf_pram::{cost::par_all, primitives as pp, Cost, Tracker};
+use proptest::prelude::*;
+
+fn cost_strategy() -> impl Strategy<Value = Cost> {
+    (0u64..1_000_000, 0u64..10_000).prop_map(|(w, d)| Cost::new(w, d))
+}
+
+proptest! {
+    #[test]
+    fn seq_associative(a in cost_strategy(), b in cost_strategy(), c in cost_strategy()) {
+        prop_assert_eq!(a.seq(b).seq(c), a.seq(b.seq(c)));
+    }
+
+    #[test]
+    fn par_associative_and_commutative(a in cost_strategy(), b in cost_strategy(), c in cost_strategy()) {
+        prop_assert_eq!(a.par(b).par(c), a.par(b.par(c)));
+        prop_assert_eq!(a.par(b), b.par(a));
+    }
+
+    #[test]
+    fn par_depth_never_exceeds_seq_depth(a in cost_strategy(), b in cost_strategy()) {
+        prop_assert!(a.par(b).depth <= a.seq(b).depth);
+        prop_assert_eq!(a.par(b).work, a.seq(b).work);
+    }
+
+    #[test]
+    fn par_all_matches_pairwise_fold(costs in prop::collection::vec(cost_strategy(), 0..20)) {
+        let folded = costs.iter().copied().fold(Cost::ZERO, Cost::par);
+        prop_assert_eq!(par_all(costs), folded);
+    }
+
+    #[test]
+    fn par_for_work_is_product(n in 0u64..10_000, w in 1u64..100, d in 1u64..50) {
+        let c = Cost::par_for(n, Cost::new(w, d));
+        prop_assert_eq!(c.work, n * w);
+        if n > 0 {
+            prop_assert!(c.depth >= d);
+            prop_assert!(c.depth <= d + 64 + 1);
+        }
+    }
+
+    #[test]
+    fn scan_matches_sequential_prefix_sums(xs in prop::collection::vec(0u64..1000, 0..3000)) {
+        let mut t = Tracker::new();
+        let (pre, total) = pp::par_exclusive_scan(&mut t, &xs);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(pre[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn filter_equals_std_filter(xs in prop::collection::vec(-1000i64..1000, 0..500), k in 1i64..7) {
+        let mut t = Tracker::new();
+        let got = pp::par_filter(&mut t, &xs, |x| x % k == 0);
+        let want: Vec<i64> = xs.iter().copied().filter(|x| x % k == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sort_equals_std_sort(xs in prop::collection::vec(-5000i64..5000, 0..4000)) {
+        let mut t = Tracker::new();
+        let mut got = xs.clone();
+        pp::par_sort(&mut t, &mut got);
+        let mut want = xs;
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tracker_join_depth_is_max(w1 in 0u64..1000, d1 in 0u64..1000, w2 in 0u64..1000, d2 in 0u64..1000) {
+        let mut t = Tracker::new();
+        t.join(
+            |t| t.charge(Cost::new(w1, d1)),
+            |t| t.charge(Cost::new(w2, d2)),
+        );
+        prop_assert_eq!(t.work(), w1 + w2);
+        prop_assert_eq!(t.depth(), d1.max(d2));
+    }
+
+    #[test]
+    fn reduce_matches_sum(xs in prop::collection::vec(0u64..10_000, 0..3000)) {
+        let mut t = Tracker::new();
+        let got = pp::par_reduce(&mut t, &xs, 0u64, |x| *x, |a, b| a + b);
+        prop_assert_eq!(got, xs.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,37 @@
+//! Assignment via bipartite maximum matching (paper Corollary 1.3):
+//! match workers to tasks they are qualified for.
+//!
+//! ```bash
+//! cargo run --example assignment
+//! ```
+
+use pmcf_core::corollaries::bipartite_matching;
+use pmcf_core::SolverConfig;
+use pmcf_graph::DiGraph;
+use pmcf_pram::Tracker;
+
+fn main() {
+    let workers = ["ada", "grace", "edsger", "donald"];
+    let tasks = ["parser", "solver", "docs", "benchmarks"];
+    // qualification edges: worker → task (left vertices 0..4, right 4..8)
+    let quals = vec![
+        (0, 4), // ada: parser
+        (0, 5), // ada: solver
+        (1, 5), // grace: solver
+        (1, 6), // grace: docs
+        (2, 6), // edsger: docs
+        (3, 4), // donald: parser
+        (3, 7), // donald: benchmarks
+    ];
+    let g = DiGraph::from_edges(8, quals.clone());
+
+    let mut tracker = Tracker::new();
+    let (size, matched) = bipartite_matching(&mut tracker, &g, 4, &SolverConfig::default());
+
+    println!("maximum assignment covers {size} of 4 workers:");
+    for &e in &matched {
+        let (w, t) = g.endpoints(e);
+        println!("  {} → {}", workers[w], tasks[t - 4]);
+    }
+    assert_eq!(size, 4, "a perfect assignment exists here");
+}

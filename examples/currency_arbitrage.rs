@@ -1,0 +1,58 @@
+//! Negative-weight shortest paths (paper Corollary 1.4) on a currency
+//! graph: log-exchange-rates can be negative, and the cheapest
+//! conversion chain is a shortest path — while an arbitrage loop is
+//! exactly a negative cycle, which the solver detects.
+//!
+//! ```bash
+//! cargo run --example currency_arbitrage
+//! ```
+
+use pmcf_core::corollaries::negative_sssp;
+use pmcf_core::SolverConfig;
+use pmcf_graph::DiGraph;
+use pmcf_pram::Tracker;
+
+fn main() {
+    let currencies = ["USD", "EUR", "GBP", "JPY", "CHF"];
+    // scaled integer log-rates (cost of converting along the edge);
+    // negative cost = the conversion gains value on this leg
+    let legs = vec![
+        (0usize, 1usize, 11i64), // USD→EUR
+        (1, 2, -3),              // EUR→GBP (favourable)
+        (0, 2, 12),              // USD→GBP direct
+        (2, 3, 7),               // GBP→JPY
+        (1, 3, 9),               // EUR→JPY
+        (3, 4, -2),              // JPY→CHF (favourable)
+        (0, 4, 20),              // USD→CHF direct
+    ];
+    let edges: Vec<(usize, usize)> = legs.iter().map(|&(u, v, _)| (u, v)).collect();
+    let w: Vec<i64> = legs.iter().map(|&(_, _, c)| c).collect();
+    let g = DiGraph::from_edges(5, edges);
+
+    let mut tracker = Tracker::new();
+    let dist = negative_sssp(&mut tracker, &g, &w, 0, &SolverConfig::default())
+        .expect("no arbitrage loop in this market");
+
+    println!("cheapest conversion cost from USD (scaled log-rates):");
+    for (i, name) in currencies.iter().enumerate() {
+        match dist[i] {
+            i64::MAX => println!("  {name}: unreachable"),
+            d => println!("  {name}: {d}"),
+        }
+    }
+    // USD→EUR→GBP (11−3=8) beats USD→GBP direct (12)
+    assert_eq!(dist[2], 8);
+    // and the best CHF route threads both favourable legs
+    assert_eq!(dist[4], 8 + 7 - 2);
+
+    // now close an arbitrage loop: CHF→USD at a rate that makes the
+    // cycle USD→EUR→GBP→JPY→CHF→USD profitable (total < 0)
+    let mut edges2: Vec<(usize, usize)> = legs.iter().map(|&(u, v, _)| (u, v)).collect();
+    let mut w2 = w.clone();
+    edges2.push((4, 0));
+    w2.push(-14); // 8 + 7 − 2 − 14 = −1 < 0: free money
+    let g2 = DiGraph::from_edges(5, edges2);
+    let arb = negative_sssp(&mut tracker, &g2, &w2, 0, &SolverConfig::default());
+    assert!(arb.is_none(), "the arbitrage loop must be detected");
+    println!("\nwith a −14 CHF→USD leg the solver reports: arbitrage (negative cycle)");
+}

@@ -1,0 +1,70 @@
+//! A tiny command-line min-cost flow solver speaking the DIMACS format:
+//! reads `p min` from stdin (or a built-in sample), prints the optimal
+//! flow as DIMACS solution lines.
+//!
+//! ```bash
+//! cargo run --example dimacs_solver < instance.min
+//! ```
+
+use pmcf_core::{solve_mcf, SolverConfig};
+use pmcf_graph::dimacs;
+use pmcf_pram::Tracker;
+use std::io::Read;
+
+const SAMPLE: &str = "c built-in sample (run with stdin to solve your own)\n\
+p min 4 5\n\
+n 1 4\n\
+n 4 -4\n\
+a 1 2 0 4 2\n\
+a 1 3 0 2 2\n\
+a 2 3 0 2 1\n\
+a 2 4 0 3 3\n\
+a 3 4 0 5 1\n";
+
+fn main() {
+    let mut input = String::new();
+    if !stdin_is_terminal() {
+        std::io::stdin()
+            .read_to_string(&mut input)
+            .expect("read stdin");
+    }
+    if input.trim().is_empty() {
+        input = SAMPLE.to_string();
+        eprintln!("(no input — solving the built-in sample)");
+    }
+    let problem = match dimacs::parse_min(&input) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "instance: {} vertices, {} edges",
+        problem.n(),
+        problem.m()
+    );
+    let mut t = Tracker::new();
+    match solve_mcf(&mut t, &problem, &SolverConfig::default()) {
+        Some(sol) => {
+            print!("{}", dimacs::write_solution(&problem, &sol.flow));
+            eprintln!(
+                "solved: cost {}, {} IPM iterations, work {}, depth {}",
+                sol.cost,
+                sol.stats.iterations,
+                t.work(),
+                t.depth()
+            );
+        }
+        None => {
+            println!("s INFEASIBLE");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Whether stdin is an interactive terminal (nothing piped in).
+fn stdin_is_terminal() -> bool {
+    use std::io::IsTerminal;
+    std::io::stdin().is_terminal()
+}

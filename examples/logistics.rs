@@ -1,0 +1,62 @@
+//! A transportation problem: ship goods from factories to warehouses at
+//! minimum freight cost — the classic motivating workload for min-cost
+//! flow.
+//!
+//! ```bash
+//! cargo run --example logistics
+//! ```
+
+use pmcf_core::{solve_mcf, SolverConfig};
+use pmcf_graph::{DiGraph, McfProblem};
+use pmcf_pram::Tracker;
+
+fn main() {
+    // 3 factories (0-2) with supply, 4 warehouses (3-6) with demand, and
+    // a freight lane between every pair with per-unit cost and capacity.
+    let supply = [30i64, 20, 25]; // 75 units total
+    let need = [15i64, 25, 20, 15]; // 75 units total
+    #[rustfmt::skip]
+    let freight_cost: [[i64; 4]; 3] = [
+        [4, 6, 9, 3],
+        [5, 4, 7, 8],
+        [6, 3, 4, 5],
+    ];
+    let lane_cap = 20i64;
+
+    let mut edges = Vec::new();
+    let mut cap = Vec::new();
+    let mut cost = Vec::new();
+    for f in 0..3 {
+        for w in 0..4 {
+            edges.push((f, 3 + w));
+            cap.push(lane_cap);
+            cost.push(freight_cost[f][w]);
+        }
+    }
+    let mut demand = vec![0i64; 7];
+    for (f, &s) in supply.iter().enumerate() {
+        demand[f] = -s; // factories push flow out
+    }
+    for (w, &d) in need.iter().enumerate() {
+        demand[3 + w] = d; // warehouses absorb it
+    }
+    let problem = McfProblem::new(DiGraph::from_edges(7, edges), cap, cost, demand);
+
+    let mut tracker = Tracker::new();
+    let sol = solve_mcf(&mut tracker, &problem, &SolverConfig::default())
+        .expect("supply meets demand");
+
+    println!("minimum total freight cost: {}", sol.cost);
+    println!("\nshipping plan (units on each lane):");
+    for f in 0..3 {
+        for w in 0..4 {
+            let x = sol.flow.x[f * 4 + w];
+            if x > 0 {
+                println!("  factory {f} → warehouse {w}: {x} units");
+            }
+        }
+    }
+    // sanity: all supply shipped
+    let shipped: i64 = sol.flow.x.iter().sum();
+    assert_eq!(shipped, 75);
+}

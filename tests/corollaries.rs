@@ -1,0 +1,56 @@
+//! Cross-crate tests of the paper's Corollaries 1.3–1.5 reductions.
+
+use pmcf_baselines::{bellman_ford, bfs, dinic, hopcroft_karp};
+use pmcf_core::corollaries::{bipartite_matching, negative_sssp, reachability};
+use pmcf_core::{max_flow, SolverConfig};
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+#[test]
+fn max_flow_equals_dinic_across_instances() {
+    for seed in 0..5 {
+        let (g, cap) = generators::random_max_flow(12, 40, 6, seed);
+        let (want, _) = dinic::max_flow(&g, &cap, 0, 11);
+        let mut t = Tracker::new();
+        let (_, got) = max_flow(&mut t, &g, &cap, 0, 11, &SolverConfig::default()).unwrap();
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn matching_equals_hopcroft_karp_across_instances() {
+    for seed in 0..5 {
+        let g = generators::random_bipartite(7, 9, 25, seed);
+        let (want, _) = hopcroft_karp::max_matching(&g, 7);
+        let mut t = Tracker::new();
+        let (got, _) = bipartite_matching(&mut t, &g, 7, &SolverConfig::default());
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn sssp_equals_bellman_ford_across_instances() {
+    for seed in 0..5 {
+        let (g, w) = generators::random_negative_sssp(12, 30, 6, seed);
+        let want = bellman_ford::sssp(&g, &w, 0).unwrap();
+        let mut t = Tracker::new();
+        let got = negative_sssp(&mut t, &g, &w, 0, &SolverConfig::default()).unwrap();
+        assert_eq!(got, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn reachability_equals_bfs_on_hard_instances() {
+    // chained cliques (high diameter) and random digraphs
+    let cases = vec![
+        generators::chained_cliques(4, 4, 1),
+        generators::gnm_digraph(16, 40, 2),
+        generators::grid_digraph(4, 4),
+    ];
+    for (i, g) in cases.into_iter().enumerate() {
+        let want = bfs::reachable_seq(&g, 0);
+        let mut t = Tracker::new();
+        let got = reachability(&mut t, &g, 0, &SolverConfig::default());
+        assert_eq!(got, want, "case {i}");
+    }
+}

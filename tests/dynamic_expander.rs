@@ -1,0 +1,73 @@
+//! Cross-crate stress test of the Lemma 3.1 dynamic expander
+//! decomposition under a long adaptive-ish update stream.
+
+use pmcf_expander::conductance::find_sparse_cut;
+use pmcf_expander::DynamicExpanderDecomposition;
+use pmcf_graph::UGraph;
+use pmcf_pram::Tracker;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn long_mixed_update_stream_preserves_all_invariants() {
+    let n = 96;
+    let mut d = DynamicExpanderDecomposition::new(n, 0.1, 42);
+    let mut t = Tracker::new();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut alive: Vec<u64> = Vec::new();
+    for round in 0..30 {
+        // insert a batch
+        let batch: Vec<(usize, usize)> = (0..12)
+            .map(|_| {
+                let u = rng.gen_range(0..n);
+                let mut v = rng.gen_range(0..n);
+                if u == v {
+                    v = (v + 1) % n;
+                }
+                (u, v)
+            })
+            .collect();
+        alive.extend(d.insert_edges(&mut t, &batch));
+        // delete a few
+        if round % 2 == 1 && alive.len() > 20 {
+            let mut del = Vec::new();
+            for _ in 0..6 {
+                let i = rng.gen_range(0..alive.len());
+                del.push(alive.swap_remove(i));
+            }
+            d.delete_edges(&mut t, &del);
+        }
+        // invariant: partition covers exactly the alive edges
+        let total: usize = d.parts().iter().map(|p| p.len()).sum();
+        assert_eq!(total, alive.len(), "round {round}");
+        assert_eq!(d.edge_count(), alive.len(), "round {round}");
+    }
+    // invariant: multi-edge parts have no very sparse cut
+    for part in d.parts() {
+        if part.len() < 4 {
+            continue;
+        }
+        let edges: Vec<(usize, usize)> = part.iter().map(|&(_, e)| e).collect();
+        let sub = UGraph::from_edges(n, edges);
+        assert!(
+            find_sparse_cut(&sub, 0.02, 5).is_none(),
+            "a part lost expansion"
+        );
+    }
+    // invariant: vertex multiplicity stays near-linear
+    assert!(d.vertex_multiplicity() <= n * 12);
+}
+
+#[test]
+fn deleting_every_edge_empties_the_structure() {
+    let n = 32;
+    let g = pmcf_graph::generators::random_regular_ugraph(n, 6, 3);
+    let mut d = DynamicExpanderDecomposition::new(n, 0.1, 7);
+    let mut t = Tracker::new();
+    let keys = d.insert_edges(&mut t, g.edges());
+    for chunk in keys.chunks(16) {
+        d.delete_edges(&mut t, chunk);
+    }
+    assert_eq!(d.edge_count(), 0);
+    assert!(d.parts().is_empty());
+}

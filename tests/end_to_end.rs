@@ -1,0 +1,89 @@
+//! Cross-crate end-to-end tests: both IPM engines against the exact
+//! combinatorial oracle on batches of random instances.
+
+use pmcf_baselines::ssp;
+use pmcf_core::reference::PathFollowConfig;
+use pmcf_core::{solve_mcf, Engine, SolverConfig};
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+#[test]
+fn reference_engine_matches_ssp_on_many_instances() {
+    for seed in 0..8 {
+        let n = 8 + (seed as usize % 3) * 4;
+        let m = 3 * n + seed as usize;
+        let p = generators::random_mcf(n, m, 5, 4, seed);
+        let want = ssp::min_cost_flow(&p).unwrap().cost(&p);
+        let mut t = Tracker::new();
+        let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+        assert!(sol.flow.is_feasible(&p), "seed {seed}");
+        assert_eq!(sol.cost, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn robust_engine_matches_ssp_on_many_instances() {
+    let cfg = SolverConfig {
+        engine: Engine::Robust,
+        path: PathFollowConfig::default(),
+    };
+    for seed in 20..26 {
+        let p = generators::random_mcf(10, 40, 4, 3, seed);
+        let want = ssp::min_cost_flow(&p).unwrap().cost(&p);
+        let mut t = Tracker::new();
+        let sol = solve_mcf(&mut t, &p, &cfg).unwrap();
+        assert!(sol.flow.is_feasible(&p), "seed {seed}");
+        assert_eq!(sol.cost, want, "seed {seed}");
+    }
+}
+
+#[test]
+fn engines_agree_with_each_other() {
+    for seed in 40..44 {
+        let p = generators::random_mcf(12, 48, 6, 5, seed);
+        let mut t = Tracker::new();
+        let a = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+        let cfg = SolverConfig {
+            engine: Engine::Robust,
+            path: PathFollowConfig::default(),
+        };
+        let b = solve_mcf(&mut t, &p, &cfg).unwrap();
+        assert_eq!(a.cost, b.cost, "seed {seed}");
+    }
+}
+
+#[test]
+fn denser_instances_still_exact() {
+    // m ≈ n^1.5 and beyond
+    for &(n, m) in &[(16usize, 64usize), (16, 120), (25, 125)] {
+        let p = generators::random_mcf(n, m, 6, 5, 77);
+        let want = ssp::min_cost_flow(&p).unwrap().cost(&p);
+        let mut t = Tracker::new();
+        let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.cost, want, "n={n} m={m}");
+    }
+}
+
+#[test]
+fn negative_costs_and_circulations() {
+    use pmcf_graph::{DiGraph, McfProblem};
+    // circulation whose optimum saturates a negative cycle
+    let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)]);
+    let p = McfProblem::circulation(g, vec![3, 3, 3, 3, 3], vec![1, 1, 1, -7, 2]);
+    let want = ssp::min_cost_flow(&p).unwrap().cost(&p);
+    let mut t = Tracker::new();
+    let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+    assert_eq!(sol.cost, want);
+    assert!(sol.cost < 0, "profitable circulation exists");
+}
+
+#[test]
+fn structured_hard_instances_solved_exactly() {
+    use pmcf_graph::generators::{transportation_grid, zigzag_chain};
+    for p in [transportation_grid(5, 3, 4, 1), zigzag_chain(8, 2)] {
+        let want = ssp::min_cost_flow(&p).unwrap().cost(&p);
+        let mut t = Tracker::new();
+        let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.cost, want);
+    }
+}

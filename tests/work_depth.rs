@@ -1,0 +1,78 @@
+//! Scaling assertions on the PRAM cost model: the shapes the paper
+//! claims, verified loosely (constants free, exponents bounded).
+
+use pmcf_baselines::bfs;
+use pmcf_core::{solve_mcf, SolverConfig};
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+#[test]
+fn solver_depth_is_far_below_work() {
+    let p = generators::random_mcf(16, 64, 5, 4, 3);
+    let mut t = Tracker::new();
+    let _ = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+    assert!(
+        t.depth() * 10 < t.work(),
+        "depth {} vs work {}",
+        t.depth(),
+        t.work()
+    );
+}
+
+#[test]
+fn bfs_depth_grows_with_diameter_ipm_does_not_blow_up() {
+    // double the chain length: BFS depth ~doubles
+    let short = generators::chained_cliques(6, 5, 1);
+    let long = generators::chained_cliques(12, 5, 1);
+    let mut t1 = Tracker::new();
+    let (_, l1) = bfs::reachable_par(&mut t1, &short, 0);
+    let mut t2 = Tracker::new();
+    let (_, l2) = bfs::reachable_par(&mut t2, &long, 0);
+    assert!(l2 >= 2 * l1 - 2, "levels {l1} → {l2}");
+    assert!(
+        t2.depth() as f64 >= 1.7 * t1.depth() as f64,
+        "BFS depth must track the diameter: {} → {}",
+        t1.depth(),
+        t2.depth()
+    );
+}
+
+#[test]
+fn unit_flow_work_independent_of_graph_size() {
+    use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
+    let mut works = Vec::new();
+    for &n in &[512usize, 4096] {
+        let g = generators::random_regular_ugraph(n, 8, 1);
+        let alive = vec![true; g.n()];
+        let edge_ok = vec![true; g.m()];
+        let p = UnitFlowProblem {
+            g: &g,
+            alive: &alive,
+            edge_ok: &edge_ok,
+            cap: 10.0,
+            height: 40,
+        };
+        let mut s = UnitFlowState::new(g.n(), g.m());
+        let mut t = Tracker::new();
+        let out = parallel_unit_flow(&mut t, &p, &mut s, &[(0, 8.0)], 0.5, 50_000);
+        assert!(out.remaining_excess < 1e-9);
+        works.push(t.work());
+    }
+    // 8× the graph must not mean 8× the work (Lemma 3.11)
+    assert!(
+        works[1] < works[0] * 4,
+        "unit flow work scaled with graph: {:?}",
+        works
+    );
+}
+
+#[test]
+fn cost_model_parallel_composition_used_by_solver() {
+    // a disabled tracker must cost nothing and the solver still works
+    let p = generators::random_mcf(8, 24, 4, 3, 5);
+    let mut t = Tracker::disabled();
+    let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
+    assert!(sol.flow.is_feasible(&p));
+    assert_eq!(t.work(), 0);
+    assert_eq!(t.depth(), 0);
+}
