@@ -22,8 +22,18 @@ pub fn max_flow(g: &DiGraph, cap: &[i64], s: usize, t: usize) -> (i64, Vec<i64>)
             continue;
         }
         let a = arcs.len();
-        arcs.push(Arc { to: v, cap: cap[e], rev: a + 1, edge: e });
-        arcs.push(Arc { to: u, cap: 0, rev: a, edge: usize::MAX });
+        arcs.push(Arc {
+            to: v,
+            cap: cap[e],
+            rev: a + 1,
+            edge: e,
+        });
+        arcs.push(Arc {
+            to: u,
+            cap: 0,
+            rev: a,
+            edge: usize::MAX,
+        });
         head[u].push(a);
         head[v].push(a + 1);
     }

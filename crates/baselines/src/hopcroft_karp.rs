@@ -53,10 +53,7 @@ pub fn max_matching(g: &DiGraph, nl: usize) -> (usize, Vec<Option<usize>>) {
                 let v = adj[u][i];
                 let ok = match match_r[v] {
                     None => true,
-                    Some(u2) => {
-                        dist[u2] == dist[u] + 1
-                            && augment(u2, adj, dist, match_l, match_r)
-                    }
+                    Some(u2) => dist[u2] == dist[u] + 1 && augment(u2, adj, dist, match_l, match_r),
                 };
                 if ok {
                     match_l[u] = Some(v);

@@ -2,8 +2,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pmcf_baselines::ssp;
-use pmcf_core::{solve_mcf, Engine, SolverConfig};
 use pmcf_core::reference::PathFollowConfig;
+use pmcf_core::{solve_mcf, Engine, SolverConfig};
 use pmcf_graph::generators;
 use pmcf_pram::Tracker;
 

@@ -1,0 +1,332 @@
+//! Machine-readable bench artifacts.
+//!
+//! Every harness binary accepts `--json <path>` and `--seed <u64>` and,
+//! when asked, writes a schema-versioned JSON artifact next to the
+//! human-readable markdown it prints. The artifact carries the raw rows
+//! of each table, any fitted scaling exponents, the RNG seed, and — when
+//! `PMCF_PROFILE=1` — the hierarchical span-tree profile of a designated
+//! solve, so external tooling can diff runs without scraping stdout.
+//!
+//! The JSON is hand-rolled on purpose: the workspace carries no serde
+//! dependency, and the value space here (strings, finite floats, u64,
+//! bool, flat arrays/objects) doesn't need one.
+
+use pmcf_pram::profile::{json_string, ProfileReport};
+use pmcf_pram::Tracker;
+use std::path::{Path, PathBuf};
+
+/// Schema identifier stamped into every artifact.
+pub const SCHEMA: &str = "pmcf.bench/v1";
+
+/// A JSON value (the tiny subset the artifacts need).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values serialize as `null`).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An ordered object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+    /// Pre-rendered JSON embedded verbatim (e.g. a profile report).
+    Raw(String),
+}
+
+impl Json {
+    /// Render to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v:e}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => out.push_str(&json_string(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(k));
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+            Json::Raw(s) => out.push_str(s),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::U64(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::U64(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::I64(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::F64(v)
+    }
+}
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+
+/// Command-line arguments shared by every bench binary.
+///
+/// Layout: one optional positional integer (its meaning is per-binary —
+/// usually a size cap), plus `--json <path>` and `--seed <u64>`.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// The positional size cap, if given.
+    pub max_size: Option<usize>,
+    /// Where to write the JSON artifact, if requested.
+    pub json: Option<PathBuf>,
+    /// RNG seed for instance generation (recorded in the artifact).
+    pub seed: Option<u64>,
+}
+
+impl BenchArgs {
+    /// Parse `std::env::args()`, panicking with a usage message on
+    /// malformed input (these are internal harnesses, not a CLI product).
+    pub fn parse() -> Self {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--json" => {
+                    let p = args.next().expect("--json requires a path");
+                    out.json = Some(PathBuf::from(p));
+                }
+                "--seed" => {
+                    let s = args.next().expect("--seed requires a u64");
+                    out.seed = Some(s.parse().expect("--seed requires a u64"));
+                }
+                other => {
+                    let v: usize = other.parse().unwrap_or_else(|_| {
+                        panic!("unrecognized argument {other:?} (expected a size, --json <path>, or --seed <u64>)")
+                    });
+                    out.max_size = Some(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// The seed to use: `--seed` if given, else `default`.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The size cap: the positional argument if given, else `default`.
+    pub fn max_size_or(&self, default: usize) -> usize {
+        self.max_size.unwrap_or(default)
+    }
+}
+
+/// Accumulates one run's results and writes the artifact.
+pub struct Artifact {
+    bench: String,
+    seed: u64,
+    rows: Vec<Json>,
+    extra: Vec<(String, Json)>,
+    profile: Option<String>,
+}
+
+impl Artifact {
+    /// Start an artifact for the named bench with the recorded seed.
+    pub fn new(bench: &str, seed: u64) -> Self {
+        Artifact {
+            bench: bench.to_string(),
+            seed,
+            rows: Vec::new(),
+            extra: Vec::new(),
+            profile: None,
+        }
+    }
+
+    /// Append a table row (an ordered key → value object).
+    pub fn row(&mut self, pairs: Vec<(&str, Json)>) {
+        self.rows.push(Json::Obj(
+            pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        ));
+    }
+
+    /// Attach a top-level key (fitted exponents, sweep metadata, …).
+    pub fn set(&mut self, key: &str, value: Json) {
+        self.extra.push((key.to_string(), value));
+    }
+
+    /// Embed the span-tree profile of `t`, if it carries one (i.e. the
+    /// tracker came from [`pmcf_pram::profile::tracker_from_env`] under
+    /// `PMCF_PROFILE=1`). Also prints the flamegraph-style markdown
+    /// report to stdout. Returns whether a profile was attached.
+    pub fn attach_profile(&mut self, label: &str, t: &Tracker) -> bool {
+        match t.profile_report() {
+            Some(rep) => {
+                self.attach_profile_report(label, &rep);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Embed an already-extracted [`ProfileReport`] (and print it).
+    pub fn attach_profile_report(&mut self, label: &str, rep: &ProfileReport) {
+        println!("\n### Span profile — {label}\n");
+        println!("{}", rep.to_markdown());
+        self.profile = Some(rep.to_json());
+    }
+
+    /// Render the full artifact.
+    pub fn to_json(&self) -> String {
+        let mut obj: Vec<(String, Json)> = vec![
+            ("schema".into(), Json::from(SCHEMA)),
+            ("bench".into(), Json::Str(self.bench.clone())),
+            ("seed".into(), Json::U64(self.seed)),
+        ];
+        obj.extend(self.extra.iter().cloned());
+        obj.push(("rows".into(), Json::Arr(self.rows.clone())));
+        if let Some(p) = &self.profile {
+            obj.push(("profile".into(), Json::Raw(p.clone())));
+        }
+        Json::Obj(obj).render()
+    }
+
+    /// Write the artifact to `path` (creating parent directories) if the
+    /// caller passed `--json`; no-op otherwise. Prints the destination.
+    pub fn write_if_requested(&self, path: &Option<PathBuf>) {
+        if let Some(p) = path {
+            self.write(p).expect("artifact write failed");
+            println!("\n[artifact] wrote {}", p.display());
+        }
+    }
+
+    /// Write the artifact to `path`, creating parent directories.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_values_render() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::U64(3)),
+            ("b".into(), Json::Arr(vec![Json::F64(1.5), Json::Null])),
+            ("c".into(), Json::Str("x\"y".into())),
+            ("d".into(), Json::Bool(true)),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"a":3,"b":[1.5e0,null],"c":"x\"y","d":true}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn artifact_shape_is_schema_versioned() {
+        let mut a = Artifact::new("demo", 9);
+        a.row(vec![
+            ("n", Json::from(4usize)),
+            ("work", Json::from(100u64)),
+        ]);
+        a.set("exponent", Json::F64(1.5));
+        let js = a.to_json();
+        assert!(js.starts_with(&format!("{{\"schema\":{}", json_string(SCHEMA))));
+        assert!(js.contains("\"bench\":\"demo\""));
+        assert!(js.contains("\"seed\":9"));
+        assert!(js.contains("\"rows\":[{\"n\":4,\"work\":100}]"));
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+    }
+
+    #[test]
+    fn artifact_embeds_profile_verbatim() {
+        let mut t = Tracker::profiled();
+        t.span("a", |t| t.charge(pmcf_pram::Cost::par_flat(5)));
+        let rep = t.profile_report().unwrap();
+        let mut a = Artifact::new("demo", 0);
+        a.profile = Some(rep.to_json());
+        let js = a.to_json();
+        assert!(js.contains("\"profile\":{\"schema\":\"pmcf.profile/v1\""));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("pmcf_artifact_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.json");
+        let a = Artifact::new("demo", 1);
+        a.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert!(back.contains("\"schema\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

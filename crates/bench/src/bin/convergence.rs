@@ -1,21 +1,29 @@
 //! Convergence-curve "figure": μ, duality-gap proxy and cumulative work
 //! per iteration of the reference engine (the paper has no figures; this
 //! is the observability a production solver ships with).
+//!
+//! Flags: `[n] --seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
+//! span-tree profile of the traced solve.
 
+use pmcf_bench::{Artifact, BenchArgs, Json};
 use pmcf_core::init;
 use pmcf_core::reference::{path_follow_traced, PathFollowConfig};
 use pmcf_core::trace::TraceRecorder;
 use pmcf_graph::generators;
-use pmcf_pram::Tracker;
+use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
-    let n = 64;
+    let args = BenchArgs::parse();
+    let n = args.max_size_or(64);
+    let seed = args.seed_or(7);
+    let mut artifact = Artifact::new("convergence", seed);
+
     let m = generators::dense_m(n);
-    let p = generators::random_mcf(n, m, 8, 6, 7);
+    let p = generators::random_mcf(n, m, 8, 6, seed);
     let ext = init::extend(&p);
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mu_end = init::final_mu(&ext.prob);
-    let mut t = Tracker::new();
+    let mut t = tracker_from_env();
     let mut rec = TraceRecorder::new();
     let (_, stats) = path_follow_traced(
         &mut t,
@@ -31,11 +39,18 @@ fn main() {
         stats.iterations
     );
     println!("{}", rec.to_markdown(stats.iterations / 20 + 1));
+    artifact.set("n", Json::from(n));
+    artifact.set("m", Json::from(m));
+    artifact.set("iterations", Json::from(stats.iterations));
+    artifact.set("trace", Json::Raw(rec.to_json()));
     if let Some(rate) = rec.mu_decay_rate() {
         let tau_sum_guess = 2.0 * n as f64;
         println!(
             "μ decay/iter: {rate:.5} (theory: 1 − r/√Στ ≈ {:.5})",
             1.0 - 0.5 / tau_sum_guess.sqrt()
         );
+        artifact.set("mu_decay_rate", Json::F64(rate));
     }
+    artifact.attach_profile(&format!("reference IPM, n={n}, m={m}"), &t);
+    artifact.write_if_requested(&args.json);
 }

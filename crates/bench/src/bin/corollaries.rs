@@ -1,45 +1,77 @@
 //! Experiments E-MATCH / E-SSSP / E-REACH — Corollaries 1.3–1.5:
 //! correctness vs the combinatorial oracles plus measured work/depth.
+//!
+//! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
+//! span-tree profile of the last reduction solve.
 
 use pmcf_baselines::{bellman_ford, bfs, hopcroft_karp};
+use pmcf_bench::{Artifact, BenchArgs, Json};
 use pmcf_core::corollaries::{bipartite_matching, negative_sssp, reachability};
 use pmcf_core::SolverConfig;
 use pmcf_graph::generators;
+use pmcf_pram::profile::tracker_from_env;
 use pmcf_pram::Tracker;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(3);
+    let mut artifact = Artifact::new("corollaries", seed);
+    let mut profile = None;
+
     let cfg = SolverConfig::default();
     println!("## E-MATCH — bipartite matching (Corollary 1.3)\n");
     println!("| n_left | n_right | m | HK size | IPM size | IPM work | IPM depth |");
     println!("|---|---|---|---|---|---|---|");
     for &(nl, m) in &[(8usize, 24usize), (16, 64), (32, 160)] {
-        let g = generators::random_bipartite(nl, nl, m, 3);
+        let g = generators::random_bipartite(nl, nl, m, seed);
         let (want, _) = hopcroft_karp::max_matching(&g, nl);
-        let mut t = Tracker::new();
+        let mut t = tracker_from_env();
         let (got, _) = bipartite_matching(&mut t, &g, nl, &cfg);
         assert_eq!(got, want);
-        println!("| {nl} | {nl} | {m} | {want} | {got} | {} | {} |", t.work(), t.depth());
+        println!(
+            "| {nl} | {nl} | {m} | {want} | {got} | {} | {} |",
+            t.work(),
+            t.depth()
+        );
+        artifact.row(vec![
+            ("section", Json::from("matching")),
+            ("n_left", Json::from(nl)),
+            ("m", Json::from(m)),
+            ("size", Json::from(got)),
+            ("work", Json::from(t.work())),
+            ("depth", Json::from(t.depth())),
+        ]);
+        if let Some(rep) = t.profile_report() {
+            profile = Some((format!("bipartite matching, n_left={nl}, m={m}"), rep));
+        }
     }
 
     println!("\n## E-SSSP — negative-weight SSSP (Corollary 1.4)\n");
     println!("| n | m | matches Bellman-Ford | IPM work | IPM depth |");
     println!("|---|---|---|---|---|");
     for &(n, m) in &[(12usize, 36usize), (24, 96), (48, 240)] {
-        let (g, w) = generators::random_negative_sssp(n, m, 6, 5);
+        let (g, w) = generators::random_negative_sssp(n, m, 6, seed + 2);
         let want = bellman_ford::sssp(&g, &w, 0).unwrap();
-        let mut t = Tracker::new();
+        let mut t = tracker_from_env();
         let got = negative_sssp(&mut t, &g, &w, 0, &cfg).unwrap();
         assert_eq!(got, want);
         println!("| {n} | {m} | yes | {} | {} |", t.work(), t.depth());
+        artifact.row(vec![
+            ("section", Json::from("sssp")),
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("work", Json::from(t.work())),
+            ("depth", Json::from(t.depth())),
+        ]);
     }
 
     println!("\n## E-REACH — reachability (Corollary 1.5)\n");
     println!("| n | m | matches BFS | IPM work | IPM depth | BFS depth |");
     println!("|---|---|---|---|---|---|");
     for &k in &[4usize, 8] {
-        let g = generators::chained_cliques(k, 5, 2);
+        let g = generators::chained_cliques(k, 5, seed.wrapping_sub(1));
         let want = bfs::reachable_seq(&g, 0);
-        let mut t = Tracker::new();
+        let mut t = tracker_from_env();
         let got = reachability(&mut t, &g, 0, &cfg);
         assert_eq!(got, want);
         let mut tb = Tracker::new();
@@ -52,5 +84,18 @@ fn main() {
             t.depth(),
             tb.depth()
         );
+        artifact.row(vec![
+            ("section", Json::from("reachability")),
+            ("n", Json::from(g.n())),
+            ("m", Json::from(g.m())),
+            ("work", Json::from(t.work())),
+            ("depth", Json::from(t.depth())),
+            ("bfs_depth", Json::from(tb.depth())),
+        ]);
     }
+
+    if let Some((label, rep)) = profile {
+        artifact.attach_profile_report(&label, &rep);
+    }
+    artifact.write_if_requested(&args.json);
 }

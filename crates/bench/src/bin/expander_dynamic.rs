@@ -4,21 +4,30 @@
 //! decomposition should be roughly independent of the graph size and of
 //! the batch count. E-PRUNE: the volume pruned by decremental updates is
 //! proportional to the deleted volume, not the graph.
+//!
+//! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
+//! span-tree profile of the last E-PRUNE run.
 
+use pmcf_bench::{Artifact, BenchArgs, Json};
 use pmcf_expander::pruning::BoostedPruner;
 use pmcf_expander::DynamicExpanderDecomposition;
 use pmcf_graph::generators;
-use pmcf_pram::Tracker;
+use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(5);
+    let mut artifact = Artifact::new("expander_dynamic", seed);
+    let mut profile = None;
+
     println!("## E-DYNX — dynamic decomposition: amortized update work\n");
     println!("| n | m | batch size | batches | total work | work/edge | depth/batch |");
     println!("|---|---|---|---|---|---|---|");
     for &(n, m) in &[(128usize, 1024usize), (256, 2048), (512, 4096)] {
-        let g = generators::gnm_ugraph(n, m, 5);
+        let g = generators::gnm_ugraph(n, m, seed);
         for &batch in &[16usize, 64, 256] {
-            let mut d = DynamicExpanderDecomposition::new(n, 0.1, 9);
-            let mut t = Tracker::new();
+            let mut d = DynamicExpanderDecomposition::new(n, 0.1, seed + 4);
+            let mut t = tracker_from_env();
             let mut batches = 0u64;
             for chunk in g.edges().chunks(batch) {
                 let _ = d.insert_edges(&mut t, chunk);
@@ -30,6 +39,19 @@ fn main() {
                 t.work() as f64 / m as f64,
                 t.depth() as f64 / batches as f64
             );
+            artifact.row(vec![
+                ("section", Json::from("dynx")),
+                ("n", Json::from(n)),
+                ("m", Json::from(m)),
+                ("batch", Json::from(batch)),
+                ("batches", Json::from(batches)),
+                ("work", Json::from(t.work())),
+                ("work_per_edge", Json::from(t.work() as f64 / m as f64)),
+                (
+                    "depth_per_batch",
+                    Json::from(t.depth() as f64 / batches as f64),
+                ),
+            ]);
         }
     }
 
@@ -37,9 +59,9 @@ fn main() {
     println!("| n | deleted edges | pruned volume | ratio | work/deleted edge |");
     println!("|---|---|---|---|---|");
     for &n in &[128usize, 256, 512] {
-        let g = generators::random_regular_ugraph(n, 8, 3);
+        let g = generators::random_regular_ugraph(n, 8, seed.wrapping_sub(2));
         let mut p = BoostedPruner::new(g.clone(), 0.2);
-        let mut t = Tracker::new();
+        let mut t = tracker_from_env();
         let mut deleted = 0usize;
         let mut pruned_vol = 0usize;
         // scattered deletions (certificate routes, nothing pruned) …
@@ -61,6 +83,25 @@ fn main() {
             pruned_vol as f64 / deleted as f64,
             t.work() as f64 / deleted as f64
         );
+        artifact.row(vec![
+            ("section", Json::from("prune")),
+            ("n", Json::from(n)),
+            ("deleted", Json::from(deleted)),
+            ("pruned_volume", Json::from(pruned_vol)),
+            ("ratio", Json::from(pruned_vol as f64 / deleted as f64)),
+            (
+                "work_per_deleted",
+                Json::from(t.work() as f64 / deleted as f64),
+            ),
+        ]);
+        if let Some(rep) = t.profile_report() {
+            profile = Some((format!("E-PRUNE, n={n}"), rep));
+        }
     }
     println!("\nShape: work/edge and pruned/deleted stay bounded as n grows (Lemma 3.1/3.3).");
+
+    if let Some((label, rep)) = profile {
+        artifact.attach_profile_report(&label, &rep);
+    }
+    artifact.write_if_requested(&args.json);
 }

@@ -2,25 +2,36 @@
 //!
 //! Sweeps n at m ≈ n^1.5 and fits iterations ~ n^a; the paper predicts
 //! a ≈ 0.5 (times log factors from the μ range).
+//!
+//! Flags: `[max_n] --seed <u64> --json <path>`.
 
-use pmcf_bench::fit_exponent;
-use pmcf_core::reference::{path_follow, PathFollowConfig};
+use pmcf_bench::{fit_exponent, Artifact, BenchArgs, Json};
 use pmcf_core::init;
+use pmcf_core::reference::{path_follow, PathFollowConfig};
 use pmcf_graph::generators;
-use pmcf_pram::Tracker;
+use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let max_n = args.max_size_or(256);
+    let seed = args.seed_or(11);
+    let mut artifact = Artifact::new("iterations", seed);
+    let mut profile = None;
+
     println!("## E-ITER — path-following iterations vs n (m = n^1.5)\n");
     println!("| n | m | iterations | iterations/√n | iterations/(√n·log μ-range) |");
     println!("|---|---|---|---|---|");
     let mut pts = Vec::new();
     for &n in &[36usize, 64, 100, 144, 196, 256] {
+        if n > max_n {
+            break;
+        }
         let m = generators::dense_m(n);
-        let p = generators::random_mcf(n, m, 8, 6, 11 + n as u64);
+        let p = generators::random_mcf(n, m, 8, 6, seed + n as u64);
         let ext = init::extend(&p);
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mu_end = init::final_mu(&ext.prob);
-        let mut t = Tracker::new();
+        let mut t = tracker_from_env();
         let (_, stats) = path_follow(
             &mut t,
             &ext.prob,
@@ -37,10 +48,29 @@ fn main() {
             stats.iterations as f64 / sq,
             stats.iterations as f64 / (sq * lg)
         );
+        artifact.row(vec![
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("iterations", Json::from(stats.iterations)),
+            ("per_sqrt_n", Json::from(stats.iterations as f64 / sq)),
+            (
+                "per_sqrt_n_log",
+                Json::from(stats.iterations as f64 / (sq * lg)),
+            ),
+            ("work", Json::from(t.work())),
+            ("depth", Json::from(t.depth())),
+        ]);
+        if let Some(rep) = t.profile_report() {
+            profile = Some((format!("reference IPM, n={n}, m={m}"), rep));
+        }
         pts.push((n as f64, stats.iterations as f64));
     }
-    println!(
-        "\nFitted exponent: iterations ~ n^{:.2} (paper: 0.5 ± log factors)",
-        fit_exponent(&pts)
-    );
+    let a = fit_exponent(&pts);
+    println!("\nFitted exponent: iterations ~ n^{a:.2} (paper: 0.5 ± log factors)");
+    artifact.set("exponent", Json::F64(a));
+
+    if let Some((label, rep)) = profile {
+        artifact.attach_profile_report(&label, &rep);
+    }
+    artifact.write_if_requested(&args.json);
 }

@@ -6,16 +6,29 @@
 //! (Θ(m)/iteration), our tuned reference, and the robust engine
 //! (Theorem 1.2). All four solve each instance *exactly* (values cross
 //! checked); work/depth come from the PRAM cost model.
+//!
+//! Flags: `[max_n] --seed <u64> --json <path>`. With `PMCF_PROFILE=1`
+//! the robust engine's largest solve is span-profiled; the phase tree is
+//! printed and embedded in the artifact. At workstation scale the solve's
+//! epoch rebuilds (every `√n` iterations) outpace the 4× weight-class
+//! drift a `HeavyHitter` class move needs, so the solve alone never
+//! reaches the decremental expander path — the profiled run therefore
+//! also drives a delete → prune → trim → unit-flow maintenance drill on
+//! the same tracker so the artifact covers the whole stack.
 
 use pmcf_baselines::ssp;
-use pmcf_bench::{configs, fit_exponent};
+use pmcf_bench::{configs, fit_exponent, Artifact, BenchArgs, Json};
 use pmcf_core::solve_mcf;
+use pmcf_expander::DynamicExpanderDecomposition;
 use pmcf_graph::generators;
-use pmcf_pram::Tracker;
+use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let max_n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(144);
+    let args = BenchArgs::parse();
+    let max_n = args.max_size_or(144);
+    let seed = args.seed_or(42);
+    let mut artifact = Artifact::new("table1_mcf", seed);
+    let mut profile = None;
 
     println!("## Table 1 (left) — min-cost flow: measured work and depth\n");
     println!("| n | m | algorithm | iterations | work | depth | cost |");
@@ -26,34 +39,54 @@ fn main() {
             break;
         }
         let m = generators::dense_m(n); // m ≈ n^1.5
-        let p = generators::random_mcf(n, m, 8, 6, 42 + n as u64);
+        let p = generators::random_mcf(n, m, 8, 6, seed + n as u64);
         // sequential baseline: SSP (work = depth = operation count proxy)
-        let t0 = std::time::Instant::now();
         let opt = ssp::min_cost_flow(&p).expect("feasible");
         let ssp_ops = (p.m() as u64) * (p.n() as u64); // O(F·m)-style proxy
         println!(
             "| {n} | {m} | sequential SSP | — | {ssp_ops} | {ssp_ops} | {} |",
             opt.cost(&p)
         );
-        let _ = t0;
+        artifact.row(vec![
+            ("section", Json::from("table1")),
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("algorithm", Json::from("sequential SSP")),
+            ("work", Json::from(ssp_ops)),
+            ("depth", Json::from(ssp_ops)),
+            ("cost", Json::from(opt.cost(&p))),
+        ]);
         for (name, cfg) in configs() {
-            let mut t = Tracker::new();
+            let mut t = tracker_from_env();
+            let wall = std::time::Instant::now();
             let sol = solve_mcf(&mut t, &p, &cfg).expect("feasible");
+            let wall = wall.elapsed().as_secs_f64();
             assert_eq!(sol.cost, opt.cost(&p), "exactness violated for {name}");
+            let (work, depth) = (t.work(), t.depth());
             println!(
-                "| {n} | {m} | {name} | {} | {} | {} | {} |",
-                sol.stats.iterations,
-                t.work(),
-                t.depth(),
-                sol.cost
+                "| {n} | {m} | {name} | {} | {work} | {depth} | {} |",
+                sol.stats.iterations, sol.cost
             );
+            artifact.row(vec![
+                ("section", Json::from("table1")),
+                ("n", Json::from(n)),
+                ("m", Json::from(m)),
+                ("algorithm", Json::from(name)),
+                ("iterations", Json::from(sol.stats.iterations)),
+                ("work", Json::from(work)),
+                ("depth", Json::from(depth)),
+                ("wall_seconds", Json::from(wall)),
+                ("cost", Json::from(sol.cost)),
+            ]);
             series
                 .iter_mut()
                 .find(|(s, _)| s == name)
-                .map(|(_, v)| v.push((n as f64, t.work() as f64)))
-                .unwrap_or_else(|| {
-                    series.push((name.to_string(), vec![(n as f64, t.work() as f64)]))
-                });
+                .map(|(_, v)| v.push((n as f64, work as f64)))
+                .unwrap_or_else(|| series.push((name.to_string(), vec![(n as f64, work as f64)])));
+            // keep the largest robust solve's tracker for the profile
+            if cfg.engine == pmcf_core::Engine::Robust && t.is_profiled() {
+                profile = Some((format!("{name}, n={n}, m={m}"), t));
+            }
         }
     }
     // density sweep at fixed n: the robust-vs-dense gap must widen in m
@@ -62,14 +95,14 @@ fn main() {
     println!("|---|---|---|---|");
     if max_n >= 64 {
         for &m in &[512usize, 1024, 2048, 4096] {
-            let p = generators::random_mcf(64, m, 8, 6, 400 + m as u64);
+            let p = generators::random_mcf(64, m, 8, 6, seed * 10 + m as u64);
             let opt = ssp::min_cost_flow(&p).expect("feasible");
             let mut works = Vec::new();
             for (name, cfg) in configs() {
                 if name == "reference IPM" {
                     continue;
                 }
-                let mut t = Tracker::new();
+                let mut t = tracker_from_env();
                 let sol = solve_mcf(&mut t, &p, &cfg).expect("feasible");
                 assert_eq!(sol.cost, opt.cost(&p));
                 works.push(t.work());
@@ -80,14 +113,44 @@ fn main() {
                 works[1],
                 works[0] as f64 / works[1] as f64
             );
+            artifact.row(vec![
+                ("section", Json::from("density_sweep")),
+                ("n", Json::from(64usize)),
+                ("m", Json::from(m)),
+                ("dense_work", Json::from(works[0])),
+                ("robust_work", Json::from(works[1])),
+                ("ratio", Json::from(works[0] as f64 / works[1] as f64)),
+            ]);
         }
     }
 
     println!("\n### Fitted work exponents (work ~ n^a at m = n^1.5)\n");
+    let mut exps: Vec<(String, Json)> = Vec::new();
     for (name, pts) in &series {
         if pts.len() >= 3 {
-            println!("- {name}: a ≈ {:.2}", fit_exponent(pts));
+            let a = fit_exponent(pts);
+            println!("- {name}: a ≈ {a:.2}");
+            exps.push((name.clone(), Json::F64(a)));
         }
     }
+    artifact.set("exponents", Json::Obj(exps));
     println!("\nPaper: robust = Õ(m + n^1.5) = Õ(n^1.5) here; dense = Õ(m√n) = Õ(n^2).");
+
+    if let Some((label, mut t)) = profile {
+        // maintenance drill: exercise the decremental expander path
+        // (delete → prune → trim → unit-flow) that the solve's epochs
+        // never reach at this scale, so the profile covers the stack
+        t.span("expander/maintenance", |t| {
+            let g = generators::random_regular_ugraph(256, 8, seed);
+            let mut d = DynamicExpanderDecomposition::new(256, 0.1, seed);
+            let keys = d.insert_edges(t, g.edges());
+            for chunk in keys.chunks(64).take(8) {
+                d.delete_edges(t, chunk);
+            }
+        });
+        if let Some(rep) = t.profile_report() {
+            artifact.attach_profile_report(&label, &rep);
+        }
+    }
+    artifact.write_if_requested(&args.json);
 }

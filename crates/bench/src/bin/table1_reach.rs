@@ -3,16 +3,23 @@
 //! Parallel BFS has `O(m)` work but `Θ(diameter)` depth; on the
 //! high-diameter chained-clique family the IPM route (Corollary 1.5)
 //! keeps depth `Õ(√n)` at `Õ(m + n^1.5)` work. Both must agree exactly.
+//!
+//! Flags: `[max_blocks] --seed <u64> --json <path>`.
 
 use pmcf_baselines::bfs;
+use pmcf_bench::{Artifact, BenchArgs, Json};
 use pmcf_core::corollaries::reachability;
 use pmcf_core::SolverConfig;
 use pmcf_graph::generators;
+use pmcf_pram::profile::tracker_from_env;
 use pmcf_pram::Tracker;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let max_blocks: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let args = BenchArgs::parse();
+    let max_blocks = args.max_size_or(16);
+    let seed = args.seed_or(7);
+    let mut artifact = Artifact::new("table1_reach", seed);
+    let mut profile = None;
 
     println!("## Table 1 (right) — reachability: measured work and depth\n");
     println!("| n | m | diameter≈ | algorithm | work | depth |");
@@ -22,7 +29,7 @@ fn main() {
             break;
         }
         let c = 6; // clique size
-        let g = generators::chained_cliques(k, c, 7);
+        let g = generators::chained_cliques(k, c, seed);
         let (n, m) = (g.n(), g.m());
         let mut tb = Tracker::new();
         let (bfs_mask, levels) = bfs::reachable_par(&mut tb, &g, 0);
@@ -32,8 +39,16 @@ fn main() {
             tb.work(),
             tb.depth()
         );
+        artifact.row(vec![
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("diameter", Json::from(2 * k)),
+            ("algorithm", Json::from("parallel BFS")),
+            ("work", Json::from(tb.work())),
+            ("depth", Json::from(tb.depth())),
+        ]);
         let _ = levels;
-        let mut ti = Tracker::new();
+        let mut ti = tracker_from_env();
         let ipm_mask = reachability(&mut ti, &g, 0, &SolverConfig::default());
         assert_eq!(ipm_mask, bfs_mask, "reachability mismatch at k={k}");
         println!(
@@ -42,7 +57,23 @@ fn main() {
             ti.work(),
             ti.depth()
         );
+        artifact.row(vec![
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("diameter", Json::from(2 * k)),
+            ("algorithm", Json::from("IPM (Cor. 1.5)")),
+            ("work", Json::from(ti.work())),
+            ("depth", Json::from(ti.depth())),
+        ]);
+        if let Some(rep) = ti.profile_report() {
+            profile = Some((format!("IPM reachability, n={n}, m={m}"), rep));
+        }
     }
     println!("\nShape: BFS depth grows linearly with the diameter (∝ n);");
     println!("the IPM depth grows with √n·polylog — the crossover the paper claims.");
+
+    if let Some((label, rep)) = profile {
+        artifact.attach_profile_report(&label, &rep);
+    }
+    artifact.write_if_requested(&args.json);
 }

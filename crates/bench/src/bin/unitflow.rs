@@ -1,16 +1,25 @@
 //! Experiment E-UF — Lemma 3.11: ParallelUnitFlow's work scales with the
 //! injected demand (`‖Δ‖₀`-ish), not with the host graph size.
+//!
+//! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
+//! span-tree profile of the last run.
 
+use pmcf_bench::{Artifact, BenchArgs, Json};
 use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
 use pmcf_graph::generators;
-use pmcf_pram::Tracker;
+use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed_or(1);
+    let mut artifact = Artifact::new("unitflow", seed);
+    let mut profile = None;
+
     println!("## E-UF — unit flow: work vs demand size and graph size\n");
     println!("| n | m | sources | demand | work | depth | sweeps |");
     println!("|---|---|---|---|---|---|---|");
     for &n in &[256usize, 1024, 4096] {
-        let g = generators::random_regular_ugraph(n, 8, 1);
+        let g = generators::random_regular_ugraph(n, 8, seed);
         for &k in &[1usize, 8, 32] {
             let alive = vec![true; g.n()];
             let edge_ok = vec![true; g.m()];
@@ -25,9 +34,8 @@ fn main() {
             // each source injects far more than its own sink can take,
             // forcing the flow to spread through the expander (total
             // demand stays below the global sink capacity rate·2m)
-            let sources: Vec<(usize, f64)> =
-                (0..k).map(|i| ((i * 37) % n, 12.0)).collect();
-            let mut t = Tracker::new();
+            let sources: Vec<(usize, f64)> = (0..k).map(|i| ((i * 37) % n, 12.0)).collect();
+            let mut t = tracker_from_env();
             let out = parallel_unit_flow(&mut t, &p, &mut s, &sources, 0.5, 50_000);
             assert!(out.remaining_excess < 1e-9, "unroutable at n={n} k={k}");
             println!(
@@ -38,7 +46,24 @@ fn main() {
                 t.depth(),
                 out.sweeps
             );
+            artifact.row(vec![
+                ("n", Json::from(n)),
+                ("m", Json::from(g.m())),
+                ("sources", Json::from(k)),
+                ("demand", Json::from(12.0 * k as f64)),
+                ("work", Json::from(t.work())),
+                ("depth", Json::from(t.depth())),
+                ("sweeps", Json::from(out.sweeps)),
+            ]);
+            if let Some(rep) = t.profile_report() {
+                profile = Some((format!("unit flow, n={n}, sources={k}"), rep));
+            }
         }
     }
     println!("\nShape: at fixed sources work is flat in n; work grows ~linearly in demand.");
+
+    if let Some((label, rep)) = profile {
+        artifact.attach_profile_report(&label, &rep);
+    }
+    artifact.write_if_requested(&args.json);
 }

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # pmcf-bench — experiment harnesses
 //!
 //! One binary per experiment id of DESIGN.md §5 plus shared helpers.
@@ -6,6 +7,10 @@
 
 use pmcf_core::reference::PathFollowConfig;
 use pmcf_core::{Engine, SolverConfig};
+
+pub mod artifact;
+
+pub use artifact::{Artifact, BenchArgs, Json};
 
 /// The three solver rows of Table 1 (left).
 pub fn configs() -> Vec<(&'static str, SolverConfig)> {
@@ -57,7 +62,9 @@ mod tests {
 
     #[test]
     fn exponent_fit_recovers_power_law() {
-        let pts: Vec<(f64, f64)> = (1..10).map(|i| (i as f64, (i as f64).powf(1.5) * 7.0)).collect();
+        let pts: Vec<(f64, f64)> = (1..10)
+            .map(|i| (i as f64, (i as f64).powf(1.5) * 7.0))
+            .collect();
         assert!((fit_exponent(&pts) - 1.5).abs() < 1e-9);
     }
 

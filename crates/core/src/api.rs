@@ -252,8 +252,8 @@ mod tests {
                 net[v] += flow.x[e];
                 assert!(flow.x[e] >= 0 && flow.x[e] <= cap[e]);
             }
-            for v in 1..9 {
-                assert_eq!(net[v], 0);
+            for &nv in &net[1..9] {
+                assert_eq!(nv, 0);
             }
         }
     }
@@ -285,12 +285,7 @@ mod tests {
     #[test]
     fn zero_cap_edges_and_self_loops_are_tolerated() {
         let g = DiGraph::from_edges(3, vec![(0, 1), (1, 1), (1, 2), (0, 2)]);
-        let p = McfProblem::new(
-            g,
-            vec![3, 5, 3, 0],
-            vec![1, -100, 1, 0],
-            vec![-2, 0, 2],
-        );
+        let p = McfProblem::new(g, vec![3, 5, 3, 0], vec![1, -100, 1, 0], vec![-2, 0, 2]);
         let mut t = Tracker::new();
         let sol = solve_mcf(&mut t, &p, &SolverConfig::default()).unwrap();
         assert_eq!(sol.flow.x[1], 0, "self loop carries nothing");

@@ -39,6 +39,13 @@ impl CenteredReport {
 
 /// Measure Definition F.1 for a state on an instance.
 pub fn check_centered(t: &mut Tracker, p: &McfProblem, st: &CentralPathState) -> CenteredReport {
+    t.span("ipm/check-centered", |t| {
+        t.counter("ipm.centrality_checks", 1);
+        check_centered_inner(t, p, st)
+    })
+}
+
+fn check_centered_inner(t: &mut Tracker, p: &McfProblem, st: &CentralPathState) -> CenteredReport {
     let m = p.m();
     let cap: Vec<f64> = p.cap.iter().map(|&u| u as f64).collect();
 
@@ -60,9 +67,7 @@ pub fn check_centered(t: &mut Tracker, p: &McfProblem, st: &CentralPathState) ->
 
     // condition 3: ‖r‖_{H⁻¹} with H = Aᵀ(TΦ'')⁻¹A — via one solve
     let atx = incidence::apply_at(t, &p.graph, &st.x);
-    let mut r: Vec<f64> = (0..p.n())
-        .map(|v| atx[v] - p.demand[v] as f64)
-        .collect();
+    let mut r: Vec<f64> = (0..p.n()).map(|v| atx[v] - p.demand[v] as f64).collect();
     r[0] = 0.0;
     let d: Vec<f64> = (0..m)
         .map(|e| 1.0 / (st.tau[e] * barrier::ddphi(st.x[e], cap[e])))
@@ -107,7 +112,11 @@ mod tests {
         );
         let rep = check_centered(&mut t, &ext.prob, &st);
         assert!(rep.centrality < 1.0, "centrality {}", rep.centrality);
-        assert!(rep.dual_residual < 1e-6, "dual residual {}", rep.dual_residual);
+        assert!(
+            rep.dual_residual < 1e-6,
+            "dual residual {}",
+            rep.dual_residual
+        );
         assert!(
             rep.primal_infeasibility < 1e-3,
             "infeasibility {}",
@@ -153,7 +162,11 @@ mod tests {
         };
         let mut t = Tracker::new();
         let rep = check_centered(&mut t, &ext.prob, &st);
-        assert!(rep.centrality <= 0.5, "initial centrality {}", rep.centrality);
+        assert!(
+            rep.centrality <= 0.5,
+            "initial centrality {}",
+            rep.centrality
+        );
         assert!(rep.primal_infeasibility < 1e-6);
         let _ = cap;
     }

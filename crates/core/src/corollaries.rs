@@ -54,9 +54,9 @@ pub fn reachability(t: &mut Tracker, g: &DiGraph, s: usize, cfg: &SolverConfig) 
         cap.push(big);
     }
     let mut collector = vec![usize::MAX; n];
-    for v in 0..n {
+    for (v, c) in collector.iter_mut().enumerate() {
         if v != s {
-            collector[v] = edges.len();
+            *c = edges.len();
             edges.push((v, n));
             cap.push(1);
         }

@@ -75,16 +75,18 @@ pub fn extend(p: &McfProblem) -> Extended {
     for &(v, dv) in &imbalanced {
         // d_v > 0: v needs net inflow d_v → edge z→v at x0 = d_v, cap 2d_v
         // d_v < 0: v needs net outflow → edge v→z
-        // |d_v| is integral when caps are even; for odd caps it is a
-        // half-integer — double the aux capacity to keep it integral.
+        // The capacity must be *exactly* 2|d_v| so that x0 sits at the box
+        // center (φ' = 0 there, which is what makes the initial point
+        // centered for large μ). 2|d_v| is always integral: imbalances are
+        // half-integers because x0 is half the (integer) capacities.
         let need = dv.abs();
-        let cap_aux = (2.0 * need).ceil() as i64 + ((2.0 * need).ceil() as i64 % 2);
+        let cap_aux = (2.0 * need).round() as i64;
         if dv > 0.0 {
             edges.push((z, v));
         } else {
             edges.push((v, z));
         }
-        cap.push(cap_aux.max(2));
+        cap.push(cap_aux.max(1));
         cost.push(big_m);
         x0.push(need);
     }

@@ -34,5 +34,3 @@ pub mod rounding;
 pub mod trace;
 
 pub use api::{max_flow, min_cost_flow, solve_mcf, Engine, McfSolution, SolverConfig};
-
-

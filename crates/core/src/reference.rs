@@ -93,19 +93,18 @@ pub struct CentralPathState {
 /// ∞-norm.
 pub fn centrality(st: &CentralPathState, cap: &[f64]) -> (Vec<f64>, f64) {
     let mut worst = 0.0f64;
-    let z: Vec<f64> = st
-        .x
-        .iter()
-        .zip(cap)
-        .zip(&st.s)
-        .zip(&st.tau)
-        .map(|(((&xi, &ui), &si), &ti)| {
-            let zi = (si + st.mu * ti * barrier::dphi(xi, ui))
-                / (st.mu * ti * barrier::ddphi(xi, ui).sqrt());
-            worst = worst.max(zi.abs());
-            zi
-        })
-        .collect();
+    let z: Vec<f64> =
+        st.x.iter()
+            .zip(cap)
+            .zip(&st.s)
+            .zip(&st.tau)
+            .map(|(((&xi, &ui), &si), &ti)| {
+                let zi = (si + st.mu * ti * barrier::dphi(xi, ui))
+                    / (st.mu * ti * barrier::ddphi(xi, ui).sqrt());
+                worst = worst.max(zi.abs());
+                zi
+            })
+            .collect();
     (z, worst)
 }
 
@@ -143,7 +142,10 @@ pub fn path_follow_traced(
     let tau_solver = LaplacianSolver::new(
         p.graph.clone(),
         0,
-        SolverOpts { tol: 2e-3, max_iter: 300 },
+        SolverOpts {
+            tol: 2e-3,
+            max_iter: 300,
+        },
     );
 
     let mut st = CentralPathState {
@@ -156,129 +158,136 @@ pub fn path_follow_traced(
     barrier::clamp_interior(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
 
-    let refresh_tau = |t: &mut Tracker,
-                       st: &mut CentralPathState,
-                       stats: &mut PathStats,
-                       round: usize| {
-        // τ = σ(Φ''^{-1/2} A) + n/m  (leverage-score weights; the ℓ_p
-        // Lewis refinement changes polylog factors only — DESIGN.md §2)
-        let d: Vec<f64> = st
-            .x
-            .iter()
-            .zip(&cap)
-            .map(|(&xi, &ui)| 1.0 / barrier::ddphi(xi, ui))
-            .collect();
-        let sigma = estimate_leverage(t, &tau_solver, &d, 0.8, cfg.seed.wrapping_add(round as u64));
-        let reg = n as f64 / m as f64;
-        for (te, se) in st.tau.iter_mut().zip(&sigma) {
-            *te = se + reg;
-        }
-        stats.cg_iterations += 1; // counted coarsely inside estimate
-    };
+    let refresh_tau =
+        |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, round: usize| {
+            t.span("ipm/tau-refresh", |t| {
+                t.counter("ipm.tau_refreshes", 1);
+                // τ = σ(Φ''^{-1/2} A) + n/m  (leverage-score weights; the ℓ_p
+                // Lewis refinement changes polylog factors only — DESIGN.md §2)
+                let d: Vec<f64> =
+                    st.x.iter()
+                        .zip(&cap)
+                        .map(|(&xi, &ui)| 1.0 / barrier::ddphi(xi, ui))
+                        .collect();
+                let sigma =
+                    estimate_leverage(t, &tau_solver, &d, 0.8, cfg.seed.wrapping_add(round as u64));
+                let reg = n as f64 / m as f64;
+                for (te, se) in st.tau.iter_mut().zip(&sigma) {
+                    *te = se + reg;
+                }
+                stats.cg_iterations += 1; // counted coarsely inside estimate
+            })
+        };
     refresh_tau(t, &mut st, &mut stats, 0);
 
     let newton = |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats| -> f64 {
-        // residuals
-        let ddx: Vec<f64> = st
-            .x
-            .iter()
-            .zip(&cap)
-            .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
-            .collect();
-        let r_d: Vec<f64> = st
-            .x
-            .iter()
-            .zip(&cap)
-            .zip(&st.s)
-            .zip(&st.tau)
-            .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
-            .collect();
-        let atx = incidence::apply_at(t, &p.graph, &st.x);
-        let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
-        // D = 1/(μ τ φ'')
-        let d: Vec<f64> = st
-            .tau
-            .iter()
-            .zip(&ddx)
-            .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
-            .collect();
-        // rhs = r_p + AᵀD r_d
-        let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
-        let at_dr = incidence::apply_at(t, &p.graph, &dr);
-        let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
-        rhs[0] = 0.0;
-        let (dy, solve_stats) = solver.solve(t, &d, &rhs);
-        stats.cg_iterations += solve_stats.iterations;
-        // δ_x = D(A δ_y − r_d)
-        let ady = incidence::apply_a(t, &p.graph, &dy);
-        let dx: Vec<f64> = d
-            .iter()
-            .zip(&ady)
-            .zip(&r_d)
-            .map(|((&di, &ai), &ri)| di * (ai - ri))
-            .collect();
-        t.charge(Cost::par_flat(m as u64 * 4));
-        // line search: stay strictly inside the box
-        let mut alpha = 1.0f64;
-        for ((&xi, &ui), &dxi) in st.x.iter().zip(&cap).zip(&dx) {
-            if dxi > 0.0 {
-                alpha = alpha.min(0.90 * (ui - xi) / dxi);
-            } else if dxi < 0.0 {
-                alpha = alpha.min(0.90 * xi / (-dxi));
+        t.span("ipm/newton", |t| {
+            t.counter("ipm.newton_steps", 1);
+            // residuals
+            let ddx: Vec<f64> =
+                st.x.iter()
+                    .zip(&cap)
+                    .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
+                    .collect();
+            let r_d: Vec<f64> =
+                st.x.iter()
+                    .zip(&cap)
+                    .zip(&st.s)
+                    .zip(&st.tau)
+                    .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
+                    .collect();
+            let atx = incidence::apply_at(t, &p.graph, &st.x);
+            let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
+            // D = 1/(μ τ φ'')
+            let d: Vec<f64> = st
+                .tau
+                .iter()
+                .zip(&ddx)
+                .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
+                .collect();
+            // rhs = r_p + AᵀD r_d
+            let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
+            let at_dr = incidence::apply_at(t, &p.graph, &dr);
+            let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
+            rhs[0] = 0.0;
+            let (dy, solve_stats) = solver.solve(t, &d, &rhs);
+            stats.cg_iterations += solve_stats.iterations;
+            // δ_x = D(A δ_y − r_d)
+            let ady = incidence::apply_a(t, &p.graph, &dy);
+            let dx: Vec<f64> = d
+                .iter()
+                .zip(&ady)
+                .zip(&r_d)
+                .map(|((&di, &ai), &ri)| di * (ai - ri))
+                .collect();
+            t.charge(Cost::par_flat(m as u64 * 4));
+            // line search: stay strictly inside the box
+            let mut alpha = 1.0f64;
+            for ((&xi, &ui), &dxi) in st.x.iter().zip(&cap).zip(&dx) {
+                if dxi > 0.0 {
+                    alpha = alpha.min(0.90 * (ui - xi) / dxi);
+                } else if dxi < 0.0 {
+                    alpha = alpha.min(0.90 * xi / (-dxi));
+                }
             }
-        }
-        t.charge(Cost::reduce(m as u64));
-        for (xi, &dxi) in st.x.iter_mut().zip(&dx) {
-            *xi += alpha * dxi;
-        }
-        for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
-            *yi += alpha * dyi;
-        }
-        let ay = incidence::apply_a(t, &p.graph, &st.y);
-        for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
-            *si = ci - ayi;
-        }
-        stats.newton_steps += 1;
-        alpha
+            t.charge(Cost::reduce(m as u64));
+            for (xi, &dxi) in st.x.iter_mut().zip(&dx) {
+                *xi += alpha * dxi;
+            }
+            for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
+                *yi += alpha * dyi;
+            }
+            let ay = incidence::apply_a(t, &p.graph, &st.y);
+            for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
+                *si = ci - ayi;
+            }
+            stats.newton_steps += 1;
+            alpha
+        })
     };
 
-    while st.mu > mu_end && stats.iterations < cfg.max_iters {
-        stats.iterations += 1;
-        if let Some(rec) = trace.as_deref_mut() {
+    t.span("ipm/loop", |t| {
+        while st.mu > mu_end && stats.iterations < cfg.max_iters {
+            stats.iterations += 1;
+            t.counter("ipm.iterations", 1);
+            if let Some(rec) = trace.as_deref_mut() {
+                let tau_sum: f64 = st.tau.iter().sum();
+                rec.record(t, stats.iterations, st.mu, tau_sum, None);
+            }
+            if stats.iterations % cfg.tau_refresh == 0 {
+                let round = stats.iterations;
+                refresh_tau(t, &mut st, &mut stats, round);
+            }
+            // corrector: re-center at current μ
+            for _ in 0..cfg.max_correctors {
+                let (_, worst) = centrality(&st, &cap);
+                t.charge(Cost::par_flat(m as u64));
+                if worst <= cfg.center_tol {
+                    break;
+                }
+                let alpha = newton(t, &mut st, &mut stats);
+                if alpha < 1e-12 {
+                    break; // numerically stuck; step μ anyway
+                }
+            }
+            // predictor: shrink μ
             let tau_sum: f64 = st.tau.iter().sum();
-            rec.record(t, stats.iterations, st.mu, tau_sum, None);
+            let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
+            st.mu *= shrink.max(0.5);
         }
-        if stats.iterations % cfg.tau_refresh == 0 {
-            let round = stats.iterations;
-            refresh_tau(t, &mut st, &mut stats, round);
-        }
-        // corrector: re-center at current μ
+    });
+    // final polish at μ_end
+    t.span("ipm/polish", |t| {
         for _ in 0..cfg.max_correctors {
             let (_, worst) = centrality(&st, &cap);
-            t.charge(Cost::par_flat(m as u64));
             if worst <= cfg.center_tol {
                 break;
             }
-            let alpha = newton(t, &mut st, &mut stats);
-            if alpha < 1e-12 {
-                break; // numerically stuck; step μ anyway
+            if newton(t, &mut st, &mut stats) < 1e-12 {
+                break;
             }
         }
-        // predictor: shrink μ
-        let tau_sum: f64 = st.tau.iter().sum();
-        let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
-        st.mu *= shrink.max(0.5);
-    }
-    // final polish at μ_end
-    for _ in 0..cfg.max_correctors {
-        let (_, worst) = centrality(&st, &cap);
-        if worst <= cfg.center_tol {
-            break;
-        }
-        if newton(t, &mut st, &mut stats) < 1e-12 {
-            break;
-        }
-    }
+    });
     let (_, worst) = centrality(&st, &cap);
     stats.final_centrality = worst;
     stats.final_mu = st.mu;

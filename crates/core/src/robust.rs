@@ -84,6 +84,24 @@ fn build_structures(
     tau_anchor: &[f64],
     seed: u64,
 ) -> RobustState {
+    t.span("ipm/build-structures", |t| {
+        t.counter("ipm.structure_rebuilds", 1);
+        build_structures_inner(t, p, cap, x, s, mu, solver, tau_anchor, seed)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_structures_inner(
+    t: &mut Tracker,
+    p: &McfProblem,
+    cap: &[f64],
+    x: &[f64],
+    s: &[f64],
+    mu: f64,
+    solver: &LaplacianSolver,
+    tau_anchor: &[f64],
+    seed: u64,
+) -> RobustState {
     let (n, m) = (p.n(), p.m());
     let pp = ipm_p(n, m);
     let z_reg = (n as f64 / m as f64).min(0.5);
@@ -100,7 +118,10 @@ fn build_structures(
         LaplacianSolver::new(
             p.graph.clone(),
             solver.ground(),
-            SolverOpts { tol: 1e-4, max_iter: 400 },
+            SolverOpts {
+                tol: 1e-4,
+                max_iter: 400,
+            },
         ),
         g_lewis.clone(),
         tau_anchor.to_vec(),
@@ -183,12 +204,18 @@ pub fn path_follow(
     let tau_solver = LaplacianSolver::new(
         p.graph.clone(),
         0,
-        SolverOpts { tol: 2e-3, max_iter: 300 },
+        SolverOpts {
+            tol: 2e-3,
+            max_iter: 300,
+        },
     );
     let recenter_solver = LaplacianSolver::new(
         p.graph.clone(),
         0,
-        SolverOpts { tol: 1e-7, max_iter: 1500 },
+        SolverOpts {
+            tol: 1e-7,
+            max_iter: 1500,
+        },
     );
     let _rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD06F00D);
 
@@ -204,33 +231,41 @@ pub fn path_follow(
     let mut stats = PathStats::default();
 
     // dense recentering helper (shared with exactification)
-    let recenter = |t: &mut Tracker,
-                    st: &mut CentralPathState,
-                    stats: &mut PathStats,
-                    rounds: usize| {
-        for _ in 0..rounds {
-            let (_, worst) = centrality(st, &cap);
-            if worst <= cfg.center_tol {
-                break;
-            }
-            dense_newton(t, p, &recenter_solver, &cap, &cost, st, stats);
-        }
-    };
+    let recenter =
+        |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, rounds: usize| {
+            t.span("ipm/recenter", |t| {
+                t.counter("ipm.recenterings", 1);
+                for _ in 0..rounds {
+                    let (_, worst) = centrality(st, &cap);
+                    if worst <= cfg.center_tol {
+                        break;
+                    }
+                    dense_newton(t, p, &recenter_solver, &cap, &cost, st, stats);
+                }
+            })
+        };
 
     // τ anchor from dense leverage estimate
     let refresh_tau_dense = |t: &mut Tracker, st: &mut CentralPathState, round: usize| {
-        let d: Vec<f64> = st
-            .x
-            .iter()
-            .zip(&cap)
-            .map(|(&xi, &ui)| 1.0 / phi_terms(xi, ui).1)
-            .collect();
-        let sigma =
-            pmcf_linalg::leverage::estimate_leverage(t, &tau_solver, &d, 0.8, cfg.seed + round as u64);
-        let reg = n as f64 / m as f64;
-        for (te, se) in st.tau.iter_mut().zip(&sigma) {
-            *te = se + reg;
-        }
+        t.span("ipm/tau-refresh", |t| {
+            t.counter("ipm.tau_refreshes", 1);
+            let d: Vec<f64> =
+                st.x.iter()
+                    .zip(&cap)
+                    .map(|(&xi, &ui)| 1.0 / phi_terms(xi, ui).1)
+                    .collect();
+            let sigma = pmcf_linalg::leverage::estimate_leverage(
+                t,
+                &tau_solver,
+                &d,
+                0.8,
+                cfg.seed + round as u64,
+            );
+            let reg = n as f64 / m as f64;
+            for (te, se) in st.tau.iter_mut().zip(&sigma) {
+                *te = se + reg;
+            }
+        })
     };
     refresh_tau_dense(t, &mut st, 0);
     recenter(t, &mut st, &mut stats, cfg.max_correctors);
@@ -239,203 +274,209 @@ pub fn path_follow(
     let mut rs = build_structures(t, p, &cap, &st.x, &st.s, st.mu, &solver, &st.tau, cfg.seed);
     let mut tau_sum: f64 = rs.tau.iter().sum();
 
-    while st.mu > mu_end && stats.iterations < cfg.max_iters {
-        stats.iterations += 1;
+    t.span("ipm/loop", |t| {
+        while st.mu > mu_end && stats.iterations < cfg.max_iters {
+            stats.iterations += 1;
+            t.counter("ipm.iterations", 1);
 
-        // ---- epoch boundary: exactify, recenter, rebuild structures ----
-        if stats.iterations % epoch == 0 {
-            let x_exact = rs.pg.compute_exact(t);
-            let s_exact = rs.dm.compute_exact(t);
-            st.x = x_exact;
-            // NOTE: the maintained s̄ seeds the recentering residuals; the
-            // first dense Newton re-derives s = c − Ay exactly, so dual
-            // feasibility is restored from `y` regardless of the drift
-            // the sampled steps introduced.
-            st.s = s_exact;
-            barrier::clamp_interior(&mut st.x, &cap, 1e-9);
-            // τ anchor refresh is the costly part (Õ(m) of solves): do it
-            // every few epochs only — the Lewis maintenance keeps τ̄
-            // locally fresh in between
-            if (stats.iterations / epoch) % 6 == 0 {
-                refresh_tau_dense(t, &mut st, stats.iterations);
+            // ---- epoch boundary: exactify, recenter, rebuild structures ----
+            if stats.iterations % epoch == 0 {
+                t.span("ipm/epoch", |t| {
+                    t.counter("ipm.epochs", 1);
+                    let x_exact = rs.pg.compute_exact(t);
+                    let s_exact = rs.dm.compute_exact(t);
+                    st.x = x_exact;
+                    // NOTE: the maintained s̄ seeds the recentering residuals; the
+                    // first dense Newton re-derives s = c − Ay exactly, so dual
+                    // feasibility is restored from `y` regardless of the drift
+                    // the sampled steps introduced.
+                    st.s = s_exact;
+                    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+                    // τ anchor refresh is the costly part (Õ(m) of solves): do it
+                    // every few epochs only — the Lewis maintenance keeps τ̄
+                    // locally fresh in between
+                    if (stats.iterations / epoch).is_multiple_of(6) {
+                        refresh_tau_dense(t, &mut st, stats.iterations);
+                    } else {
+                        st.tau.copy_from_slice(&rs.tau);
+                    }
+                    recenter(t, &mut st, &mut stats, 4);
+                    rs = build_structures(
+                        t,
+                        p,
+                        &cap,
+                        &st.x,
+                        &st.s,
+                        st.mu,
+                        &solver,
+                        &st.tau,
+                        cfg.seed + stats.iterations as u64,
+                    );
+                    tau_sum = rs.tau.iter().sum();
+                });
+            }
+
+            // ---- robust step (paper eq. (4)-(5)) ----
+            // τ̄ updates
+            let (tau_changed, tau_now) = rs.lm.query(t);
+            let tau_updates: Vec<usize> = tau_changed;
+            for &i in &tau_updates {
+                tau_sum += tau_now[i] - rs.tau[i];
+                rs.tau[i] = tau_now[i];
+            }
+
+            // v̄ = Aᵀ G ∇Ψ(z̄)^{♭(τ̄)}  (bucket step; G = −γΦ''^{-1/2})
+            let vbar = rs.pg.query_product(t);
+
+            // spectral sparsifier of AᵀDA, D = (τ̄ Φ''(x̄))⁻¹: edges sampled
+            // output-sensitively through the HeavySampler's expander parts
+            // (probability ≥ k·σ_e), inverse-probability reweighted
+            let d_at = |e: usize| -> f64 {
+                let (_, d2) = phi_terms(rs.pg.xbar()[e], cap[e]);
+                1.0 / (rs.tau[e] * d2)
+            };
+            let log_n = (n.max(4) as f64).log2();
+            // high-leverage edges kept deterministically (conditioning),
+            // light edges sampled ∝ local degree within expander parts
+            let heavy = rs.hs.tau_above(t, 1.0 / (4.0 * log_n));
+            let lev_sample = rs.hs.leverage_sample(t, 4.0 * log_n);
+            let mut h_edges = Vec::with_capacity(heavy.len() + lev_sample.len());
+            let mut h_weights = Vec::with_capacity(heavy.len() + lev_sample.len());
+            let mut in_heavy = std::collections::HashSet::with_capacity(heavy.len());
+            for &e in &heavy {
+                in_heavy.insert(e);
+                h_edges.push(p.graph.endpoints(e));
+                h_weights.push(d_at(e));
+            }
+            for &(e, pe) in &lev_sample {
+                if in_heavy.contains(&e) {
+                    continue;
+                }
+                h_edges.push(p.graph.endpoints(e));
+                h_weights.push(d_at(e) / pe.max(1e-9));
+            }
+            t.charge(Cost::par_flat(
+                (heavy.len() + lev_sample.len()).max(1) as u64
+            ));
+            let sparsifier_ok = {
+                // the sparsifier must keep the graph connected (parallel
+                // label-propagation check, Õ(sample) work)
+                let ug = pmcf_graph::UGraph::from_edges(n, h_edges.clone());
+                pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1
+            };
+            let (dy, dc);
+            if sparsifier_ok {
+                let hsolver = LaplacianSolver::new(
+                    DiGraph::from_edges(n, h_edges),
+                    0,
+                    SolverOpts {
+                        tol: 1e-5,
+                        max_iter: 250,
+                    },
+                );
+                let mut rhs_y = vbar.clone();
+                rhs_y[0] = 0.0;
+                let (a, sa) = hsolver.solve(t, &h_weights, &rhs_y);
+                let mut rhs_c = rs.infeas.clone();
+                rhs_c[0] = 0.0;
+                let (b2, sb) = hsolver.solve(t, &h_weights, &rhs_c);
+                stats.cg_iterations += sa.iterations + sb.iterations;
+                dy = a;
+                dc = b2;
             } else {
-                st.tau.copy_from_slice(&rs.tau);
+                // degenerate sample: fall back to the full matrix this step
+                t.counter("ipm.sparsifier_fallbacks", 1);
+                let d_full: Vec<f64> = (0..m).map(d_at).collect();
+                t.charge(Cost::par_flat(m as u64));
+                let mut rhs_y = vbar.clone();
+                rhs_y[0] = 0.0;
+                let (a, sa) = solver.solve(t, &d_full, &rhs_y);
+                let mut rhs_c = rs.infeas.clone();
+                rhs_c[0] = 0.0;
+                let (b2, sb) = solver.solve(t, &d_full, &rhs_c);
+                stats.cg_iterations += sa.iterations + sb.iterations;
+                dy = a;
+                dc = b2;
             }
-            recenter(t, &mut st, &mut stats, 4);
-            rs = build_structures(
-                t,
-                p,
-                &cap,
-                &st.x,
-                &st.s,
-                st.mu,
-                &solver,
-                &st.tau,
-                cfg.seed + stats.iterations as u64,
-            );
-            tau_sum = rs.tau.iter().sum();
-        }
+            stats.newton_steps += 1;
 
-        // ---- robust step (paper eq. (4)-(5)) ----
-        // τ̄ updates
-        let (tau_changed, tau_now) = rs.lm.query(t);
-        let tau_updates: Vec<usize> = tau_changed;
-        for &i in &tau_updates {
-            tau_sum += tau_now[i] - rs.tau[i];
-            rs.tau[i] = tau_now[i];
-        }
+            // combined potential for the sampled correction
+            let pot: Vec<f64> = dy.iter().zip(&dc).map(|(&a, &b2)| a + b2).collect();
 
-        // v̄ = Aᵀ G ∇Ψ(z̄)^{♭(τ̄)}  (bucket step; G = −γΦ''^{-1/2})
-        let vbar = rs.pg.query_product(t);
-
-        // spectral sparsifier of AᵀDA, D = (τ̄ Φ''(x̄))⁻¹: edges sampled
-        // output-sensitively through the HeavySampler's expander parts
-        // (probability ≥ k·σ_e), inverse-probability reweighted
-        let d_at = |e: usize| -> f64 {
-            let (_, d2) = phi_terms(rs.pg.xbar()[e], cap[e]);
-            1.0 / (rs.tau[e] * d2)
-        };
-        let log_n = (n.max(4) as f64).log2();
-        // high-leverage edges kept deterministically (conditioning),
-        // light edges sampled ∝ local degree within expander parts
-        let heavy = rs.hs.tau_above(t, 1.0 / (4.0 * log_n));
-        let lev_sample = rs.hs.leverage_sample(t, 4.0 * log_n);
-        let mut h_edges = Vec::with_capacity(heavy.len() + lev_sample.len());
-        let mut h_weights = Vec::with_capacity(heavy.len() + lev_sample.len());
-        let mut in_heavy = std::collections::HashSet::with_capacity(heavy.len());
-        for &e in &heavy {
-            in_heavy.insert(e);
-            h_edges.push(p.graph.endpoints(e));
-            h_weights.push(d_at(e));
-        }
-        for &(e, pe) in &lev_sample {
-            if in_heavy.contains(&e) {
-                continue;
+            // R-sampled sparse part of δ_x: −R T̄⁻¹Φ''⁻¹ A(δ_y+δ_c)
+            let r_sample = if cfg.dense_sampling {
+                // ablation: no sparsification — every coordinate corrected
+                t.charge(Cost::par_flat(m as u64));
+                (0..m).map(|e| (e, 1.0)).collect()
+            } else {
+                rs.hs.sample(t, &pot, 0.5, 0.2, 0.5)
+            };
+            let mut h_sparse: Vec<(usize, f64)> = Vec::with_capacity(r_sample.len());
+            for &(e, rii) in &r_sample {
+                let (u, v) = p.graph.endpoints(e);
+                let a_pot = pot[v] - pot[u];
+                let val = -rii * d_at(e) * a_pot;
+                if val != 0.0 {
+                    h_sparse.push((e, val));
+                }
             }
-            h_edges.push(p.graph.endpoints(e));
-            h_weights.push(d_at(e) / pe.max(1e-9));
-        }
-        t.charge(Cost::par_flat((heavy.len() + lev_sample.len()).max(1) as u64));
-        let sparsifier_ok = {
-            // the sparsifier must keep the graph connected (parallel
-            // label-propagation check, Õ(sample) work)
-            let ug = pmcf_graph::UGraph::from_edges(n, h_edges.clone());
-            pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1
-        };
-        let (dy, dc);
-        if sparsifier_ok {
-            let hsolver = LaplacianSolver::new(
-                DiGraph::from_edges(n, h_edges),
-                0,
-                SolverOpts {
-                    tol: 1e-5,
-                    max_iter: 250,
-                },
-            );
-            let mut rhs_y = vbar.clone();
-            rhs_y[0] = 0.0;
-            let (a, sa) = hsolver.solve(t, &h_weights, &rhs_y);
-            let mut rhs_c = rs.infeas.clone();
-            rhs_c[0] = 0.0;
-            let (b2, sb) = hsolver.solve(t, &h_weights, &rhs_c);
-            stats.cg_iterations += sa.iterations + sb.iterations;
-            dy = a;
-            dc = b2;
-        } else {
-            // degenerate sample: fall back to the full matrix this step
-            let d_full: Vec<f64> = (0..m).map(d_at).collect();
-            t.charge(Cost::par_flat(m as u64));
-            let mut rhs_y = vbar.clone();
-            rhs_y[0] = 0.0;
-            let (a, sa) = solver.solve(t, &d_full, &rhs_y);
-            let mut rhs_c = rs.infeas.clone();
-            rhs_c[0] = 0.0;
-            let (b2, sb) = solver.solve(t, &d_full, &rhs_c);
-            stats.cg_iterations += sa.iterations + sb.iterations;
-            dy = a;
-            dc = b2;
-        }
-        stats.newton_steps += 1;
+            t.charge(Cost::par_flat(r_sample.len().max(1) as u64));
+            stats.sampled_coords += r_sample.len() as u64;
+            t.observe("ipm.sampled_coords", r_sample.len() as u64);
 
-        // combined potential for the sampled correction
-        let pot: Vec<f64> = dy.iter().zip(&dc).map(|(&a, &b2)| a + b2).collect();
-
-        // R-sampled sparse part of δ_x: −R T̄⁻¹Φ''⁻¹ A(δ_y+δ_c)
-        let r_sample = if cfg.dense_sampling {
-            // ablation: no sparsification — every coordinate corrected
-            t.charge(Cost::par_flat(m as u64));
-            (0..m).map(|e| (e, 1.0)).collect()
-        } else {
-            rs.hs.sample(t, &pot, 0.5, 0.2, 0.5)
-        };
-        let mut h_sparse: Vec<(usize, f64)> = Vec::with_capacity(r_sample.len());
-        for &(e, rii) in &r_sample {
-            let (u, v) = p.graph.endpoints(e);
-            let a_pot = pot[v] - pot[u];
-            let val = -rii * d_at(e) * a_pot;
-            if val != 0.0 {
-                h_sparse.push((e, val));
+            // apply: x̄ ← x̄ + G∇Ψ^♭ + h_sparse (lazy), Δ update, s̄ update
+            let j_x = rs.pg.query_sum(t, &h_sparse);
+            for (d, &vb) in rs.infeas.iter_mut().zip(&vbar) {
+                *d += vb;
             }
-        }
-        t.charge(Cost::par_flat(r_sample.len().max(1) as u64));
-        stats.sampled_coords += r_sample.len() as u64;
-
-        // apply: x̄ ← x̄ + G∇Ψ^♭ + h_sparse (lazy), Δ update, s̄ update
-        let j_x = rs.pg.query_sum(t, &h_sparse);
-        for (d, &vb) in rs.infeas.iter_mut().zip(&vbar) {
-            *d += vb;
-        }
-        for &(e, val) in &h_sparse {
-            let (u, v) = p.graph.endpoints(e);
-            rs.infeas[u] -= val;
-            rs.infeas[v] += val;
-        }
-        t.charge(Cost::par_flat((n + h_sparse.len()) as u64));
-        // δ_s = −A δ_y (the dual slack moves opposite the potentials)
-        let neg_dy: Vec<f64> = dy.iter().map(|&v| -v).collect();
-        let j_s = rs.dm.add(t, &neg_dy);
-
-        // refresh per-coordinate state for everything that moved
-        let mut dirty: Vec<usize> = j_x
-            .into_iter()
-            .chain(j_s)
-            .chain(tau_updates)
-            .collect();
-        dirty.sort_unstable();
-        dirty.dedup();
-        let xbar = rs.pg.xbar();
-        let sbar = rs.dm.vbar();
-        let mut pg_updates = Vec::with_capacity(dirty.len());
-        let mut lm_updates = Vec::new();
-        let mut hs_updates = Vec::new();
-        let mut pushed: Vec<(usize, f64)> = Vec::new();
-        let z_reg = (n as f64 / m as f64).min(0.5);
-        for &e in &dirty {
-            let xi = xbar[e].clamp(1e-9 * cap[e].max(1.0), cap[e] * (1.0 - 1e-9));
-            let (_, d2) = phi_terms(xi, cap[e]);
-            let z = z_of(sbar[e], xi, cap[e], rs.tau[e], st.mu);
-            pg_updates.push((e, -GAMMA / d2.sqrt(), rs.tau[e].clamp(z_reg, 2.0), z));
-            // weight-indexed structures (expander decompositions inside):
-            // only push when φ'' drifted ≥ 25% since the last push — the
-            // class structure is insensitive to smaller changes
-            let drift = d2 / rs.pushed_dd[e];
-            if !(0.8..=1.25).contains(&drift) {
-                lm_updates.push((e, 1.0 / d2.sqrt()));
-                hs_updates.push((e, 1.0 / (rs.tau[e] * d2), rs.tau[e].max(1e-12)));
-                pushed.push((e, d2));
+            for &(e, val) in &h_sparse {
+                let (u, v) = p.graph.endpoints(e);
+                rs.infeas[u] -= val;
+                rs.infeas[v] += val;
             }
-        }
-        rs.pg.update(t, &pg_updates);
-        rs.lm.scale(t, &lm_updates);
-        rs.hs.scale(t, &hs_updates);
-        for (e, d2) in pushed {
-            rs.pushed_dd[e] = d2;
-        }
+            t.charge(Cost::par_flat((n + h_sparse.len()) as u64));
+            // δ_s = −A δ_y (the dual slack moves opposite the potentials)
+            let neg_dy: Vec<f64> = dy.iter().map(|&v| -v).collect();
+            let j_s = rs.dm.add(t, &neg_dy);
 
-        // μ step (Στ̄ maintained incrementally)
-        let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
-        st.mu *= shrink.max(0.5);
-    }
+            // refresh per-coordinate state for everything that moved
+            let mut dirty: Vec<usize> = j_x.into_iter().chain(j_s).chain(tau_updates).collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let xbar = rs.pg.xbar();
+            let sbar = rs.dm.vbar();
+            let mut pg_updates = Vec::with_capacity(dirty.len());
+            let mut lm_updates = Vec::new();
+            let mut hs_updates = Vec::new();
+            let mut pushed: Vec<(usize, f64)> = Vec::new();
+            let z_reg = (n as f64 / m as f64).min(0.5);
+            for &e in &dirty {
+                let xi = xbar[e].clamp(1e-9 * cap[e].max(1.0), cap[e] * (1.0 - 1e-9));
+                let (_, d2) = phi_terms(xi, cap[e]);
+                let z = z_of(sbar[e], xi, cap[e], rs.tau[e], st.mu);
+                pg_updates.push((e, -GAMMA / d2.sqrt(), rs.tau[e].clamp(z_reg, 2.0), z));
+                // weight-indexed structures (expander decompositions inside):
+                // only push when φ'' drifted ≥ 25% since the last push — the
+                // class structure is insensitive to smaller changes
+                let drift = d2 / rs.pushed_dd[e];
+                if !(0.8..=1.25).contains(&drift) {
+                    lm_updates.push((e, 1.0 / d2.sqrt()));
+                    hs_updates.push((e, 1.0 / (rs.tau[e] * d2), rs.tau[e].max(1e-12)));
+                    pushed.push((e, d2));
+                }
+            }
+            rs.pg.update(t, &pg_updates);
+            rs.lm.scale(t, &lm_updates);
+            rs.hs.scale(t, &hs_updates);
+            for (e, d2) in pushed {
+                rs.pushed_dd[e] = d2;
+            }
+
+            // μ step (Στ̄ maintained incrementally)
+            let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
+            st.mu *= shrink.max(0.5);
+        }
+    });
 
     // final exactification + polish
     st.x = rs.pg.compute_exact(t);
@@ -460,51 +501,52 @@ fn dense_newton(
     st: &mut CentralPathState,
     stats: &mut PathStats,
 ) {
-    let m = p.m();
-    let b: Vec<f64> = p.demand.iter().map(|&d| d as f64).collect();
-    let r_d: Vec<f64> = (0..m)
-        .map(|e| {
-            let (d1, _) = phi_terms(st.x[e], cap[e]);
-            st.s[e] + st.mu * st.tau[e] * d1
-        })
-        .collect();
-    let atx = incidence::apply_at(t, &p.graph, &st.x);
-    let d: Vec<f64> = (0..m)
-        .map(|e| {
-            let (_, d2) = phi_terms(st.x[e], cap[e]);
-            1.0 / (st.mu * st.tau[e] * d2)
-        })
-        .collect();
-    let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
-    let at_dr = incidence::apply_at(t, &p.graph, &dr);
-    let mut rhs: Vec<f64> = (0..p.n())
-        .map(|v| b[v] - atx[v] + at_dr[v])
-        .collect();
-    rhs[0] = 0.0;
-    let (dy, ss) = solver.solve(t, &d, &rhs);
-    stats.cg_iterations += ss.iterations;
-    let ady = incidence::apply_a(t, &p.graph, &dy);
-    let dx: Vec<f64> = (0..m).map(|e| d[e] * (ady[e] - r_d[e])).collect();
-    let mut alpha = 1.0f64;
-    for e in 0..m {
-        if dx[e] > 0.0 {
-            alpha = alpha.min(0.90 * (cap[e] - st.x[e]) / dx[e]);
-        } else if dx[e] < 0.0 {
-            alpha = alpha.min(0.90 * st.x[e] / (-dx[e]));
+    t.span("ipm/newton", |t| {
+        t.counter("ipm.newton_steps", 1);
+        let m = p.m();
+        let b: Vec<f64> = p.demand.iter().map(|&d| d as f64).collect();
+        let r_d: Vec<f64> = (0..m)
+            .map(|e| {
+                let (d1, _) = phi_terms(st.x[e], cap[e]);
+                st.s[e] + st.mu * st.tau[e] * d1
+            })
+            .collect();
+        let atx = incidence::apply_at(t, &p.graph, &st.x);
+        let d: Vec<f64> = (0..m)
+            .map(|e| {
+                let (_, d2) = phi_terms(st.x[e], cap[e]);
+                1.0 / (st.mu * st.tau[e] * d2)
+            })
+            .collect();
+        let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
+        let at_dr = incidence::apply_at(t, &p.graph, &dr);
+        let mut rhs: Vec<f64> = (0..p.n()).map(|v| b[v] - atx[v] + at_dr[v]).collect();
+        rhs[0] = 0.0;
+        let (dy, ss) = solver.solve(t, &d, &rhs);
+        stats.cg_iterations += ss.iterations;
+        let ady = incidence::apply_a(t, &p.graph, &dy);
+        let dx: Vec<f64> = (0..m).map(|e| d[e] * (ady[e] - r_d[e])).collect();
+        let mut alpha = 1.0f64;
+        for (e, &dxe) in dx.iter().enumerate() {
+            if dxe > 0.0 {
+                alpha = alpha.min(0.90 * (cap[e] - st.x[e]) / dxe);
+            } else if dxe < 0.0 {
+                alpha = alpha.min(0.90 * st.x[e] / (-dxe));
+            }
         }
-    }
-    t.charge(Cost::par_flat(m as u64 * 4).seq(Cost::reduce(m as u64)));
-    for e in 0..m {
-        st.x[e] += alpha * dx[e];
-    }
-    for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
-        *yi += alpha * dyi;
-    }
-    let ay = incidence::apply_a(t, &p.graph, &st.y);
-    for e in 0..m {
-        st.s[e] = cost[e] - ay[e];
-    }
-    stats.newton_steps += 1;
+        t.charge(Cost::par_flat(m as u64 * 4).seq(Cost::reduce(m as u64)));
+        for (xe, &dxe) in st.x.iter_mut().zip(&dx) {
+            *xe += alpha * dxe;
+        }
+        for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
+            *yi += alpha * dyi;
+        }
+        let ay = incidence::apply_a(t, &p.graph, &st.y);
+        for ((se, &ce), &aye) in st.s.iter_mut().zip(cost.iter()).zip(&ay) {
+            *se = ce - aye;
+        }
+        stats.newton_steps += 1;
+    })
 }
 
 #[cfg(test)]

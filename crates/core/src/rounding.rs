@@ -135,9 +135,7 @@ fn find_negative_cycle(p: &McfProblem, x: &[i64]) -> Option<Vec<(usize, bool)>> 
                 last_relaxed = Some(v);
             }
         }
-        if last_relaxed.is_none() {
-            return None;
-        }
+        last_relaxed?;
     }
     // a vertex relaxed in round n is on/reaches a negative cycle: walk
     // back n steps to land on the cycle, then extract it

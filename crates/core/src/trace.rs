@@ -2,8 +2,10 @@
 //!
 //! The paper has no empirical figures; a production solver still needs
 //! observability. [`TraceRecorder`] snapshots `(μ, duality-gap proxy,
-//! centrality, cumulative work)` per iteration so harnesses can print
-//! convergence curves and tests can assert monotone μ-schedules.
+//! centrality, cumulative work, cumulative depth)` per iteration so
+//! harnesses can print convergence curves, tests can assert monotone
+//! μ-schedules, and bench artifacts ([`TraceRecorder::to_json`]) can be
+//! post-processed by external tooling.
 
 use pmcf_pram::Tracker;
 
@@ -20,6 +22,8 @@ pub struct TracePoint {
     pub centrality: Option<f64>,
     /// Cumulative tracked work.
     pub work: u64,
+    /// Cumulative tracked depth (critical-path length).
+    pub depth: u64,
 }
 
 /// Collects [`TracePoint`]s; cheap enough to keep on in production.
@@ -49,6 +53,7 @@ impl TraceRecorder {
             gap_proxy: mu * tau_sum,
             centrality,
             work: t.work(),
+            depth: t.depth(),
         });
     }
 
@@ -59,19 +64,46 @@ impl TraceRecorder {
 
     /// Render as a markdown table (the "convergence figure").
     pub fn to_markdown(&self, stride: usize) -> String {
-        let mut out = String::from("| iter | μ | gap proxy | centrality | work |\n|---|---|---|---|---|\n");
+        let mut out = String::from(
+            "| iter | μ | gap proxy | centrality | work | depth |\n|---|---|---|---|---|---|\n",
+        );
         for p in self.points.iter().step_by(stride.max(1)) {
             out.push_str(&format!(
-                "| {} | {:.3e} | {:.3e} | {} | {} |\n",
+                "| {} | {:.3e} | {:.3e} | {} | {} | {} |\n",
                 p.iteration,
                 p.mu,
                 p.gap_proxy,
                 p.centrality
                     .map(|c| format!("{c:.3}"))
                     .unwrap_or_else(|| "—".into()),
-                p.work
+                p.work,
+                p.depth
             ));
         }
+        out
+    }
+
+    /// Serialize the trace as a JSON array of per-iteration objects
+    /// (schema-stable: missing centrality becomes `null`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"iteration\":{},\"mu\":{:e},\"gap_proxy\":{:e},\"centrality\":{},\"work\":{},\"depth\":{}}}",
+                p.iteration,
+                p.mu,
+                p.gap_proxy,
+                p.centrality
+                    .map(|c| format!("{c:e}"))
+                    .unwrap_or_else(|| "null".into()),
+                p.work,
+                p.depth
+            ));
+        }
+        out.push(']');
         out
     }
 
@@ -86,9 +118,7 @@ impl TraceRecorder {
         if last.iteration == first.iteration || first.mu <= 0.0 || last.mu <= 0.0 {
             return None;
         }
-        Some(
-            ((last.mu / first.mu).ln() / (last.iteration - first.iteration) as f64).exp(),
-        )
+        Some(((last.mu / first.mu).ln() / (last.iteration - first.iteration) as f64).exp())
     }
 }
 
@@ -114,6 +144,25 @@ mod tests {
         let md = r.to_markdown(10);
         assert!(md.lines().count() >= 6);
         assert!(md.contains("0.200"));
+        assert!(md.contains("| depth |"));
+    }
+
+    #[test]
+    fn json_round_trips_structure() {
+        let r = sample_trace();
+        let js = r.to_json();
+        assert!(js.starts_with('[') && js.ends_with(']'));
+        assert_eq!(js.matches("\"iteration\"").count(), 50);
+        assert_eq!(js.matches("\"depth\"").count(), 50);
+        // unmeasured centrality serializes as null
+        assert!(js.contains("\"centrality\":null"));
+        // balanced braces ⇒ structurally sound
+        assert_eq!(js.matches('{').count(), js.matches('}').count());
+    }
+
+    #[test]
+    fn empty_trace_serializes_to_empty_array() {
+        assert_eq!(TraceRecorder::new().to_json(), "[]");
     }
 
     #[test]
@@ -169,10 +218,11 @@ mod integration_tests {
         let rate = rec.mu_decay_rate().unwrap();
         // μ shrinks geometrically by 1 − r/√Στ each iteration
         assert!(rate < 1.0 && rate > 0.8, "decay rate {rate}");
-        // work accumulates monotonically
+        // work accumulates monotonically, and depth never exceeds work
         assert!(rec
             .points()
             .windows(2)
-            .all(|w| w[1].work >= w[0].work));
+            .all(|w| w[1].work >= w[0].work && w[1].depth >= w[0].depth));
+        assert!(rec.points().iter().all(|p| p.depth <= p.work));
     }
 }

@@ -169,21 +169,14 @@ impl GradientAccumulator {
         // violators: f_k beyond a stored threshold
         for k in 0..self.f.len() {
             let fk = self.f[k];
-            loop {
-                let Some((&(key, i), ())) = self.hi[k].iter().next() else {
-                    break;
-                };
+            while let Some((&(key, i), ())) = self.hi[k].iter().next() {
                 if key >= okey(fk) {
                     break;
                 }
-                let _ = key;
                 self.sync(i, 0.0, &mut changed);
                 touched += 1;
             }
-            loop {
-                let Some((&(key, i), ())) = self.lo[k].iter().next() else {
-                    break;
-                };
+            while let Some((&(key, i), ())) = self.lo[k].iter().next() {
                 if key >= okey(-fk) {
                     break;
                 }
@@ -191,7 +184,10 @@ impl GradientAccumulator {
                 touched += 1;
             }
         }
-        t.charge(Cost::new(touched.max(1), pmcf_pram::par_depth(touched.max(1))));
+        t.charge(Cost::new(
+            touched.max(1),
+            pmcf_pram::par_depth(touched.max(1)),
+        ));
         changed.sort_unstable();
         changed.dedup();
         changed
@@ -267,19 +263,17 @@ mod tests {
             };
             dense.step(&s, &h);
             let _ = acc.query(&mut t, &s, &h);
-            for i in 0..m {
+            for (i, (xb, dx)) in acc.xbar().iter().zip(&dense.x).enumerate() {
                 assert!(
-                    (acc.xbar()[i] - dense.x[i]).abs() <= eps[i] + 1e-12,
-                    "step {step} coord {i}: {} vs {}",
-                    acc.xbar()[i],
-                    dense.x[i]
+                    (xb - dx).abs() <= eps[i] + 1e-12,
+                    "step {step} coord {i}: {xb} vs {dx}"
                 );
             }
         }
         // exact sum matches dense exactly
         let exact = acc.compute_exact(&mut t);
-        for i in 0..m {
-            assert!((exact[i] - dense.x[i]).abs() < 1e-9);
+        for (ex, dx) in exact.iter().zip(&dense.x) {
+            assert!((ex - dx).abs() < 1e-9);
         }
     }
 

@@ -153,7 +153,7 @@ impl DualMaintenance {
             for (f, &hi) in self.f_epoch[j].iter_mut().zip(h) {
                 *f += hi;
             }
-            if self.t_step % (1usize << j) == 0 {
+            if self.t_step.is_multiple_of(1usize << j) {
                 let eps_q = 0.2 * self.eps / log_n;
                 let found = self.detectors[j].heavy_query(t, &self.f_epoch[j], eps_q);
                 candidates.extend(found);
@@ -198,8 +198,7 @@ mod tests {
         let mut t = Tracker::new();
         let mut rng = SmallRng::seed_from_u64(2);
         let v0: Vec<f64> = (0..80).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let mut dm =
-            DualMaintenance::initialize(&mut t, g.clone(), v0, vec![1.0; 80], 0.5, 3);
+        let mut dm = DualMaintenance::initialize(&mut t, g.clone(), v0, vec![1.0; 80], 0.5, 3);
         for _ in 0..25 {
             let h: Vec<f64> = (0..20).map(|_| rng.gen_range(-0.05..0.05)).collect();
             let _ = dm.add(&mut t, &h);
@@ -237,7 +236,7 @@ mod tests {
         let mut dm =
             DualMaintenance::initialize(&mut t, g.clone(), vec![0.0; 60], vec![1.0; 60], 0.3, 8);
         // period = ⌈√16⌉ = 4: run far beyond it
-        let mut reference = vec![0.0f64; 16];
+        let mut reference = [0.0f64; 16];
         for _ in 0..20 {
             let h: Vec<f64> = (0..16).map(|_| rng.gen_range(-0.2..0.2)).collect();
             for (r, &hi) in reference.iter_mut().zip(&h) {

@@ -136,6 +136,7 @@ const Z_HI: f64 = 2.0;
 impl GradientReduction {
     /// Initialize over the incidence of `graph` with scaling `g`, weights
     /// `τ̃ ∈ [n/m, 2]`, measure `z ∈ [−2, 2]`: `Õ(m)` work, `Õ(1)` depth.
+    #[allow(clippy::too_many_arguments)]
     pub fn initialize(
         t: &mut Tracker,
         graph: DiGraph,
@@ -312,9 +313,16 @@ mod tests {
         let k = x.len();
         let mut best = 0.0f64;
         for _ in 0..grid {
-            let dir: Vec<f64> = (0..k).map(|i| x[i].signum() * rng.gen_range(0.0..1.0)).collect();
+            let dir: Vec<f64> = (0..k)
+                .map(|i| x[i].signum() * rng.gen_range(0.0..1.0))
+                .collect();
             // scale dir to the boundary: t·(‖v·dir‖₂) + t·‖dir‖∞ = 1
-            let l2: f64 = dir.iter().zip(v).map(|(d, vi)| (d * vi) * (d * vi)).sum::<f64>().sqrt();
+            let l2: f64 = dir
+                .iter()
+                .zip(v)
+                .map(|(d, vi)| (d * vi) * (d * vi))
+                .sum::<f64>()
+                .sqrt();
             let linf = dir.iter().fold(0.0f64, |a, &d| a.max(d.abs()));
             let t = 1.0 / (l2 + linf);
             let val: f64 = x.iter().zip(&dir).map(|(a, b)| a * b * t).sum();
@@ -333,7 +341,12 @@ mod tests {
             let w = flat_max(&x, &v);
             let val: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum();
             // feasibility
-            let l2: f64 = w.iter().zip(&v).map(|(wi, vi)| (wi * vi) * (wi * vi)).sum::<f64>().sqrt();
+            let l2: f64 = w
+                .iter()
+                .zip(&v)
+                .map(|(wi, vi)| (wi * vi) * (wi * vi))
+                .sum::<f64>()
+                .sqrt();
             let linf = w.iter().fold(0.0f64, |a, &wi| a.max(wi.abs()));
             assert!(l2 + linf <= 1.0 + 1e-6, "infeasible: {l2} + {linf}");
             let rnd = brute_flat_max(&x, &v, 3000);

@@ -96,8 +96,7 @@ impl HeavyHitter {
             ded: DynamicExpanderDecomposition::new(n, CLASS_PHI, seed),
             edge_of: HashMap::new(),
         });
-        let pairs: Vec<(usize, usize)> =
-            edges.iter().map(|&e| self.graph.endpoints(e)).collect();
+        let pairs: Vec<(usize, usize)> = edges.iter().map(|&e| self.graph.endpoints(e)).collect();
         let keys = class.ded.insert_edges(t, &pairs);
         for (&e, k) in edges.iter().zip(keys) {
             self.class_of[e] = Some(c);
@@ -153,53 +152,56 @@ impl HeavyHitter {
     pub fn heavy_query(&self, t: &mut Tracker, h: &[f64], eps: f64) -> Vec<EdgeId> {
         assert_eq!(h.len(), self.graph.n());
         assert!(eps > 0.0);
-        let mut out = Vec::new();
-        let mut touched = 0u64;
-        for (&c, class) in &self.classes {
-            let delta = eps / CLASS_BASE.powi(c + 1);
-            for view in class.ded.part_views() {
-                // degree-weighted shift: h' = h − (Σ deg_v h_v / Σ deg_v)
-                let mut num = 0.0;
-                let mut den = 0.0;
-                for (lv, &gv) in view.verts.iter().enumerate() {
-                    let d = view.alive_deg[lv] as f64;
-                    num += d * h[gv];
-                    den += d;
-                }
-                touched += view.verts.len() as u64;
-                if den == 0.0 {
-                    continue;
-                }
-                let shift = num / den;
-                for (lv, &gv) in view.verts.iter().enumerate() {
-                    if view.alive_deg[lv] == 0 {
+        t.span("ds/heavy-query", |t| {
+            t.counter("hh.heavy_queries", 1);
+            let mut out = Vec::new();
+            let mut touched = 0u64;
+            for (&c, class) in &self.classes {
+                let delta = eps / CLASS_BASE.powi(c + 1);
+                for view in class.ded.part_views() {
+                    // degree-weighted shift: h' = h − (Σ deg_v h_v / Σ deg_v)
+                    let mut num = 0.0;
+                    let mut den = 0.0;
+                    for (lv, &gv) in view.verts.iter().enumerate() {
+                        let d = view.alive_deg[lv] as f64;
+                        num += d * h[gv];
+                        den += d;
+                    }
+                    touched += view.verts.len() as u64;
+                    if den == 0.0 {
                         continue;
                     }
-                    if (h[gv] - shift).abs() < 0.5 * delta {
-                        continue;
-                    }
-                    for &(_, le) in &view.adj[lv] {
-                        touched += 1;
-                        if !view.alive_edge[le] {
+                    let shift = num / den;
+                    for (lv, &gv) in view.verts.iter().enumerate() {
+                        if view.alive_deg[lv] == 0 {
                             continue;
                         }
-                        let e = class.edge_of[&view.keys[le]];
-                        let (tu, tv) = self.graph.endpoints(e);
-                        let val = self.weights[e] * (h[tv] - h[tu]);
-                        if val.abs() >= eps {
-                            out.push(e);
+                        if (h[gv] - shift).abs() < 0.5 * delta {
+                            continue;
+                        }
+                        for &(_, le) in &view.adj[lv] {
+                            touched += 1;
+                            if !view.alive_edge[le] {
+                                continue;
+                            }
+                            let e = class.edge_of[&view.keys[le]];
+                            let (tu, tv) = self.graph.endpoints(e);
+                            let val = self.weights[e] * (h[tv] - h[tu]);
+                            if val.abs() >= eps {
+                                out.push(e);
+                            }
                         }
                     }
                 }
             }
-        }
-        t.charge(Cost::new(
-            touched.max(1),
-            pmcf_pram::par_depth(touched.max(1)),
-        ));
-        out.sort_unstable();
-        out.dedup();
-        out
+            t.charge(Cost::new(
+                touched.max(1),
+                pmcf_pram::par_depth(touched.max(1)),
+            ));
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Per-vertex sampling potentials for `sample`/`probability`: the
@@ -240,61 +242,64 @@ impl HeavyHitter {
     /// `q_e ≥ min(K·(g_e(h_u−h_v))²/(16·‖Diag(g)Ah‖² log⁸n), 1)`-style
     /// bounds (Lemma B.1 `Sample`): expected output `Õ(K)`.
     pub fn sample(&mut self, t: &mut Tracker, h: &[f64], k_scale: f64) -> Vec<EdgeId> {
-        let (q, shifts) = self.sample_potentials(h, k_scale);
-        let mut out = Vec::new();
-        let mut touched = 0u64;
-        for (&c, class) in &self.classes {
-            let w2 = (CLASS_BASE * CLASS_BASE).powi(c + 1);
-            for ((bi, pi), view) in class.ded.part_views_keyed() {
-                let Some(&shift) = shifts.get(&(c, bi, pi)) else {
-                    continue;
-                };
-                for (lv, &gv) in view.verts.iter().enumerate() {
-                    let deg = view.adj[lv].len();
-                    if deg == 0 {
+        t.span("ds/grad-sample", |t| {
+            t.counter("hh.grad_samples", 1);
+            let (q, shifts) = self.sample_potentials(h, k_scale);
+            let mut out = Vec::new();
+            let mut touched = 0u64;
+            for (&c, class) in &self.classes {
+                let w2 = (CLASS_BASE * CLASS_BASE).powi(c + 1);
+                for ((bi, pi), view) in class.ded.part_views_keyed() {
+                    let Some(&shift) = shifts.get(&(c, bi, pi)) else {
                         continue;
-                    }
-                    let hv = h[gv] - shift;
-                    let p = (q * w2 * hv * hv).min(1.0);
-                    if p <= 0.0 {
-                        continue;
-                    }
-                    // binomial + distinct picks: work ∝ output
-                    let cnt = {
-                        let mut cnt = 0usize;
-                        if deg <= 32 || (deg as f64 * p) < 16.0 {
-                            for _ in 0..deg {
-                                if self.rng.gen_bool(p) {
-                                    cnt += 1;
-                                }
-                            }
-                        } else {
-                            cnt = ((deg as f64 * p).round() as usize).min(deg);
-                        }
-                        cnt
                     };
-                    let mut chosen = std::collections::HashSet::with_capacity(cnt);
-                    while chosen.len() < cnt {
-                        chosen.insert(self.rng.gen_range(0..deg));
-                        touched += 1;
-                    }
-                    for j in chosen {
-                        let (_, le) = view.adj[lv][j];
-                        if view.alive_edge[le] {
-                            out.push(class.edge_of[&view.keys[le]]);
+                    for (lv, &gv) in view.verts.iter().enumerate() {
+                        let deg = view.adj[lv].len();
+                        if deg == 0 {
+                            continue;
+                        }
+                        let hv = h[gv] - shift;
+                        let p = (q * w2 * hv * hv).min(1.0);
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        // binomial + distinct picks: work ∝ output
+                        let cnt = {
+                            let mut cnt = 0usize;
+                            if deg <= 32 || (deg as f64 * p) < 16.0 {
+                                for _ in 0..deg {
+                                    if self.rng.gen_bool(p) {
+                                        cnt += 1;
+                                    }
+                                }
+                            } else {
+                                cnt = ((deg as f64 * p).round() as usize).min(deg);
+                            }
+                            cnt
+                        };
+                        let mut chosen = std::collections::HashSet::with_capacity(cnt);
+                        while chosen.len() < cnt {
+                            chosen.insert(self.rng.gen_range(0..deg));
+                            touched += 1;
+                        }
+                        for j in chosen {
+                            let (_, le) = view.adj[lv][j];
+                            if view.alive_edge[le] {
+                                out.push(class.edge_of[&view.keys[le]]);
+                            }
                         }
                     }
+                    touched += view.verts.len() as u64;
                 }
-                touched += view.verts.len() as u64;
             }
-        }
-        t.charge(Cost::new(
-            touched.max(1),
-            pmcf_pram::par_depth(touched.max(1)),
-        ));
-        out.sort_unstable();
-        out.dedup();
-        out
+            t.charge(Cost::new(
+                touched.max(1),
+                pmcf_pram::par_depth(touched.max(1)),
+            ));
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// Probability that `sample(h, k_scale)` would return each edge in
@@ -341,44 +346,47 @@ impl HeavyHitter {
     /// its incident edges with `p_v = min(16K'/(φ²·deg_v), 1)`, repeated
     /// `O(log n)` rounds.
     pub fn leverage_score_sample(&mut self, t: &mut Tracker, k_scale: f64) -> Vec<EdgeId> {
-        let rounds = (self.graph.n().max(4) as f64).log2().ceil() as usize;
-        let mut out = Vec::new();
-        let mut touched = 0u64;
-        for class in self.classes.values() {
-            for view in class.ded.part_views() {
-                for (lv, adj) in view.adj.iter().enumerate() {
-                    let deg = view.alive_deg[lv];
-                    if deg == 0 {
-                        continue;
-                    }
-                    let p = (16.0 * k_scale / (CLASS_PHI * CLASS_PHI * deg as f64)).min(1.0);
-                    for _ in 0..rounds {
-                        if p >= 1.0 {
+        t.span("ds/leverage-sample", |t| {
+            t.counter("hh.leverage_samples", 1);
+            let rounds = (self.graph.n().max(4) as f64).log2().ceil() as usize;
+            let mut out = Vec::new();
+            let mut touched = 0u64;
+            for class in self.classes.values() {
+                for view in class.ded.part_views() {
+                    for (lv, adj) in view.adj.iter().enumerate() {
+                        let deg = view.alive_deg[lv];
+                        if deg == 0 {
+                            continue;
+                        }
+                        let p = (16.0 * k_scale / (CLASS_PHI * CLASS_PHI * deg as f64)).min(1.0);
+                        for _ in 0..rounds {
+                            if p >= 1.0 {
+                                for &(_, le) in adj {
+                                    if view.alive_edge[le] {
+                                        out.push(class.edge_of[&view.keys[le]]);
+                                    }
+                                }
+                                touched += adj.len() as u64;
+                                break;
+                            }
                             for &(_, le) in adj {
-                                if view.alive_edge[le] {
+                                touched += 1;
+                                if view.alive_edge[le] && self.rng.gen_bool(p) {
                                     out.push(class.edge_of[&view.keys[le]]);
                                 }
-                            }
-                            touched += adj.len() as u64;
-                            break;
-                        }
-                        for &(_, le) in adj {
-                            touched += 1;
-                            if view.alive_edge[le] && self.rng.gen_bool(p) {
-                                out.push(class.edge_of[&view.keys[le]]);
                             }
                         }
                     }
                 }
             }
-        }
-        t.charge(Cost::new(
-            touched.max(1),
-            pmcf_pram::par_depth(touched.max(1)),
-        ));
-        out.sort_unstable();
-        out.dedup();
-        out
+            t.charge(Cost::new(
+                touched.max(1),
+                pmcf_pram::par_depth(touched.max(1)),
+            ));
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
     }
 
     /// One-round spectral-sparsifier sampling: every vertex samples its
@@ -389,61 +397,67 @@ impl HeavyHitter {
     /// `(edge, p_e)` pairs for inverse-probability reweighting. Expected
     /// output and work `O(k·n)`.
     pub fn sparsify_sample(&mut self, t: &mut Tracker, k: f64) -> Vec<(EdgeId, f64)> {
-        let mut picked: Vec<EdgeId> = Vec::new();
-        let mut touched = 0u64;
-        for class in self.classes.values() {
-            for view in class.ded.part_views() {
-                for (lv, adj) in view.adj.iter().enumerate() {
-                    let deg = view.alive_deg[lv];
-                    if deg == 0 {
-                        continue;
-                    }
-                    let p = (k / deg as f64).min(1.0);
-                    if p >= 1.0 {
-                        for &(_, le) in adj {
+        t.span("ds/sparsify-sample", |t| {
+            t.counter("hh.sparsify_samples", 1);
+            let mut picked: Vec<EdgeId> = Vec::new();
+            let mut touched = 0u64;
+            for class in self.classes.values() {
+                for view in class.ded.part_views() {
+                    for (lv, adj) in view.adj.iter().enumerate() {
+                        let deg = view.alive_deg[lv];
+                        if deg == 0 {
+                            continue;
+                        }
+                        let p = (k / deg as f64).min(1.0);
+                        if p >= 1.0 {
+                            for &(_, le) in adj {
+                                if view.alive_edge[le] {
+                                    picked.push(class.edge_of[&view.keys[le]]);
+                                }
+                            }
+                            touched += adj.len() as u64;
+                            continue;
+                        }
+                        // binomial + distinct picks, work ∝ output
+                        let want = {
+                            let mut c = 0usize;
+                            if adj.len() <= 64 {
+                                for _ in 0..adj.len() {
+                                    if self.rng.gen_bool(p) {
+                                        c += 1;
+                                    }
+                                }
+                                touched += adj.len().min(64) as u64;
+                                c
+                            } else {
+                                ((adj.len() as f64 * p).round() as usize).min(adj.len())
+                            }
+                        };
+                        let mut chosen = std::collections::HashSet::with_capacity(want);
+                        while chosen.len() < want {
+                            chosen.insert(self.rng.gen_range(0..adj.len()));
+                            touched += 1;
+                        }
+                        for j in chosen {
+                            let (_, le) = view.adj[lv][j];
                             if view.alive_edge[le] {
                                 picked.push(class.edge_of[&view.keys[le]]);
                             }
                         }
-                        touched += adj.len() as u64;
-                        continue;
                     }
-                    // binomial + distinct picks, work ∝ output
-                    let want = {
-                        let mut c = 0usize;
-                        if adj.len() <= 64 {
-                            for _ in 0..adj.len() {
-                                if self.rng.gen_bool(p) {
-                                    c += 1;
-                                }
-                            }
-                            touched += adj.len().min(64) as u64;
-                            c
-                        } else {
-                            ((adj.len() as f64 * p).round() as usize).min(adj.len())
-                        }
-                    };
-                    let mut chosen = std::collections::HashSet::with_capacity(want);
-                    while chosen.len() < want {
-                        chosen.insert(self.rng.gen_range(0..adj.len()));
-                        touched += 1;
-                    }
-                    for j in chosen {
-                        let (_, le) = view.adj[lv][j];
-                        if view.alive_edge[le] {
-                            picked.push(class.edge_of[&view.keys[le]]);
-                        }
-                    }
+                    touched += view.verts.len() as u64;
                 }
-                touched += view.verts.len() as u64;
             }
-        }
-        t.charge(Cost::new(touched.max(1), pmcf_pram::par_depth(touched.max(1))));
-        picked.sort_unstable();
-        picked.dedup();
-        // probabilities
-        let probs = self.sparsify_probability(t, &picked, k);
-        picked.into_iter().zip(probs).collect()
+            t.charge(Cost::new(
+                touched.max(1),
+                pmcf_pram::par_depth(touched.max(1)),
+            ));
+            picked.sort_unstable();
+            picked.dedup();
+            // probabilities
+            let probs = self.sparsify_probability(t, &picked, k);
+            picked.into_iter().zip(probs).collect()
+        })
     }
 
     /// The inclusion probability `sparsify_sample(k)` gives each edge.
@@ -516,7 +530,9 @@ mod tests {
         let mut t = Tracker::new();
         let w: Vec<f64> = (0..200).map(|e| 0.5 + (e % 7) as f64).collect();
         let hh = HeavyHitter::initialize(&mut t, g.clone(), w.clone(), 2);
-        let h: Vec<f64> = (0..40).map(|v| ((v * 31 % 17) as f64 - 8.0) / 8.0).collect();
+        let h: Vec<f64> = (0..40)
+            .map(|v| ((v * 31 % 17) as f64 - 8.0) / 8.0)
+            .collect();
         for eps in [0.5, 1.0, 3.0] {
             let got = hh.heavy_query(&mut t, &h, eps);
             let want = brute_heavy(&g, &w, &h, eps);

@@ -195,10 +195,7 @@ mod tests {
             }
         }
         let mean: f64 = acc.iter().sum::<f64>() / (120.0 * rounds as f64);
-        assert!(
-            (mean - 1.0).abs() < 0.15,
-            "E[R_ii] should be 1, got {mean}"
-        );
+        assert!((mean - 1.0).abs() < 0.15, "E[R_ii] should be 1, got {mean}");
     }
 
     #[test]
@@ -219,8 +216,8 @@ mod tests {
             .filter(|&(_, &(u, v))| u == 7 || v == 7)
             .map(|(e, _)| counts[e])
             .sum();
-        let per_incident = incident as f64
-            / g.edges().iter().filter(|&&(u, v)| u == 7 || v == 7).count() as f64;
+        let per_incident =
+            incident as f64 / g.edges().iter().filter(|&&(u, v)| u == 7 || v == 7).count() as f64;
         let per_other = (counts.iter().sum::<usize>() - incident) as f64
             / (150 - g.edges().iter().filter(|&&(u, v)| u == 7 || v == 7).count()) as f64;
         assert!(

@@ -39,16 +39,8 @@ impl PrimalGradient {
     ) -> Self {
         let m = graph.m();
         assert_eq!(w.len(), m);
-        let reduction = GradientReduction::initialize(
-            t,
-            graph,
-            g.clone(),
-            tau,
-            z,
-            eps,
-            lambda,
-            c_norm,
-        );
+        let reduction =
+            GradientReduction::initialize(t, graph, g.clone(), tau, z, eps, lambda, c_norm);
         let buckets: Vec<usize> = (0..m).map(|i| reduction.bucket_of(i)).collect();
         let acc_eps: Vec<f64> = w.iter().map(|&wi| (wi * eps).max(1e-12)).collect();
         let accumulator = GradientAccumulator::initialize(
@@ -207,13 +199,8 @@ mod tests {
                 *r += scale[i] * pg.step_of(i);
             }
             let _ = pg.query_sum(&mut t, &[]);
-            for i in 0..g.m() {
-                assert!(
-                    (pg.xbar()[i] - reference[i]).abs() <= 0.1 + 1e-9,
-                    "coord {i}: {} vs {}",
-                    pg.xbar()[i],
-                    reference[i]
-                );
+            for (i, (xb, r)) in pg.xbar().iter().zip(&reference).enumerate() {
+                assert!((xb - r).abs() <= 0.1 + 1e-9, "coord {i}: {xb} vs {r}");
             }
         }
         let exact = pg.compute_exact(&mut t);

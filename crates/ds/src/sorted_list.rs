@@ -29,7 +29,9 @@ pub struct SortedList<T: Ord + Clone> {
 impl<T: Ord + Clone> SortedList<T> {
     /// Empty list (O(1)).
     pub fn new() -> Self {
-        SortedList { set: BTreeSet::new() }
+        SortedList {
+            set: BTreeSet::new(),
+        }
     }
 
     /// Initialize from a batch (Lemma A.2 `Initialize`).

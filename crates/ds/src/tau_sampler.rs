@@ -119,37 +119,40 @@ impl TauSampler {
     /// Sample a set `M` with `P[i ∈ M] ≥ min(1, K·n·τ_i/‖τ‖₁)`
     /// independently; expected output `O(K·n)` (Theorem A.3 `Sample`).
     pub fn sample(&mut self, t: &mut Tracker, k_scale: f64) -> Vec<usize> {
-        let mut out = Vec::new();
-        let mut touched = 0u64;
-        let buckets: Vec<i32> = self.buckets.keys().copied().collect();
-        for b in buckets {
-            let list = &self.buckets[&b];
-            if list.is_empty() {
-                continue;
+        t.span("ds/tau-sample", |t| {
+            t.counter("tau.samples", 1);
+            let mut out = Vec::new();
+            let mut touched = 0u64;
+            let buckets: Vec<i32> = self.buckets.keys().copied().collect();
+            for b in buckets {
+                let list = &self.buckets[&b];
+                if list.is_empty() {
+                    continue;
+                }
+                let p = (k_scale * self.n as f64 * 2f64.powi(b + 1) / self.sum).min(1.0);
+                if p <= 0.0 {
+                    continue;
+                }
+                if p >= 1.0 {
+                    out.extend_from_slice(list);
+                    touched += list.len() as u64;
+                    continue;
+                }
+                // Binomial draw, then distinct uniform picks: work ∝ output.
+                let cnt = sample_binomial(&mut self.rng, list.len(), p);
+                let mut chosen = std::collections::HashSet::with_capacity(cnt);
+                while chosen.len() < cnt {
+                    chosen.insert(self.rng.gen_range(0..list.len()));
+                    touched += 1;
+                }
+                out.extend(chosen.into_iter().map(|j| list[j]));
             }
-            let p = (k_scale * self.n as f64 * 2f64.powi(b + 1) / self.sum).min(1.0);
-            if p <= 0.0 {
-                continue;
-            }
-            if p >= 1.0 {
-                out.extend_from_slice(list);
-                touched += list.len() as u64;
-                continue;
-            }
-            // Binomial draw, then distinct uniform picks: work ∝ output.
-            let cnt = sample_binomial(&mut self.rng, list.len(), p);
-            let mut chosen = std::collections::HashSet::with_capacity(cnt);
-            while chosen.len() < cnt {
-                chosen.insert(self.rng.gen_range(0..list.len()));
-                touched += 1;
-            }
-            out.extend(chosen.into_iter().map(|j| list[j]));
-        }
-        t.charge(Cost::new(
-            touched.max(1) + self.buckets.len() as u64,
-            pmcf_pram::par_depth(touched.max(1)),
-        ));
-        out
+            t.charge(Cost::new(
+                touched.max(1) + self.buckets.len() as u64,
+                pmcf_pram::par_depth(touched.max(1)),
+            ));
+            out
+        })
     }
 
     /// Probability with which `i` is included by `sample(k_scale)`

@@ -23,9 +23,7 @@ pub struct CertificateReport {
 impl CertificateReport {
     /// Whether the certificate is valid within tolerance.
     pub fn is_valid(&self, tol: f64) -> bool {
-        self.capacity_violation <= tol
-            && self.unrouted_demand <= tol
-            && self.sink_violation <= tol
+        self.capacity_violation <= tol && self.unrouted_demand <= tol && self.sink_violation <= tol
     }
 }
 
@@ -101,14 +99,7 @@ mod tests {
         // no deletions: Δ = 0, zero flow certifies trivially
         let g = generators::random_regular_ugraph(16, 4, 1);
         let alive: Vec<usize> = (0..16).collect();
-        let r = verify_certificate(
-            &g,
-            &alive,
-            &|_| true,
-            &vec![0.0; g.m()],
-            &vec![0.0; 16],
-            0.2,
-        );
+        let r = verify_certificate(&g, &alive, &|_| true, &vec![0.0; g.m()], &[0.0; 16], 0.2);
         assert!(r.is_valid(1e-9), "{r:?}");
     }
 
@@ -124,7 +115,7 @@ mod tests {
             &alive,
             &|e| e != dead,
             &vec![0.0; g.m()],
-            &vec![0.0; 16],
+            &[0.0; 16],
             0.2,
         );
         assert!(!r.is_valid(1e-9));
@@ -165,7 +156,7 @@ mod tests {
         let alive: Vec<usize> = (0..8).collect();
         let mut flow = vec![0.0; g.m()];
         flow[0] = 1e6; // way over 2 log n / φ
-        let r = verify_certificate(&g, &alive, &|_| true, &flow, &vec![1e6; 8], 0.2);
+        let r = verify_certificate(&g, &alive, &|_| true, &flow, &[1e6; 8], 0.2);
         assert!(r.capacity_violation > 0.0);
     }
 
@@ -175,7 +166,7 @@ mod tests {
         let alive: Vec<usize> = (0..8).collect();
         let mut flow = vec![0.0; g.m()];
         flow[2] = 0.5;
-        let r = verify_certificate(&g, &alive, &|e| e != 2, &flow, &vec![8.0; 8], 0.2);
+        let r = verify_certificate(&g, &alive, &|e| e != 2, &flow, &[8.0; 8], 0.2);
         assert!(r.capacity_violation >= 0.5);
     }
 }

@@ -74,7 +74,13 @@ pub fn approx_fiedler(g: &UGraph, iters: usize, seed: u64) -> Vec<f64> {
         return vec![0.0; n];
     }
     let mut x: Vec<f64> = (0..n)
-        .map(|v| if deg[v] > 0.0 { rng.gen_range(-1.0..1.0) } else { 0.0 })
+        .map(|v| {
+            if deg[v] > 0.0 {
+                rng.gen_range(-1.0..1.0)
+            } else {
+                0.0
+            }
+        })
         .collect();
     let deflate = |x: &mut Vec<f64>| {
         // remove the component along 1 in the D-inner-product (the top
@@ -104,7 +110,11 @@ pub fn approx_fiedler(g: &UGraph, iters: usize, seed: u64) -> Vec<f64> {
         if norm < 1e-300 {
             // eigen-gap collapsed; re-randomize
             for (v, yi) in y.iter_mut().enumerate() {
-                *yi = if deg[v] > 0.0 { rng.gen_range(-1.0..1.0) } else { 0.0 };
+                *yi = if deg[v] > 0.0 {
+                    rng.gen_range(-1.0..1.0)
+                } else {
+                    0.0
+                };
             }
             deflate(&mut y);
         } else {

@@ -163,62 +163,68 @@ impl DynamicExpanderDecomposition {
 
     /// Insert a batch of edges; returns their keys.
     pub fn insert_edges(&mut self, t: &mut Tracker, edges: &[(Vertex, Vertex)]) -> Vec<EdgeKey> {
-        let keys: Vec<EdgeKey> = edges
-            .iter()
-            .map(|&(u, v)| {
-                assert!(u < self.n && v < self.n, "endpoint out of range");
-                let k = self.next_key;
-                self.next_key += 1;
-                self.endpoints.insert(k, (u, v));
-                k
-            })
-            .collect();
-        t.charge(Cost::par_flat(edges.len() as u64));
-        self.home_keys(t, keys.clone());
-        keys
+        t.span("expander/insert", |t| {
+            t.counter("expander.inserted_edges", edges.len() as u64);
+            let keys: Vec<EdgeKey> = edges
+                .iter()
+                .map(|&(u, v)| {
+                    assert!(u < self.n && v < self.n, "endpoint out of range");
+                    let k = self.next_key;
+                    self.next_key += 1;
+                    self.endpoints.insert(k, (u, v));
+                    k
+                })
+                .collect();
+            t.charge(Cost::par_flat(edges.len() as u64));
+            self.home_keys(t, keys.clone());
+            keys
+        })
     }
 
     /// Delete a batch of edges by key. Unknown/already-deleted keys are
     /// ignored.
     pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
-        // Group the deletions per (bucket, part).
-        let mut per_part: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
-        for &k in keys {
-            if let Some(&(b, p, e)) = self.registry.get(&k) {
-                per_part.entry((b, p)).or_default().push(e);
-                self.registry.remove(&k);
-                self.endpoints.remove(&k);
-                self.buckets[b].alive -= 1;
-            }
-        }
-        t.charge(Cost::par_flat(keys.len() as u64));
-
-        let mut spilled_keys: Vec<EdgeKey> = Vec::new();
-        for ((b, p), local_edges) in per_part {
-            let spilled = {
-                let part = &mut self.buckets[b].parts[p];
-                let outcome = part.pruner.delete_batch(t, &local_edges);
-                for &le in &local_edges {
-                    part.view.kill_edge(le);
-                }
-                let mut spilled = Vec::new();
-                for &le in &outcome.spilled_edges {
-                    part.view.kill_edge(le);
-                    spilled.push(part.view.keys[le]);
-                }
-                spilled
-            };
-            for k in spilled {
-                // spilled edges are alive user edges that must be re-homed
-                if self.registry.remove(&k).is_some() {
+        t.span("expander/delete", |t| {
+            t.counter("expander.deleted_edges", keys.len() as u64);
+            // Group the deletions per (bucket, part).
+            let mut per_part: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+            for &k in keys {
+                if let Some(&(b, p, e)) = self.registry.get(&k) {
+                    per_part.entry((b, p)).or_default().push(e);
+                    self.registry.remove(&k);
+                    self.endpoints.remove(&k);
                     self.buckets[b].alive -= 1;
-                    spilled_keys.push(k);
                 }
             }
-        }
-        if !spilled_keys.is_empty() {
-            self.home_keys(t, spilled_keys);
-        }
+            t.charge(Cost::par_flat(keys.len() as u64));
+
+            let mut spilled_keys: Vec<EdgeKey> = Vec::new();
+            for ((b, p), local_edges) in per_part {
+                let spilled = {
+                    let part = &mut self.buckets[b].parts[p];
+                    let outcome = part.pruner.delete_batch(t, &local_edges);
+                    for &le in &local_edges {
+                        part.view.kill_edge(le);
+                    }
+                    let mut spilled = Vec::new();
+                    for &le in &outcome.spilled_edges {
+                        part.view.kill_edge(le);
+                        spilled.push(part.view.keys[le]);
+                    }
+                    spilled
+                };
+                for k in spilled {
+                    // spilled edges are alive user edges that must be re-homed
+                    if self.registry.remove(&k).is_some() {
+                        self.buckets[b].alive -= 1;
+                        spilled_keys.push(k);
+                    }
+                }
+            }
+            if !spilled_keys.is_empty() {
+                self.home_keys(t, spilled_keys);
+            }
+        })
     }
 
     /// Install a set of keys into the bucket structure (insertion cascade).
@@ -255,24 +261,26 @@ impl DynamicExpanderDecomposition {
 
         // static decomposition of the gathered edge set (Lemma 3.4)
         self.rebuilds += 1;
+        t.counter("expander.rebuilds", 1);
         self.seed = self.seed.wrapping_add(0x9e3779b97f4a7c15);
-        let edge_list: Vec<(Vertex, Vertex)> =
-            all_keys.iter().map(|k| self.endpoints[k]).collect();
+        let edge_list: Vec<(Vertex, Vertex)> = all_keys.iter().map(|k| self.endpoints[k]).collect();
         let host = UGraph::from_edges(self.n, edge_list);
-        let parts: Vec<ExpanderPart> = edge_decompose(t, &host, self.phi, self.seed);
+        let parts: Vec<ExpanderPart> = t.span("expander/rebuild", |t| {
+            edge_decompose(t, &host, self.phi, self.seed)
+        });
 
         let bucket = &mut self.buckets[target];
         for part in parts {
             // compact local indexing
             let mut local_of: HashMap<Vertex, usize> = HashMap::new();
             let mut verts = Vec::new();
-            let local = |v: Vertex, verts: &mut Vec<Vertex>,
-                             local_of: &mut HashMap<Vertex, usize>| {
-                *local_of.entry(v).or_insert_with(|| {
-                    verts.push(v);
-                    verts.len() - 1
-                })
-            };
+            let local =
+                |v: Vertex, verts: &mut Vec<Vertex>, local_of: &mut HashMap<Vertex, usize>| {
+                    *local_of.entry(v).or_insert_with(|| {
+                        verts.push(v);
+                        verts.len() - 1
+                    })
+                };
             let mut ends = Vec::with_capacity(part.edges.len());
             for &e in &part.edges {
                 let (u, v) = host.endpoints(e);
@@ -314,7 +322,12 @@ impl DynamicExpanderDecomposition {
         self.buckets
             .iter()
             .enumerate()
-            .flat_map(|(b, bk)| bk.parts.iter().enumerate().map(move |(p, ps)| ((b, p), &ps.view)))
+            .flat_map(|(b, bk)| {
+                bk.parts
+                    .iter()
+                    .enumerate()
+                    .map(move |(p, ps)| ((b, p), &ps.view))
+            })
             .filter(|(_, v)| v.alive_count > 0)
     }
 
@@ -346,12 +359,7 @@ impl DynamicExpanderDecomposition {
     /// promises `Õ(n)`).
     pub fn vertex_multiplicity(&self) -> usize {
         self.part_views()
-            .map(|v| {
-                v.alive_deg
-                    .iter()
-                    .filter(|&&d| d > 0)
-                    .count()
-            })
+            .map(|v| v.alive_deg.iter().filter(|&&d| d > 0).count())
             .sum()
     }
 }

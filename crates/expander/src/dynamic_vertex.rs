@@ -138,8 +138,11 @@ impl DynamicVertexDecomposition {
                 let cluster = &mut self.clusters[c];
                 let pruner = cluster.pruner.as_mut().expect("intra edges ⇒ pruner");
                 let out = pruner.delete_batch(t, &locals);
-                let spilled: Vec<EdgeKey> =
-                    out.spilled_edges.iter().map(|&le| cluster.keys[le]).collect();
+                let spilled: Vec<EdgeKey> = out
+                    .spilled_edges
+                    .iter()
+                    .map(|&le| cluster.keys[le])
+                    .collect();
                 (out.newly_pruned, spilled)
             };
             // pruned local vertices become singleton clusters
@@ -288,11 +291,7 @@ mod tests {
         let keys = d.insert_edges(&mut t, g.edges());
         // delete one vertex's entire star
         let target = 7usize;
-        let star: Vec<EdgeKey> = g
-            .neighbors(target)
-            .iter()
-            .map(|&(_, e)| keys[e])
-            .collect();
+        let star: Vec<EdgeKey> = g.neighbors(target).iter().map(|&(_, e)| keys[e]).collect();
         d.delete_edges(&mut t, &star);
         check_invariants(
             &d,

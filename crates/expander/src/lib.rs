@@ -27,5 +27,4 @@ pub mod static_decomp;
 pub mod trimming;
 pub mod unit_flow;
 
-
 pub use dynamic::DynamicExpanderDecomposition;

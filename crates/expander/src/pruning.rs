@@ -97,53 +97,56 @@ impl BoostedPruner {
     /// edges. Work amortized `Õ(|batch|/φ⁵)`, depth `Õ(1/φ⁴)`
     /// (Lemma 3.5 ∘ Lemma 3.6).
     pub fn delete_batch(&mut self, t: &mut Tracker, batch: &[EdgeId]) -> PruneOutcome {
-        let fresh: Vec<EdgeId> = batch
-            .iter()
-            .copied()
-            .filter(|&e| !self.extracted[e])
-            .collect();
-        for &e in &fresh {
-            self.extracted[e] = true;
-        }
-        let mut out = PruneOutcome::default();
-        let carried = self.counter.push(fresh.clone());
-
-        let removed: Vec<Vertex> = if carried {
-            out.rebuilt = true;
-            self.inner = Trimmer::with_params(self.host.clone(), self.params);
-            let mut removed_all = Vec::new();
-            let groups: Vec<Vec<EdgeId>> = self.counter.groups().cloned().collect();
-            for g in &groups {
-                let r = self.inner.delete_batch(t, g);
-                removed_all.extend(r.removed);
+        t.span("expander/prune", |t| {
+            t.counter("expander.prune_batches", 1);
+            let fresh: Vec<EdgeId> = batch
+                .iter()
+                .copied()
+                .filter(|&e| !self.extracted[e])
+                .collect();
+            for &e in &fresh {
+                self.extracted[e] = true;
             }
-            removed_all
-        } else {
-            self.inner.delete_batch(t, &fresh).removed
-        };
+            let mut out = PruneOutcome::default();
+            let carried = self.counter.push(fresh.clone());
 
-        // Fold pruned vertices into the cumulative set and spill their
-        // surviving edges.
-        let mut spilled = Vec::new();
-        for &v in &removed {
-            if !self.pruned[v] {
-                self.pruned[v] = true;
-                self.pruned_count += 1;
-                out.newly_pruned.push(v);
-            }
-            for &(_, e) in self.host.neighbors(v) {
-                if !self.extracted[e] {
-                    self.extracted[e] = true;
-                    spilled.push(e);
+            let removed: Vec<Vertex> = if carried {
+                out.rebuilt = true;
+                self.inner = Trimmer::with_params(self.host.clone(), self.params);
+                let mut removed_all = Vec::new();
+                let groups: Vec<Vec<EdgeId>> = self.counter.groups().cloned().collect();
+                for g in &groups {
+                    let r = self.inner.delete_batch(t, g);
+                    removed_all.extend(r.removed);
+                }
+                removed_all
+            } else {
+                self.inner.delete_batch(t, &fresh).removed
+            };
+
+            // Fold pruned vertices into the cumulative set and spill their
+            // surviving edges.
+            let mut spilled = Vec::new();
+            for &v in &removed {
+                if !self.pruned[v] {
+                    self.pruned[v] = true;
+                    self.pruned_count += 1;
+                    out.newly_pruned.push(v);
+                }
+                for &(_, e) in self.host.neighbors(v) {
+                    if !self.extracted[e] {
+                        self.extracted[e] = true;
+                        spilled.push(e);
+                    }
                 }
             }
-        }
-        if !spilled.is_empty() {
-            // replays must see spilled edges as deleted too
-            self.counter.append_to_newest(spilled.iter().copied());
-        }
-        out.spilled_edges = spilled;
-        out
+            if !spilled.is_empty() {
+                // replays must see spilled edges as deleted too
+                self.counter.append_to_newest(spilled.iter().copied());
+            }
+            out.spilled_edges = spilled;
+            out
+        })
     }
 }
 
@@ -205,7 +208,7 @@ mod tests {
         let m = g.m();
         let mut p = BoostedPruner::new(g.clone(), 0.2);
         let mut t = Tracker::new();
-        let mut pruned_so_far = vec![false; 64];
+        let mut pruned_so_far = [false; 64];
         for b in 0..12 {
             let batch = vec![(b * 11) % m];
             let r = p.delete_batch(&mut t, &batch);

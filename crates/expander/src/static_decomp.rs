@@ -214,7 +214,11 @@ mod tests {
         let g = UGraph::from_edges(16, edges);
         let mut t = Tracker::new();
         let clusters = vertex_decompose(&mut t, &g, 0.2, 2);
-        assert_eq!(clusters.len(), 2, "barbell splits at the bridge: {clusters:?}");
+        assert_eq!(
+            clusters.len(),
+            2,
+            "barbell splits at the bridge: {clusters:?}"
+        );
         for c in &clusters {
             assert_eq!(c.len(), 8);
         }

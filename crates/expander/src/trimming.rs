@@ -156,149 +156,159 @@ impl Trimmer {
     ///
     /// Work `Õ(|batch|/φ⁴)`, depth `Õ(1/φ³)` (Lemma 3.7 / 3.6).
     pub fn delete_batch(&mut self, t: &mut Tracker, batch: &[EdgeId]) -> TrimBatchResult {
-        self.batches += 1;
-        let source_per_edge = self.params.source_per_edge;
-        // Capacities grow per batch (Lemma 3.8's `2i/φ`).
-        let cap = self.params.cap_per_batch * (self.batches as f64 + 1.0);
-        let n = self.g.n();
-        let log_n = (n.max(4) as f64).log2().ceil();
-        let m_ln = (self.g.m().max(2) as f64).ln();
+        t.span("expander/trim", |t| {
+            t.counter("expander.trim_batches", 1);
+            self.batches += 1;
+            let source_per_edge = self.params.source_per_edge;
+            // Capacities grow per batch (Lemma 3.8's `2i/φ`).
+            let cap = self.params.cap_per_batch * (self.batches as f64 + 1.0);
+            let n = self.g.n();
+            let log_n = (n.max(4) as f64).log2().ceil();
+            let m_ln = (self.g.m().max(2) as f64).ln();
 
-        let mut result = TrimBatchResult::default();
-        let mut new_sources: Vec<(Vertex, f64)> = Vec::new();
+            let mut result = TrimBatchResult::default();
+            let mut new_sources: Vec<(Vertex, f64)> = Vec::new();
 
-        // Delete the batch edges: stop conducting, refund in-transit flow
-        // to the pushing side, add 2/φ boundary demand per alive endpoint.
-        for &e in batch {
-            if !self.edge_ok[e] {
-                continue;
-            }
-            self.edge_ok[e] = false;
-            let (u, v) = self.g.endpoints(e);
-            let f = self.state.flow[e];
-            self.state.flow[e] = 0.0;
-            if f > 0.0 && self.alive[u] {
-                new_sources.push((u, f));
-            } else if f < 0.0 && self.alive[v] {
-                new_sources.push((v, -f));
-            }
-            for w in [u, v] {
-                if self.alive[w] && u != v {
-                    new_sources.push((w, source_per_edge));
-                }
-            }
-        }
-        t.charge(Cost::par_flat(batch.len() as u64));
-
-        // Main loop (Algorithm 3, ≤ O(log n) rounds by Lemma 3.13).
-        let max_rounds = (2.0 * log_n).ceil() as usize + 2;
-        for round in 0..max_rounds {
-            result.rounds = round + 1;
-            // Adaptive sink grant (see TrimmerParams): unlock capacity
-            // proportional to this round's incoming demand, capped by the
-            // remaining lifetime budget (paper: `deg/log²n` per round —
-            // vacuous at workstation scale, see DESIGN.md §2).
-            let sources = std::mem::take(&mut new_sources);
-            let demand: f64 = sources.iter().map(|x| x.1).sum();
-            let volume = (2 * self.g.m()).max(1) as f64;
-            let remaining = (self.params.lifetime_sink - self.sink_spent).max(0.0);
-            let sink_rate = (self.params.demand_safety * demand / volume).min(remaining);
-            self.sink_spent += sink_rate;
-            let _ = round;
-            let max_sweeps = ((cap * self.h as f64 * log_n * log_n) as usize).clamp(64, 200_000);
-            let problem = UnitFlowProblem {
-                g: &self.g,
-                alive: &self.alive,
-                edge_ok: &self.edge_ok,
-                cap,
-                height: self.h,
-            };
-            let out =
-                parallel_unit_flow(t, &problem, &mut self.state, &sources, sink_rate, max_sweeps);
-            if out.remaining_excess <= 1e-9 {
-                result.certified = true;
-                break;
-            }
-
-            // Level-cut search (Algorithm 3's inner while-loop): among the
-            // labelled vertices find a level j whose prefix S_j has a
-            // sparse boundary.
-            let labeled: Vec<Vertex> = self
-                .state
-                .labeled_vertices()
-                .iter()
-                .copied()
-                .filter(|&v| self.alive[v] && self.state.label[v] >= 1)
-                .collect();
-            if labeled.is_empty() {
-                // No labelling to cut on (sweep budget exhausted on a
-                // pathological instance): prune the excess holders.
-                let holders: Vec<Vertex> = (0..n)
-                    .filter(|&v| self.alive[v] && self.state.excess[v] > 1e-9)
-                    .collect();
-                self.remove_set(t, &holders, source_per_edge, &mut new_sources, &mut result);
-                continue;
-            }
-            let mut cut_delta = vec![0i64; self.h + 2];
-            let mut vol_at = vec![0i64; self.h + 2]; // vol of vertices at exactly level j
-            let mut scanned = 0u64;
-            for &v in &labeled {
-                let lv = self.state.label[v].min(self.h + 1);
-                vol_at[lv] += self.g.degree(v) as i64;
-                for &(w, e) in self.g.neighbors(v) {
-                    scanned += 1;
-                    if !self.edge_ok[e] || !self.alive[w] || w == v {
-                        continue;
-                    }
-                    let lw = self.state.label[w];
-                    if lw < lv {
-                        // edge crosses S_j exactly for j in (lw, lv]:
-                        // +1 on levels ≤ lv, −1 on levels ≤ lw
-                        cut_delta[lv] += 1;
-                        cut_delta[lw] -= 1;
-                    }
-                }
-            }
-            t.charge(Cost::new(
-                scanned.max(1),
-                pmcf_pram::par_depth(scanned.max(1)),
-            ));
-            // Scan levels high→low keeping running suffix sums; prefer the
-            // first level meeting the sparsity threshold, else the best.
-            let mut best: Option<(usize, f64)> = None;
-            let mut vol_run = 0i64;
-            let mut cut_run = 0i64;
-            let threshold = 5.0 * m_ln / self.h as f64;
-            for j in (1..=self.h + 1).rev() {
-                vol_run += vol_at[j];
-                cut_run += cut_delta[j];
-                if vol_run == 0 {
+            // Delete the batch edges: stop conducting, refund in-transit flow
+            // to the pushing side, add 2/φ boundary demand per alive endpoint.
+            for &e in batch {
+                if !self.edge_ok[e] {
                     continue;
                 }
-                let ratio = cut_run.max(0) as f64 / vol_run as f64;
-                if best.is_none_or(|(_, b)| ratio < b) {
-                    best = Some((j, ratio));
+                self.edge_ok[e] = false;
+                let (u, v) = self.g.endpoints(e);
+                let f = self.state.flow[e];
+                self.state.flow[e] = 0.0;
+                if f > 0.0 && self.alive[u] {
+                    new_sources.push((u, f));
+                } else if f < 0.0 && self.alive[v] {
+                    new_sources.push((v, -f));
                 }
-                if ratio <= threshold {
-                    best = Some((j, ratio));
+                for w in [u, v] {
+                    if self.alive[w] && u != v {
+                        new_sources.push((w, source_per_edge));
+                    }
+                }
+            }
+            t.charge(Cost::par_flat(batch.len() as u64));
+
+            // Main loop (Algorithm 3, ≤ O(log n) rounds by Lemma 3.13).
+            let max_rounds = (2.0 * log_n).ceil() as usize + 2;
+            for round in 0..max_rounds {
+                result.rounds = round + 1;
+                // Adaptive sink grant (see TrimmerParams): unlock capacity
+                // proportional to this round's incoming demand, capped by the
+                // remaining lifetime budget (paper: `deg/log²n` per round —
+                // vacuous at workstation scale, see DESIGN.md §2).
+                let sources = std::mem::take(&mut new_sources);
+                let demand: f64 = sources.iter().map(|x| x.1).sum();
+                let volume = (2 * self.g.m()).max(1) as f64;
+                let remaining = (self.params.lifetime_sink - self.sink_spent).max(0.0);
+                let sink_rate = (self.params.demand_safety * demand / volume).min(remaining);
+                self.sink_spent += sink_rate;
+                let _ = round;
+                let max_sweeps =
+                    ((cap * self.h as f64 * log_n * log_n) as usize).clamp(64, 200_000);
+                let problem = UnitFlowProblem {
+                    g: &self.g,
+                    alive: &self.alive,
+                    edge_ok: &self.edge_ok,
+                    cap,
+                    height: self.h,
+                };
+                let out = parallel_unit_flow(
+                    t,
+                    &problem,
+                    &mut self.state,
+                    &sources,
+                    sink_rate,
+                    max_sweeps,
+                );
+                if out.remaining_excess <= 1e-9 {
+                    result.certified = true;
+                    break;
+                }
+
+                // Level-cut search (Algorithm 3's inner while-loop): among the
+                // labelled vertices find a level j whose prefix S_j has a
+                // sparse boundary.
+                let labeled: Vec<Vertex> = self
+                    .state
+                    .labeled_vertices()
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.alive[v] && self.state.label[v] >= 1)
+                    .collect();
+                if labeled.is_empty() {
+                    // No labelling to cut on (sweep budget exhausted on a
+                    // pathological instance): prune the excess holders.
+                    let holders: Vec<Vertex> = (0..n)
+                        .filter(|&v| self.alive[v] && self.state.excess[v] > 1e-9)
+                        .collect();
+                    self.remove_set(t, &holders, source_per_edge, &mut new_sources, &mut result);
+                    continue;
+                }
+                let mut cut_delta = vec![0i64; self.h + 2];
+                let mut vol_at = vec![0i64; self.h + 2]; // vol of vertices at exactly level j
+                let mut scanned = 0u64;
+                for &v in &labeled {
+                    let lv = self.state.label[v].min(self.h + 1);
+                    vol_at[lv] += self.g.degree(v) as i64;
+                    for &(w, e) in self.g.neighbors(v) {
+                        scanned += 1;
+                        if !self.edge_ok[e] || !self.alive[w] || w == v {
+                            continue;
+                        }
+                        let lw = self.state.label[w];
+                        if lw < lv {
+                            // edge crosses S_j exactly for j in (lw, lv]:
+                            // +1 on levels ≤ lv, −1 on levels ≤ lw
+                            cut_delta[lv] += 1;
+                            cut_delta[lw] -= 1;
+                        }
+                    }
+                }
+                t.charge(Cost::new(
+                    scanned.max(1),
+                    pmcf_pram::par_depth(scanned.max(1)),
+                ));
+                // Scan levels high→low keeping running suffix sums; prefer the
+                // first level meeting the sparsity threshold, else the best.
+                let mut best: Option<(usize, f64)> = None;
+                let mut vol_run = 0i64;
+                let mut cut_run = 0i64;
+                let threshold = 5.0 * m_ln / self.h as f64;
+                for j in (1..=self.h + 1).rev() {
+                    vol_run += vol_at[j];
+                    cut_run += cut_delta[j];
+                    if vol_run == 0 {
+                        continue;
+                    }
+                    let ratio = cut_run.max(0) as f64 / vol_run as f64;
+                    if best.is_none_or(|(_, b)| ratio < b) {
+                        best = Some((j, ratio));
+                    }
+                    if ratio <= threshold {
+                        best = Some((j, ratio));
+                        break;
+                    }
+                }
+                let (j_star, _) = best.expect("labelled set nonempty ⇒ some level has volume");
+                let prune: Vec<Vertex> = labeled
+                    .iter()
+                    .copied()
+                    .filter(|&v| self.state.label[v] >= j_star)
+                    .collect();
+                self.remove_set(t, &prune, source_per_edge, &mut new_sources, &mut result);
+                if self.alive_count == 0 {
                     break;
                 }
             }
-            let (j_star, _) = best.expect("labelled set nonempty ⇒ some level has volume");
-            let prune: Vec<Vertex> = labeled
-                .iter()
-                .copied()
-                .filter(|&v| self.state.label[v] >= j_star)
-                .collect();
-            self.remove_set(t, &prune, source_per_edge, &mut new_sources, &mut result);
-            if self.alive_count == 0 {
-                break;
+            if !result.certified && new_sources.is_empty() && self.state_excess() <= 1e-9 {
+                result.certified = true;
             }
-        }
-        if !result.certified && new_sources.is_empty() && self.state_excess() <= 1e-9 {
-            result.certified = true;
-        }
-        result
+            result
+        })
     }
 
     fn state_excess(&self) -> f64 {

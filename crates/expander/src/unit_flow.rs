@@ -275,78 +275,83 @@ pub fn parallel_unit_flow(
     sink_rate: f64,
     max_sweeps: usize,
 ) -> UnitFlowOutcome {
-    let absorbed_before: f64 = s.absorbed.iter().sum();
+    t.span("expander/unit-flow", |t| {
+        t.counter("unitflow.invocations", 1);
+        let absorbed_before: f64 = s.absorbed.iter().sum();
 
-    // Grant this invocation's allowance globally (lazily realized), then
-    // let standing excess holders absorb into it.
-    s.granted += sink_rate;
-    s.active.retain(|&v| s.excess[v] > 1e-12);
-    for idx in 0..s.active.len() {
-        let v = s.active[idx];
-        let ex = s.excess[v];
-        if ex > 0.0 {
-            s.excess[v] = 0.0;
-            s.excess[v] = s.absorb(p.g, v, ex);
-        }
-    }
-    t.charge(Cost::par_flat(s.active.len() as u64));
-
-    // Inject the new demand, absorbing locally where possible.
-    for &(v, amt) in new_source {
-        debug_assert!(p.alive[v], "source on dead vertex {v}");
-        let leftover = s.absorb(p.g, v, amt);
-        if leftover > 0.0 {
-            if s.excess[v] <= 1e-12 {
-                s.active.push(v);
+        // Grant this invocation's allowance globally (lazily realized), then
+        // let standing excess holders absorb into it.
+        s.granted += sink_rate;
+        s.active.retain(|&v| s.excess[v] > 1e-12);
+        for idx in 0..s.active.len() {
+            let v = s.active[idx];
+            let ex = s.excess[v];
+            if ex > 0.0 {
+                s.excess[v] = 0.0;
+                s.excess[v] = s.absorb(p.g, v, ex);
             }
-            s.excess[v] += leftover;
         }
-    }
-    t.charge(Cost::par_flat(new_source.len() as u64));
+        t.charge(Cost::par_flat(s.active.len() as u64));
 
-    let mut outcome = UnitFlowOutcome {
-        rounds: 1,
-        ..UnitFlowOutcome::default()
-    };
-    for _ in 0..max_sweeps {
-        let standing: f64 = s
+        // Inject the new demand, absorbing locally where possible.
+        for &(v, amt) in new_source {
+            debug_assert!(p.alive[v], "source on dead vertex {v}");
+            let leftover = s.absorb(p.g, v, amt);
+            if leftover > 0.0 {
+                if s.excess[v] <= 1e-12 {
+                    s.active.push(v);
+                }
+                s.excess[v] += leftover;
+            }
+        }
+        t.charge(Cost::par_flat(new_source.len() as u64));
+
+        let mut outcome = UnitFlowOutcome {
+            rounds: 1,
+            ..UnitFlowOutcome::default()
+        };
+        for _ in 0..max_sweeps {
+            let standing: f64 = s
+                .active
+                .iter()
+                .filter(|&&v| s.label[v] <= p.height && s.excess[v] > 0.0)
+                .map(|&v| s.excess[v])
+                .sum();
+            t.charge(Cost::reduce(s.active.len() as u64));
+            if standing <= 1e-12 {
+                break;
+            }
+            let (pushed, relabeled) = push_then_relabel(t, p, s);
+            t.counter("unitflow.pushes", pushed);
+            t.counter("unitflow.relabels", relabeled);
+            outcome.sweeps += 1;
+            if pushed == 0 && relabeled == 0 {
+                break; // no progress possible: all excess stuck at h+1
+            }
+            if s.active.iter().all(|&v| s.label[v] > p.height) {
+                break; // everything unroutable is parked at h+1
+            }
+        }
+
+        // Final cleanup: labels h+1 drop to h (Algorithm 1, line 8).
+        for i in 0..s.labeled.len() {
+            let v = s.labeled[i];
+            if s.label[v] == p.height + 1 {
+                s.label[v] = p.height;
+            }
+        }
+        t.charge(Cost::par_flat(s.labeled.len() as u64));
+
+        s.active.retain(|&v| s.excess[v] > 1e-12);
+        outcome.remaining_excess = s
             .active
             .iter()
-            .filter(|&&v| s.label[v] <= p.height && s.excess[v] > 0.0)
+            .filter(|&&v| p.alive[v] && s.label[v] <= p.height)
             .map(|&v| s.excess[v])
             .sum();
-        t.charge(Cost::reduce(s.active.len() as u64));
-        if standing <= 1e-12 {
-            break;
-        }
-        let (pushed, relabeled) = push_then_relabel(t, p, s);
-        outcome.sweeps += 1;
-        if pushed == 0 && relabeled == 0 {
-            break; // no progress possible: all excess stuck at h+1
-        }
-        if s.active.iter().all(|&v| s.label[v] > p.height) {
-            break; // everything unroutable is parked at h+1
-        }
-    }
-
-    // Final cleanup: labels h+1 drop to h (Algorithm 1, line 8).
-    for i in 0..s.labeled.len() {
-        let v = s.labeled[i];
-        if s.label[v] == p.height + 1 {
-            s.label[v] = p.height;
-        }
-    }
-    t.charge(Cost::par_flat(s.labeled.len() as u64));
-
-    s.active.retain(|&v| s.excess[v] > 1e-12);
-    outcome.remaining_excess = s
-        .active
-        .iter()
-        .filter(|&&v| p.alive[v] && s.label[v] <= p.height)
-        .map(|&v| s.excess[v])
-        .sum();
-    outcome.absorbed_now = s.absorbed.iter().sum::<f64>() - absorbed_before;
-    outcome
+        outcome.absorbed_now = s.absorbed.iter().sum::<f64>() - absorbed_before;
+        outcome
+    })
 }
 
 /// Verify Lemma 3.10's postconditions on a finished state (test helper;
@@ -431,7 +436,11 @@ mod tests {
     fn small_demand_fully_absorbed_on_expander() {
         let g = generators::random_regular_ugraph(32, 6, 1);
         let (s, out) = run_instance(&g, &[(0, 3.0), (5, 2.0)], 1.0, 10.0, 20);
-        assert!(out.remaining_excess < 1e-9, "excess {}", out.remaining_excess);
+        assert!(
+            out.remaining_excess < 1e-9,
+            "excess {}",
+            out.remaining_excess
+        );
         assert!((out.absorbed_now - 5.0).abs() < 1e-9);
         let alive = vec![true; g.n()];
         let edge_ok = vec![true; g.m()];
@@ -466,7 +475,7 @@ mod tests {
         let demand = 4.0 * total_sink;
         let (s, out) = run_instance(&g, &[(0, demand)], 0.05, 2.0, 6);
         assert!(out.remaining_excess > 0.0);
-        assert!(s.label.iter().any(|&l| l == 6), "some vertex at top level");
+        assert!(s.label.contains(&6), "some vertex at top level");
         let alive = vec![true; g.n()];
         let edge_ok = vec![true; g.m()];
         let p = UnitFlowProblem {
@@ -493,13 +502,11 @@ mod tests {
         for &(v, amt) in &sources {
             net[v] += amt;
         }
-        for v in 0..g.n() {
+        for (v, &nv) in net.iter().enumerate() {
             let want = s.absorbed[v] + s.excess[v];
             assert!(
-                (net[v] - want).abs() < 1e-9,
-                "vertex {v}: net {} vs absorbed+excess {}",
-                net[v],
-                want
+                (nv - want).abs() < 1e-9,
+                "vertex {v}: net {nv} vs absorbed+excess {want}"
             );
         }
     }

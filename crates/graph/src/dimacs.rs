@@ -200,8 +200,14 @@ mod tests {
         assert!(parse_min("p max 3 1\na 1 2 0 1 1\n").is_err());
         assert!(parse_min("a 1 2 0 1 1\n").is_err(), "'a' before 'p'");
         assert!(parse_min("p min 2 1\na 1 3 0 1 1\n").is_err(), "range");
-        assert!(parse_min("p min 2 1\na 1 2 1 5 1\n").is_err(), "lower bound");
-        assert!(parse_min("p min 2 1\nn 1 5\na 1 2 0 1 1\n").is_err(), "unbalanced");
+        assert!(
+            parse_min("p min 2 1\na 1 2 1 5 1\n").is_err(),
+            "lower bound"
+        );
+        assert!(
+            parse_min("p min 2 1\nn 1 5\na 1 2 0 1 1\n").is_err(),
+            "unbalanced"
+        );
         assert!(parse_min("p min 2 1\nz 1\n").is_err(), "unknown tag");
         assert!(
             parse_min("p min 2 3\na 1 2 0 1 1\n").is_err(),
@@ -212,7 +218,9 @@ mod tests {
     #[test]
     fn solution_serialization() {
         let p = parse_min(SAMPLE).unwrap();
-        let f = Flow { x: vec![3, 1, 1, 2, 2] };
+        let f = Flow {
+            x: vec![3, 1, 1, 2, 2],
+        };
         let s = write_solution(&p, &f);
         assert!(s.starts_with("s "));
         assert!(s.contains("f 1 2 3"));

@@ -46,7 +46,7 @@ pub fn gnm_ugraph(n: usize, m: usize, seed: u64) -> UGraph {
 /// random perfect matchings on an even number of vertices. Such graphs are
 /// expanders with high probability for `d ≥ 3`.
 pub fn random_regular_ugraph(n: usize, d: usize, seed: u64) -> UGraph {
-    assert!(n % 2 == 0, "need even n for perfect matchings");
+    assert!(n.is_multiple_of(2), "need even n for perfect matchings");
     assert!(n >= 2);
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut edges = Vec::with_capacity(n / 2 * d);
@@ -73,7 +73,9 @@ pub fn random_mcf(n: usize, m: usize, max_cap: i64, max_cost: i64, seed: u64) ->
     let g = gnm_digraph(n, m, seed);
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let cap: Vec<i64> = (0..m).map(|_| rng.gen_range(1..=max_cap)).collect();
-    let cost: Vec<i64> = (0..m).map(|_| rng.gen_range(-max_cost..=max_cost)).collect();
+    let cost: Vec<i64> = (0..m)
+        .map(|_| rng.gen_range(-max_cost..=max_cost))
+        .collect();
     let x0: Vec<i64> = cap.iter().map(|&u| rng.gen_range(0..=u)).collect();
     let mut demand = vec![0i64; n];
     for (e, &(u, v)) in g.edges().iter().enumerate() {

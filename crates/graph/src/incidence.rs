@@ -78,7 +78,9 @@ pub fn apply_laplacian(
             *a *= w;
         }
     } else {
-        ay.par_iter_mut().zip(d.par_iter()).for_each(|(a, w)| *a *= w);
+        ay.par_iter_mut()
+            .zip(d.par_iter())
+            .for_each(|(a, w)| *a *= w);
     }
     let mut out = apply_at(t, g, &ay);
     out[ground] = 0.0;
@@ -97,10 +99,10 @@ pub fn dense_grounded_laplacian(g: &DiGraph, d: &[f64], ground: usize) -> Vec<Ve
         l[u][v] -= w;
         l[v][u] -= w;
     }
-    for i in 0..n {
-        l[ground][i] = 0.0;
-        l[i][ground] = 0.0;
+    for row in l.iter_mut() {
+        row[ground] = 0.0;
     }
+    l[ground].fill(0.0);
     l[ground][ground] = 1.0;
     l
 }
@@ -162,7 +164,11 @@ mod tests {
             if i == ground {
                 assert_eq!(got[i], 0.0);
             } else {
-                assert!((got[i] - want).abs() < 1e-12, "row {i}: {} vs {want}", got[i]);
+                assert!(
+                    (got[i] - want).abs() < 1e-12,
+                    "row {i}: {} vs {want}",
+                    got[i]
+                );
             }
         }
     }

@@ -15,8 +15,8 @@
 //!   and the experiment harnesses (dense G(n,m), bipartite, high-diameter
 //!   chained cliques, grids, feasibility-guaranteed flow instances).
 
-pub mod digraph;
 pub mod connectivity;
+pub mod digraph;
 pub mod dimacs;
 pub mod generators;
 pub mod incidence;

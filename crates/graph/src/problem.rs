@@ -161,12 +161,7 @@ impl Flow {
         if self.x.len() != p.m() {
             return false;
         }
-        if self
-            .x
-            .iter()
-            .zip(&p.cap)
-            .any(|(&x, &u)| x < 0 || x > u)
-        {
+        if self.x.iter().zip(&p.cap).any(|(&x, &u)| x < 0 || x > u) {
             return false;
         }
         p.imbalance(&self.x).iter().all(|&b| b == 0)
@@ -221,26 +216,29 @@ mod tests {
 
     fn diamond_problem() -> McfProblem {
         let g = DiGraph::from_edges(4, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
-        McfProblem::new(
-            g,
-            vec![2, 2, 2, 2],
-            vec![1, 3, 1, 3],
-            vec![-2, 0, 0, 2],
-        )
+        McfProblem::new(g, vec![2, 2, 2, 2], vec![1, 3, 1, 3], vec![-2, 0, 0, 2])
     }
 
     #[test]
     fn feasibility_checks() {
         let p = diamond_problem();
-        let good = Flow { x: vec![1, 1, 1, 1] };
+        let good = Flow {
+            x: vec![1, 1, 1, 1],
+        };
         assert!(good.is_feasible(&p));
         assert_eq!(good.cost(&p), 8);
-        let cheap = Flow { x: vec![2, 0, 2, 0] };
+        let cheap = Flow {
+            x: vec![2, 0, 2, 0],
+        };
         assert!(cheap.is_feasible(&p));
         assert_eq!(cheap.cost(&p), 4);
-        let over = Flow { x: vec![3, 0, 3, 0] };
+        let over = Flow {
+            x: vec![3, 0, 3, 0],
+        };
         assert!(!over.is_feasible(&p)); // capacity violated
-        let unbalanced = Flow { x: vec![2, 0, 0, 0] };
+        let unbalanced = Flow {
+            x: vec![2, 0, 0, 0],
+        };
         assert!(!unbalanced.is_feasible(&p)); // conservation violated
     }
 

@@ -65,7 +65,7 @@ proptest! {
     fn components_partition_vertices(edges in arb_edges(12, 30)) {
         let g = UGraph::from_edges(12, edges);
         let (comp, count) = g.components();
-        prop_assert!(count >= 1 && count <= 12);
+        prop_assert!((1..=12).contains(&count));
         prop_assert!(comp.iter().all(|&c| c < count));
         // vertices joined by an edge share a component
         for &(u, v) in g.edges() {

@@ -20,14 +20,15 @@ pub fn solve(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
         m.swap(col, pivot);
         b.swap(col, pivot);
         let diag = m[col][col];
-        for r in col + 1..n {
-            let f = m[r][col] / diag;
+        let (top, rest) = m.split_at_mut(col + 1);
+        let pivot_row = &top[col];
+        for (r, row) in rest.iter_mut().enumerate().map(|(i, r)| (col + 1 + i, r)) {
+            let f = row[col] / diag;
             if f == 0.0 {
                 continue;
             }
-            for c in col..n {
-                let v = m[col][c];
-                m[r][c] -= f * v;
+            for (rv, &pv) in row[col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *rv -= f * pv;
             }
             b[r] -= f * b[col];
         }
@@ -108,7 +109,11 @@ mod tests {
 
     #[test]
     fn inverse_roundtrips() {
-        let m = vec![vec![4.0, 1.0, 0.0], vec![1.0, 3.0, 1.0], vec![0.0, 1.0, 5.0]];
+        let m = vec![
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 5.0],
+        ];
         let inv = inverse(&m).unwrap();
         let prod_col0 = matvec(&m, &[inv[0][0], inv[1][0], inv[2][0]]);
         assert!((prod_col0[0] - 1.0).abs() < 1e-9);
@@ -130,8 +135,8 @@ mod tests {
             let mut m = vec![vec![0.0; n]; n];
             for i in 0..n {
                 for j in 0..n {
-                    for k in 0..n {
-                        m[i][j] += b_mat[k][i] * b_mat[k][j];
+                    for row in &b_mat {
+                        m[i][j] += row[i] * row[j];
                     }
                 }
                 m[i][i] += 1.0;

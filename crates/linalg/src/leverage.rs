@@ -61,35 +61,38 @@ pub fn estimate_leverage(
     let g = solver.graph();
     let (n, m) = (g.n(), g.m());
     assert_eq!(d.len(), m);
-    // Hard cap: barrier/sampling weights tolerate constant-factor error,
-    // and each sketch row costs a full Laplacian solve.
-    let r = JlSketch::rows_for(eps, n).clamp(8, 24).min(4 * m.max(1));
-    let q = JlSketch::new(r, m, seed);
-    let sqrt_d: Vec<f64> = d.iter().map(|&x| x.sqrt()).collect();
-    t.charge(Cost::par_flat(m as u64));
-
-    let mut sigma = vec![0.0f64; m];
-    // The r sketch rows are independent → parallel branches in the model.
-    let results = t.parallel(r, |i, t| {
-        // rhs = Aᵀ (√D qᵢ)
-        let row: Vec<f64> = (0..m).map(|e| q.entry(i, e) * sqrt_d[e]).collect();
+    t.span("linalg/leverage", |t| {
+        t.counter("leverage.estimates", 1);
+        // Hard cap: barrier/sampling weights tolerate constant-factor error,
+        // and each sketch row costs a full Laplacian solve.
+        let r = JlSketch::rows_for(eps, n).clamp(8, 24).min(4 * m.max(1));
+        let q = JlSketch::new(r, m, seed);
+        let sqrt_d: Vec<f64> = d.iter().map(|&x| x.sqrt()).collect();
         t.charge(Cost::par_flat(m as u64));
-        let rhs = incidence::apply_at(t, g, &row);
-        let (z, _) = solver.solve(t, d, &rhs);
-        let az = incidence::apply_a(t, g, &z);
-        az
-    });
-    for az in &results {
-        for e in 0..m {
-            let val = sqrt_d[e] * az[e];
-            sigma[e] += val * val;
+
+        let mut sigma = vec![0.0f64; m];
+        // The r sketch rows are independent → parallel branches in the model.
+        let results = t.parallel(r, |i, t| {
+            // rhs = Aᵀ (√D qᵢ)
+            let row: Vec<f64> = (0..m).map(|e| q.entry(i, e) * sqrt_d[e]).collect();
+            t.charge(Cost::par_flat(m as u64));
+            let rhs = incidence::apply_at(t, g, &row);
+            let (z, _) = solver.solve(t, d, &rhs);
+
+            incidence::apply_a(t, g, &z)
+        });
+        for az in &results {
+            for e in 0..m {
+                let val = sqrt_d[e] * az[e];
+                sigma[e] += val * val;
+            }
         }
-    }
-    t.charge(Cost::par_for(r as u64, Cost::par_flat(m as u64)));
-    for s in sigma.iter_mut() {
-        *s = s.clamp(0.0, 1.0);
-    }
-    sigma
+        t.charge(Cost::par_for(r as u64, Cost::par_flat(m as u64)));
+        for s in sigma.iter_mut() {
+            *s = s.clamp(0.0, 1.0);
+        }
+        sigma
+    })
 }
 
 #[cfg(test)]

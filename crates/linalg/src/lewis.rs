@@ -55,6 +55,7 @@ pub fn exact_lewis_weights(
 /// `scale` is the diagonal of `G`; `z` the regularizer (`n/m` in the IPM);
 /// `eps` the per-round leverage accuracy. Work: `iters · Õ(m/ε²)` in the
 /// cost model; depth `Õ(iters)`.
+#[allow(clippy::too_many_arguments)]
 pub fn lewis_weights(
     t: &mut Tracker,
     solver: &LaplacianSolver,
@@ -69,21 +70,25 @@ pub fn lewis_weights(
     assert_eq!(scale.len(), m);
     assert!(p > 0.0 && p < 2.0, "fixed point requires p ∈ (0,2)");
     assert!(z > 0.0, "regularizer must be positive");
-    let mut tau = vec![(2.0 * z).min(1.0).max(z); m];
-    for round in 0..iters {
-        let d: Vec<f64> = tau
-            .iter()
-            .zip(scale)
-            .map(|(&tw, &s)| tw.powf(1.0 - 2.0 / p) * s * s)
-            .collect();
-        t.charge(Cost::par_flat(m as u64));
-        let sigma = estimate_leverage(t, solver, &d, eps, seed.wrapping_add(round as u64));
-        for (te, se) in tau.iter_mut().zip(&sigma) {
-            *te = se + z;
+    t.span("linalg/lewis", |t| {
+        t.counter("lewis.fixed_points", 1);
+        t.observe("lewis.rounds", iters as u64);
+        let mut tau = vec![(2.0 * z).min(1.0).max(z); m];
+        for round in 0..iters {
+            let d: Vec<f64> = tau
+                .iter()
+                .zip(scale)
+                .map(|(&tw, &s)| tw.powf(1.0 - 2.0 / p) * s * s)
+                .collect();
+            t.charge(Cost::par_flat(m as u64));
+            let sigma = estimate_leverage(t, solver, &d, eps, seed.wrapping_add(round as u64));
+            for (te, se) in tau.iter_mut().zip(&sigma) {
+                *te = se + z;
+            }
+            t.charge(Cost::par_flat(m as u64));
         }
-        t.charge(Cost::par_flat(m as u64));
-    }
-    tau
+        tau
+    })
 }
 
 /// Verify the Lewis-weight fixed point residual `‖τ − σ(...) − z‖_∞ / ‖τ‖_∞`
@@ -154,8 +159,8 @@ mod tests {
         let g = generators::gnm_digraph(8, 24, 3);
         let p = 0.9;
         let z = 8.0 / 24.0;
-        let a = exact_lewis_weights(&g, &vec![1.0; 24], 0, p, z, 25);
-        let b = exact_lewis_weights(&g, &vec![5.0; 24], 0, p, z, 25);
+        let a = exact_lewis_weights(&g, &[1.0; 24], 0, p, z, 25);
+        let b = exact_lewis_weights(&g, &[5.0; 24], 0, p, z, 25);
         for (x, y) in a.iter().zip(&b) {
             assert!((x - y).abs() < 1e-6);
         }

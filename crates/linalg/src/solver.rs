@@ -75,7 +75,19 @@ impl LaplacianSolver {
     /// Solve `AᵀDA x = b` to the configured tolerance. `b[ground]` is
     /// ignored (forced to 0). Returns the solution (with `x[ground] = 0`)
     /// and stats.
+    ///
+    /// Profiled under the `linalg/solve` span; each call feeds the
+    /// `solver.solves` counter and the `solver.cg_iterations` histogram.
     pub fn solve(&self, t: &mut Tracker, d: &[f64], b: &[f64]) -> (Vec<f64>, SolveStats) {
+        t.span("linalg/solve", |t| {
+            let out = self.solve_inner(t, d, b);
+            t.counter("solver.solves", 1);
+            t.observe("solver.cg_iterations", out.1.iterations as u64);
+            out
+        })
+    }
+
+    fn solve_inner(&self, t: &mut Tracker, d: &[f64], b: &[f64]) -> (Vec<f64>, SolveStats) {
         let n = self.graph.n();
         assert_eq!(d.len(), self.graph.m());
         assert_eq!(b.len(), n);
@@ -205,7 +217,7 @@ mod tests {
         let g = generators::gnm_digraph(8, 20, 3);
         let solver = LaplacianSolver::new(g, 0, SolverOpts::default());
         let mut t = Tracker::new();
-        let (x, stats) = solver.solve(&mut t, &vec![1.0; 20], &vec![0.0; 8]);
+        let (x, stats) = solver.solve(&mut t, &[1.0; 20], &[0.0; 8]);
         assert!(x.iter().all(|&v| v == 0.0));
         assert_eq!(stats.iterations, 0);
     }

@@ -59,12 +59,7 @@ pub fn sample_sparsifier(
 
 /// Compare the quadratic forms `xᵀHx` vs `xᵀLx` on a probe vector
 /// (diagnostic / tests).
-pub fn quadratic_form_ratio(
-    host: &DiGraph,
-    d: &[f64],
-    sp: &Sparsifier,
-    x: &[f64],
-) -> f64 {
+pub fn quadratic_form_ratio(host: &DiGraph, d: &[f64], sp: &Sparsifier, x: &[f64]) -> f64 {
     let q = |g: &DiGraph, w: &[f64]| -> f64 {
         g.edges()
             .iter()

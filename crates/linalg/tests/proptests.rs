@@ -1,10 +1,10 @@
 //! Property-based tests of the linear-algebra substrate.
 
 use pmcf_graph::{generators, incidence};
+use pmcf_linalg::dense;
 use pmcf_linalg::leverage::exact_leverage;
 use pmcf_linalg::sketch::JlSketch;
 use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
-use pmcf_linalg::dense;
 use pmcf_pram::Tracker;
 use proptest::prelude::*;
 
@@ -69,18 +69,17 @@ proptest! {
     fn dense_solve_then_matvec_roundtrips(n in 2usize..8, seed in 0u64..200) {
         // build SPD system, solve, verify residual
         let mut mat = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                let v = (((i * 7 + j * 13 + seed as usize) % 19) as f64 - 9.0) / 9.0;
-                mat[i][j] += v;
+        for (i, row) in mat.iter_mut().enumerate() {
+            for (j, mv) in row.iter_mut().enumerate() {
+                *mv += (((i * 7 + j * 13 + seed as usize) % 19) as f64 - 9.0) / 9.0;
             }
         }
         // M = BᵀB + I
         let mut spd = vec![vec![0.0; n]; n];
         for i in 0..n {
             for j in 0..n {
-                for k in 0..n {
-                    spd[i][j] += mat[k][i] * mat[k][j];
+                for row in &mat {
+                    spd[i][j] += row[i] * row[j];
                 }
             }
             spd[i][i] += 1.0;

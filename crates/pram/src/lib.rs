@@ -25,6 +25,7 @@
 
 pub mod cost;
 pub mod primitives;
+pub mod profile;
 pub mod tracker;
 
 pub use cost::Cost;

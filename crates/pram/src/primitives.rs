@@ -13,7 +13,11 @@ use rayon::prelude::*;
 const SEQ_CUTOFF: usize = 2048;
 
 /// Parallel map: `out[i] = f(&xs[i])`. Work `n`, depth `log n + 1`.
-pub fn par_map<T: Sync, U: Send>(t: &mut Tracker, xs: &[T], f: impl Fn(&T) -> U + Sync + Send) -> Vec<U> {
+pub fn par_map<T: Sync, U: Send>(
+    t: &mut Tracker,
+    xs: &[T],
+    f: impl Fn(&T) -> U + Sync + Send,
+) -> Vec<U> {
     t.charge_par_flat(xs.len() as u64);
     if xs.len() < SEQ_CUTOFF {
         xs.iter().map(f).collect()
@@ -48,7 +52,9 @@ pub fn par_update<T: Send + Sync + Copy>(
             *x = f(i, *x);
         }
     } else {
-        xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = f(i, *x));
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x = f(i, *x));
     }
 }
 
@@ -64,9 +70,7 @@ pub fn par_reduce<T: Sync, U: Send + Sync + Copy>(
     if xs.len() < SEQ_CUTOFF {
         xs.iter().map(map).fold(identity, &combine)
     } else {
-        xs.par_iter()
-            .map(map)
-            .reduce(|| identity, &combine)
+        xs.par_iter().map(map).reduce(|| identity, &combine)
     }
 }
 
@@ -136,7 +140,7 @@ pub fn par_filter<T: Sync + Send + Clone>(
 }
 
 /// Parallel sort (unstable). Work `n log n`, depth `log² n`.
-pub fn par_sort<T: Send + Ord>(t: &mut Tracker, xs: &mut Vec<T>) {
+pub fn par_sort<T: Send + Ord>(t: &mut Tracker, xs: &mut [T]) {
     t.charge(Cost::sort(xs.len() as u64));
     if xs.len() < SEQ_CUTOFF {
         xs.sort_unstable();
@@ -148,7 +152,7 @@ pub fn par_sort<T: Send + Ord>(t: &mut Tracker, xs: &mut Vec<T>) {
 /// Parallel sort by key. Same cost as [`par_sort`].
 pub fn par_sort_by_key<T: Send, K: Ord>(
     t: &mut Tracker,
-    xs: &mut Vec<T>,
+    xs: &mut [T],
     key: impl Fn(&T) -> K + Sync + Send,
 ) {
     t.charge(Cost::sort(xs.len() as u64));
@@ -179,7 +183,9 @@ pub fn par_axpy(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) {
             *yi += alpha * xi;
         }
     } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += alpha * xi);
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .for_each(|(yi, xi)| *yi += alpha * xi);
     }
 }
 

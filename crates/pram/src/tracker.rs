@@ -6,6 +6,7 @@
 //! [`Tracker::join`] / [`Tracker::parallel`], which compose the branch
 //! costs with `par` before charging them.
 
+use crate::profile::{ProfileReport, Profiler, SpanStart};
 use crate::Cost;
 
 /// Accumulates the work/depth of an algorithm run.
@@ -19,12 +20,32 @@ use crate::Cost;
 /// assert_eq!(t.work(), 1024 + 30);
 /// assert_eq!(t.depth(), 12 + 9); // (1 + log2(1024) + 1) then max(5, 9)
 /// ```
+///
+/// With a profiler attached (see [`Tracker::profiled`]), named scopes
+/// opened with [`Tracker::span`] additionally build a phase tree with
+/// per-phase work/depth/wall-time, and [`Tracker::counter`] /
+/// [`Tracker::observe`] feed a metrics registry:
+///
+/// ```
+/// use pmcf_pram::{Cost, Tracker};
+/// let mut t = Tracker::profiled();
+/// t.span("solve", |t| {
+///     t.counter("solve.calls", 1);
+///     t.charge(Cost::par_flat(64));
+/// });
+/// let report = t.profile_report().unwrap();
+/// assert_eq!(report.span("solve").unwrap().work, 64);
+/// assert_eq!(report.counters["solve.calls"], 1);
+/// ```
 #[derive(Debug, Default, Clone)]
 pub struct Tracker {
     total: Cost,
     /// When true the tracker ignores charges (zero-overhead "off" mode for
     /// wall-clock benchmarking of the same code paths).
     disabled: bool,
+    /// Attached span/metrics profiler; `None` (the default) makes every
+    /// span and metric call a free pass-through.
+    profiler: Option<Profiler>,
 }
 
 impl Tracker {
@@ -38,7 +59,72 @@ impl Tracker {
         Tracker {
             total: Cost::ZERO,
             disabled: true,
+            profiler: None,
         }
+    }
+
+    /// A fresh tracker with a span/metrics profiler attached.
+    pub fn profiled() -> Self {
+        Tracker {
+            total: Cost::ZERO,
+            disabled: false,
+            profiler: Some(Profiler::default()),
+        }
+    }
+
+    /// Whether a profiler is attached (spans and metrics are recorded).
+    pub fn is_profiled(&self) -> bool {
+        self.profiler.is_some()
+    }
+
+    /// Run `f` inside a named span. With a profiler attached, the span
+    /// accumulates the tracker's work/depth delta across the scope, the
+    /// wall time, and an invocation count into the phase tree (nested
+    /// calls build nested tree nodes). Without one, this is exactly
+    /// `f(self)` — no allocation, no bookkeeping.
+    ///
+    /// Spans never charge costs themselves, so profiled and unprofiled
+    /// runs of the same code report identical totals.
+    pub fn span<T>(&mut self, name: &str, f: impl FnOnce(&mut Tracker) -> T) -> T {
+        let Some(profiler) = self.profiler.clone() else {
+            return f(self);
+        };
+        profiler.enter(name);
+        let start = SpanStart {
+            cost_before: self.total,
+            wall_start: std::time::Instant::now(),
+        };
+        let out = f(self);
+        let delta = Cost::new(
+            self.total.work - start.cost_before.work,
+            self.total.depth - start.cost_before.depth,
+        );
+        profiler.exit(delta, start.wall_start.elapsed());
+        out
+    }
+
+    /// Add `delta` to the named monotone counter (no-op without a
+    /// profiler).
+    #[inline]
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        if let Some(p) = &self.profiler {
+            p.counter(name, delta);
+        }
+    }
+
+    /// Record one observation in the named histogram (no-op without a
+    /// profiler).
+    #[inline]
+    pub fn observe(&mut self, name: &str, value: u64) {
+        if let Some(p) = &self.profiler {
+            p.observe(name, value);
+        }
+    }
+
+    /// Snapshot the profile: the span tree (rooted at this tracker's
+    /// current totals) plus all metrics. `None` without a profiler.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.profiler.as_ref().map(|p| p.report(self.total))
     }
 
     /// Whether this tracker is accounting (false if built via [`Tracker::disabled`]).
@@ -130,6 +216,9 @@ impl Tracker {
         Tracker {
             total: Cost::ZERO,
             disabled: self.disabled,
+            // Branches share the profiler, so spans opened inside a
+            // branch nest under the span that was open at the fork.
+            profiler: self.profiler.clone(),
         }
     }
 
@@ -183,10 +272,7 @@ mod tests {
         let mut t = Tracker::new();
         t.join(
             |t| {
-                t.join(
-                    |t| t.charge(Cost::new(1, 4)),
-                    |t| t.charge(Cost::new(1, 5)),
-                );
+                t.join(|t| t.charge(Cost::new(1, 4)), |t| t.charge(Cost::new(1, 5)));
             },
             |t| t.charge(Cost::new(1, 2)),
         );
@@ -197,10 +283,7 @@ mod tests {
     fn disabled_tracker_ignores_everything() {
         let mut t = Tracker::disabled();
         t.charge(Cost::new(100, 100));
-        t.join(
-            |t| t.charge(Cost::new(1, 1)),
-            |t| t.charge(Cost::new(1, 1)),
-        );
+        t.join(|t| t.charge(Cost::new(1, 1)), |t| t.charge(Cost::new(1, 1)));
         assert_eq!(t.total(), Cost::ZERO);
         assert!(!t.is_enabled());
     }

@@ -1,7 +1,52 @@
-//! Property-based tests of the PRAM cost algebra and primitives.
+//! Property-based tests of the PRAM cost algebra, primitives, and the
+//! span profiler's reconciliation invariants.
 
+use pmcf_pram::profile::SpanReport;
 use pmcf_pram::{cost::par_all, primitives as pp, Cost, Tracker};
 use proptest::prelude::*;
+
+/// One instruction of a random profiling program: `(kind, w, d)`.
+/// `kind % 4`: 0/1 = charge `Cost::new(w, d)`, 2 = open a nested span
+/// (name derived from `w`) over the following ops, 3 = close the current
+/// span and return to the parent.
+type Op = (u8, u64, u64);
+
+/// Interprets `ops` inside the current scope; returns ops consumed.
+fn run_ops(t: &mut Tracker, ops: &[Op], level: usize) -> usize {
+    let mut i = 0;
+    while i < ops.len() {
+        let (kind, w, d) = ops[i];
+        i += 1;
+        match kind % 4 {
+            0 | 1 => t.charge(Cost::new(w, d)),
+            2 if level < 4 => {
+                let name = format!("s{}", w % 3);
+                let used = t.span(&name, |t| {
+                    t.charge(Cost::new(1, 1)); // spans are never empty
+                    run_ops(t, &ops[i..], level + 1)
+                });
+                i += used;
+            }
+            2 => t.charge(Cost::new(w, d)), // too deep: degrade to charge
+            _ => return i,                  // close current span
+        }
+    }
+    i
+}
+
+/// Asserts `Σ immediate-child work ≤ node work` on the whole tree.
+fn check_child_work(s: &SpanReport) {
+    assert!(
+        s.child_work() <= s.work,
+        "span {}: child work {} exceeds own work {}",
+        s.name,
+        s.child_work(),
+        s.work
+    );
+    for c in &s.children {
+        check_child_work(c);
+    }
+}
 
 fn cost_strategy() -> impl Strategy<Value = Cost> {
     (0u64..1_000_000, 0u64..10_000).prop_map(|(w, d)| Cost::new(w, d))
@@ -87,5 +132,61 @@ proptest! {
         let mut t = Tracker::new();
         let got = pp::par_reduce(&mut t, &xs, 0u64, |x| *x, |a, b| a + b);
         prop_assert_eq!(got, xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn profiled_totals_match_unprofiled(
+        ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..40)
+    ) {
+        // nested spans must reconcile with flat totals: profiling the
+        // exact same charge sequence changes nothing about work/depth
+        let mut plain = Tracker::new();
+        run_ops(&mut plain, &ops, 0);
+        let mut prof = Tracker::profiled();
+        run_ops(&mut prof, &ops, 0);
+        prop_assert_eq!(prof.work(), plain.work());
+        prop_assert_eq!(prof.depth(), plain.depth());
+        let rep = prof.profile_report().expect("profiled tracker reports");
+        prop_assert_eq!(rep.work, prof.work());
+        prop_assert_eq!(rep.depth, prof.depth());
+    }
+
+    #[test]
+    fn child_work_never_exceeds_parent(
+        ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..40)
+    ) {
+        let mut t = Tracker::profiled();
+        run_ops(&mut t, &ops, 0);
+        let rep = t.profile_report().expect("profiled tracker reports");
+        // the report root is the global total; top-level spans are its
+        // children, so the invariant starts at the report itself
+        let top: u64 = rep.spans.iter().map(|s| s.work).sum();
+        prop_assert!(top <= rep.work, "top-level span work {top} > total {}", rep.work);
+        for s in &rep.spans {
+            check_child_work(s);
+        }
+    }
+
+    #[test]
+    fn disabled_tracker_spans_are_free(
+        ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..40)
+    ) {
+        let mut t = Tracker::disabled();
+        run_ops(&mut t, &ops, 0);
+        prop_assert_eq!(t.work(), 0);
+        prop_assert_eq!(t.depth(), 0);
+        prop_assert!(t.profile_report().is_none());
+    }
+
+    #[test]
+    fn span_json_stays_balanced(
+        ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..30)
+    ) {
+        let mut t = Tracker::profiled();
+        run_ops(&mut t, &ops, 0);
+        let json = t.profile_report().expect("profiled tracker reports").to_json();
+        prop_assert_eq!(json.matches('{').count(), json.matches('}').count());
+        prop_assert_eq!(json.matches('[').count(), json.matches(']').count());
+        prop_assert!(json.starts_with("{\"schema\":\"pmcf.profile/v1\""));
     }
 }

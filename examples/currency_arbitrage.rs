@@ -16,7 +16,7 @@ fn main() {
     let currencies = ["USD", "EUR", "GBP", "JPY", "CHF"];
     // scaled integer log-rates (cost of converting along the edge);
     // negative cost = the conversion gains value on this leg
-    let legs = vec![
+    let legs = [
         (0usize, 1usize, 11i64), // USD→EUR
         (1, 2, -3),              // EUR→GBP (favourable)
         (0, 2, 12),              // USD→GBP direct

@@ -39,11 +39,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "instance: {} vertices, {} edges",
-        problem.n(),
-        problem.m()
-    );
+    eprintln!("instance: {} vertices, {} edges", problem.n(), problem.m());
     let mut t = Tracker::new();
     match solve_mcf(&mut t, &problem, &SolverConfig::default()) {
         Some(sol) => {

@@ -33,9 +33,8 @@ fn main() {
     let mut edges = Vec::new();
     let mut cap = Vec::new();
     // terminal edges: bright pixels attach to the source, dark to the sink
-    for y in 0..H {
-        for x in 0..W {
-            let b = img[y][x];
+    for (y, row) in img.iter().enumerate() {
+        for (x, &b) in row.iter().enumerate() {
             if b >= 5 {
                 edges.push((src, idx(x, y)));
                 cap.push(b * 3);

@@ -26,11 +26,11 @@ fn main() {
     let mut edges = Vec::new();
     let mut cap = Vec::new();
     let mut cost = Vec::new();
-    for f in 0..3 {
-        for w in 0..4 {
+    for (f, lane) in freight_cost.iter().enumerate() {
+        for (w, &c) in lane.iter().enumerate() {
             edges.push((f, 3 + w));
             cap.push(lane_cap);
-            cost.push(freight_cost[f][w]);
+            cost.push(c);
         }
     }
     let mut demand = vec![0i64; 7];
@@ -43,8 +43,8 @@ fn main() {
     let problem = McfProblem::new(DiGraph::from_edges(7, edges), cap, cost, demand);
 
     let mut tracker = Tracker::new();
-    let sol = solve_mcf(&mut tracker, &problem, &SolverConfig::default())
-        .expect("supply meets demand");
+    let sol =
+        solve_mcf(&mut tracker, &problem, &SolverConfig::default()).expect("supply meets demand");
 
     println!("minimum total freight cost: {}", sol.cost);
     println!("\nshipping plan (units on each lane):");

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark a small fixed number of iterations and prints
+//! mean wall time — enough for `cargo bench` to build and execute in the
+//! network-less environment. Statistical rigor returns when the real
+//! crate is vendored; the API here is call-compatible with the subset the
+//! workspace's benches use.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value (best-effort stable-Rust
+/// version of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("# group {name}");
+        BenchmarkGroup {
+            group: name.to_string(),
+        }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        run_bench(name, f);
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    group: String,
+}
+
+impl BenchmarkGroup {
+    /// Sample-count knob (ignored by the shim).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id.id), |b| f(b, input));
+        self
+    }
+
+    /// Run a single named benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.group, id.into().id), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark case (`name/parameter`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name` + display-formatted `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed number of iterations.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 3,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+    println!("bench {name}: {:.3} ms/iter", mean * 1e3);
+}
+
+/// Collect benchmark functions into a runner (shim: a plain fn).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group (shim: sequential calls in `main`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `rayon` cannot be fetched from crates.io. This shim exposes the
+//! (small) subset of the rayon API the workspace uses and executes it
+//! **sequentially** on the calling thread. The PRAM *cost model* in
+//! `pmcf-pram` is what the paper's work/depth claims are measured against;
+//! wall-clock parallelism is an orthogonal concern that returns when the
+//! real crate is vendored (the API is call-compatible, so swapping back is
+//! a one-line `Cargo.toml` change).
+
+/// Number of worker threads the "pool" would have: the machine's
+/// available parallelism (sequential execution notwithstanding, callers
+/// use this to pick chunk counts, which should match the hardware).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A "parallel" iterator: a thin newtype over a sequential iterator.
+///
+/// Inherent methods shadow the `Iterator` trait methods of the same name
+/// so that rayon-specific signatures (e.g. two-argument [`ParIter::reduce`])
+/// keep working; everything else falls through to `Iterator` via the
+/// blanket impl below.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.next()
+    }
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map, staying in the "parallel" world (rayon's `ParallelIterator::map`).
+    #[inline]
+    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Filter, staying in the "parallel" world.
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// rayon's `flat_map_iter`: flat-map through a *sequential* iterator.
+    #[inline]
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter {
+            inner: self.inner.flat_map(f),
+        }
+    }
+
+    /// rayon's two-argument reduce: fold from `identity()` with `op`.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Drain the iterator, applying `f` to every item.
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Hint ignored by the sequential shim (rayon tuning knob).
+    #[inline]
+    pub fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+/// `.par_iter()` / mutable / chunked views over slices.
+pub trait ParSliceExt<T> {
+    /// Shared "parallel" iterator over the slice.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Chunked "parallel" iterator.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+/// Mutable counterparts of [`ParSliceExt`].
+pub trait ParSliceMutExt<T> {
+    /// Exclusive "parallel" iterator over the slice.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Exclusive chunked "parallel" iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+/// Sequential implementations of rayon's slice sorts.
+pub trait ParSortExt<T> {
+    /// Stable sort (rayon: parallel merge sort).
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    /// Stable sort by key.
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    /// Sort with a comparator.
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F);
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter { inner: self.iter() }
+    }
+    #[inline]
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter {
+            inner: self.chunks(size),
+        }
+    }
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter {
+            inner: self.chunks_mut(size),
+        }
+    }
+}
+
+impl<T> ParSortExt<T> for [T] {
+    #[inline]
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    #[inline]
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+    #[inline]
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    #[inline]
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+    #[inline]
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
+        self.sort_by(cmp);
+    }
+}
+
+/// `.into_par_iter()` for any owned iterable (ranges, `Vec`, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Convert into a "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+/// The rayon prelude: every extension trait, ready for `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParSliceExt, ParSliceMutExt, ParSortExt};
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures on this thread.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let xs = [1u64, 2, 3];
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn two_arg_reduce() {
+        let xs = [1u64, 2, 3, 4];
+        let s = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn chunked_zip_for_each() {
+        let xs = [1u64; 10];
+        let mut out = vec![0u64; 10];
+        out.par_chunks_mut(3)
+            .zip(xs.par_chunks(3))
+            .for_each(|(o, c)| {
+                for (oi, ci) in o.iter_mut().zip(c) {
+                    *oi = *ci + 1;
+                }
+            });
+        assert_eq!(out, vec![2u64; 10]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let v: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn sorts() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut w = [(1, 'b'), (0, 'a')];
+        w.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(w[0].1, 'a');
+    }
+}

@@ -46,7 +46,12 @@ fn single_edge_graphs() {
 fn path_graphs_and_bottlenecks() {
     let g = DiGraph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
     check(
-        &McfProblem::new(g.clone(), vec![9, 1, 9, 9], vec![1, 1, 1, 1], vec![-1, 0, 0, 0, 1]),
+        &McfProblem::new(
+            g.clone(),
+            vec![9, 1, 9, 9],
+            vec![1, 1, 1, 1],
+            vec![-1, 0, 0, 0, 1],
+        ),
         "tight middle bottleneck",
     );
     check(
