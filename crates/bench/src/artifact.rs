@@ -130,12 +130,17 @@ impl From<bool> for Json {
 ///
 /// Layout: one optional positional integer (its meaning is per-binary —
 /// usually a size cap), plus `--json <path>` and `--seed <u64>`.
+/// `--json -` streams the artifact JSON to stdout and routes all
+/// human-readable markdown to stderr, so the harness can be piped
+/// straight into `bench-gate`.
 #[derive(Clone, Debug, Default)]
 pub struct BenchArgs {
     /// The positional size cap, if given.
     pub max_size: Option<usize>,
     /// Where to write the JSON artifact, if requested.
     pub json: Option<PathBuf>,
+    /// `--json -`: stream the artifact to stdout, markdown to stderr.
+    pub stream: bool,
     /// RNG seed for instance generation (recorded in the artifact).
     pub seed: Option<u64>,
 }
@@ -144,13 +149,23 @@ impl BenchArgs {
     /// Parse `std::env::args()`, panicking with a usage message on
     /// malformed input (these are internal harnesses, not a CLI product).
     pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit argument iterator (testable core of
+    /// [`BenchArgs::parse`]).
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut out = BenchArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = iter.into_iter();
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--json" => {
-                    let p = args.next().expect("--json requires a path");
-                    out.json = Some(PathBuf::from(p));
+                    let p = args.next().expect("--json requires a path or '-'");
+                    if p == "-" {
+                        out.stream = true;
+                    } else {
+                        out.json = Some(PathBuf::from(p));
+                    }
                 }
                 "--seed" => {
                     let s = args.next().expect("--seed requires a u64");
@@ -158,7 +173,7 @@ impl BenchArgs {
                 }
                 other => {
                     let v: usize = other.parse().unwrap_or_else(|_| {
-                        panic!("unrecognized argument {other:?} (expected a size, --json <path>, or --seed <u64>)")
+                        panic!("unrecognized argument {other:?} (expected a size, --json <path|->, or --seed <u64>)")
                     });
                     out.max_size = Some(v);
                 }
@@ -176,6 +191,28 @@ impl BenchArgs {
     pub fn max_size_or(&self, default: usize) -> usize {
         self.max_size.unwrap_or(default)
     }
+
+    /// Print one line of markdown: to stderr under `--json -` (keeping
+    /// stdout clean for the artifact), to stdout otherwise.
+    pub fn md_line(&self, line: &str) {
+        if self.stream {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+}
+
+/// `mdln!(args)` / `mdln!(args, "fmt", ...)` — markdown output that
+/// respects `--json -` stream routing (see [`BenchArgs::md_line`]).
+#[macro_export]
+macro_rules! mdln {
+    ($args:expr) => {
+        $args.md_line("")
+    };
+    ($args:expr, $($fmt:tt)*) => {
+        $args.md_line(&format!($($fmt)*))
+    };
 }
 
 /// Accumulates one run's results and writes the artifact.
@@ -185,6 +222,7 @@ pub struct Artifact {
     rows: Vec<Json>,
     extra: Vec<(String, Json)>,
     profile: Option<String>,
+    md_stderr: bool,
 }
 
 impl Artifact {
@@ -196,6 +234,24 @@ impl Artifact {
             rows: Vec::new(),
             extra: Vec::new(),
             profile: None,
+            md_stderr: false,
+        }
+    }
+
+    /// Start an artifact wired to `args`: under `--json -`, any markdown
+    /// this artifact prints (profile reports, write notices) goes to
+    /// stderr so stdout stays a clean JSON stream.
+    pub fn for_run(bench: &str, seed: u64, args: &BenchArgs) -> Self {
+        let mut a = Artifact::new(bench, seed);
+        a.md_stderr = args.stream;
+        a
+    }
+
+    fn md_line(&self, line: &str) {
+        if self.md_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
         }
     }
 
@@ -227,8 +283,8 @@ impl Artifact {
 
     /// Embed an already-extracted [`ProfileReport`] (and print it).
     pub fn attach_profile_report(&mut self, label: &str, rep: &ProfileReport) {
-        println!("\n### Span profile — {label}\n");
-        println!("{}", rep.to_markdown());
+        self.md_line(&format!("\n### Span profile — {label}\n"));
+        self.md_line(&rep.to_markdown());
         self.profile = Some(rep.to_json());
     }
 
@@ -247,12 +303,25 @@ impl Artifact {
         Json::Obj(obj).render()
     }
 
+    /// Emit the artifact as `args` requested: under `--json -` the JSON
+    /// streams to stdout (ready to pipe into `bench-gate`); under
+    /// `--json <path>` it is written to the file (creating parent
+    /// directories) and the destination is announced; otherwise no-op.
+    pub fn emit(&self, args: &BenchArgs) {
+        if args.stream {
+            println!("{}", self.to_json());
+            return;
+        }
+        self.write_if_requested(&args.json);
+    }
+
     /// Write the artifact to `path` (creating parent directories) if the
-    /// caller passed `--json`; no-op otherwise. Prints the destination.
+    /// caller passed `--json <path>`; no-op otherwise. Prints the
+    /// destination.
     pub fn write_if_requested(&self, path: &Option<PathBuf>) {
         if let Some(p) = path {
             self.write(p).expect("artifact write failed");
-            println!("\n[artifact] wrote {}", p.display());
+            self.md_line(&format!("\n[artifact] wrote {}", p.display()));
         }
     }
 
@@ -316,6 +385,25 @@ mod tests {
         a.profile = Some(rep.to_json());
         let js = a.to_json();
         assert!(js.contains("\"profile\":{\"schema\":\"pmcf.profile/v1\""));
+    }
+
+    #[test]
+    fn json_dash_streams_and_path_writes() {
+        let a = BenchArgs::parse_from(["--json", "-", "--seed", "7", "64"].map(String::from));
+        assert!(a.stream);
+        assert!(a.json.is_none());
+        assert_eq!(a.seed_or(0), 7);
+        assert_eq!(a.max_size_or(0), 64);
+        let b = BenchArgs::parse_from(["--json", "out.json"].map(String::from));
+        assert!(!b.stream);
+        assert_eq!(b.json.as_deref(), Some(Path::new("out.json")));
+    }
+
+    #[test]
+    fn for_run_routes_markdown_by_stream_flag() {
+        let streaming = BenchArgs::parse_from(["--json", "-"].map(String::from));
+        assert!(Artifact::for_run("demo", 1, &streaming).md_stderr);
+        assert!(!Artifact::for_run("demo", 1, &BenchArgs::default()).md_stderr);
     }
 
     #[test]

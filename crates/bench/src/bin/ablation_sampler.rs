@@ -5,7 +5,7 @@
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
 //! span-tree profile of the last HeavySampler run.
 
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_core::init;
 use pmcf_core::reference::PathFollowConfig;
 use pmcf_core::robust;
@@ -14,13 +14,20 @@ use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let seed = args.seed_or(9);
-    let mut artifact = Artifact::new("ablation_sampler", seed);
+    let mut artifact = Artifact::for_run("ablation_sampler", seed, &args);
     let mut profile = None;
 
-    println!("## A-ABL — δ_x sparsification ablation (robust engine)\n");
-    println!("| n | m | sampler | iterations | corrected coords/iter | work | work/iter |");
-    println!("|---|---|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## A-ABL — δ_x sparsification ablation (robust engine)\n"
+    );
+    mdln!(
+        args,
+        "| n | m | sampler | iterations | corrected coords/iter | work | work/iter |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|---|");
     for &(n, m) in &[(64usize, 1024usize), (64, 4096), (144, 1728)] {
         let p = generators::random_mcf(n, m, 4, 3, seed);
         let ext = init::extend(&p);
@@ -38,7 +45,8 @@ fn main() {
             let ok = pmcf_core::rounding::round_to_optimal(&ext.prob, &st.x).is_some();
             assert!(ok);
             let coords_per_iter = stats.sampled_coords as f64 / stats.iterations.max(1) as f64;
-            println!(
+            mdln!(
+                args,
                 "| {n} | {m} | {label} | {} | {coords_per_iter:.0} | {} | {:.0} |",
                 stats.iterations,
                 t.work(),
@@ -60,13 +68,26 @@ fn main() {
             }
         }
     }
-    println!("\nShape: the dense variant corrects all m coordinates per iteration;");
-    println!("the HeavySampler touches Õ(m/√n + n) (paper §2.2, Theorem E.2).");
-    println!("Total work is solver-dominated at these sizes, so the step's own");
-    println!("footprint — the corrected-coordinates column — carries the claim.");
+    mdln!(
+        args,
+        "\nShape: the dense variant corrects all m coordinates per iteration;"
+    );
+    mdln!(
+        args,
+        "the HeavySampler touches Õ(m/√n + n) (paper §2.2, Theorem E.2)."
+    );
+    mdln!(
+        args,
+        "Total work is solver-dominated at these sizes, so the step's own"
+    );
+    mdln!(
+        args,
+        "footprint — the corrected-coordinates column — carries the claim."
+    );
 
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

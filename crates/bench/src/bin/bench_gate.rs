@@ -1,0 +1,111 @@
+//! `bench-gate` — fail CI when a `pmcf.bench/v1` artifact regresses
+//! against a committed baseline.
+//!
+//! Usage:
+//! ```text
+//! bench-gate --baseline results/baseline/table1_mcf.json [--candidate <path|->]
+//!            [--work-ratio X] [--depth-ratio X] [--iter-ratio X]
+//!            [--wall-ratio X] [--exponent-slack X] [--quiet]
+//! ```
+//!
+//! The candidate defaults to stdin, so a harness streams straight in:
+//! `table1_mcf -- --json - | bench-gate -- --baseline <baseline>`.
+//!
+//! Exit codes: 0 pass, 1 regression, 2 usage / I/O / parse error.
+
+use pmcf_bench::gate::{gate, parse_artifact, GateConfig};
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Cli {
+    baseline: String,
+    candidate: Option<String>,
+    cfg: GateConfig,
+    quiet: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-gate --baseline <path> [--candidate <path|->] \
+         [--work-ratio X] [--depth-ratio X] [--iter-ratio X] \
+         [--wall-ratio X] [--exponent-slack X] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut cfg = GateConfig::default();
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    let next_f64 = |args: &mut dyn Iterator<Item = String>, flag: &str| -> f64 {
+        args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a number");
+            usage()
+        })
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--candidate" => candidate = args.next(),
+            "--work-ratio" => cfg.work_ratio = next_f64(&mut args, "--work-ratio"),
+            "--depth-ratio" => cfg.depth_ratio = next_f64(&mut args, "--depth-ratio"),
+            "--iter-ratio" => cfg.iter_ratio = next_f64(&mut args, "--iter-ratio"),
+            "--wall-ratio" => cfg.wall_ratio = next_f64(&mut args, "--wall-ratio"),
+            "--exponent-slack" => cfg.exponent_slack = next_f64(&mut args, "--exponent-slack"),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unrecognized argument {other:?}");
+                usage();
+            }
+        }
+    }
+    let Some(baseline) = baseline else {
+        eprintln!("--baseline is required");
+        usage();
+    };
+    Cli {
+        baseline,
+        candidate,
+        cfg,
+        quiet,
+    }
+}
+
+fn read_source(spec: &Option<String>) -> Result<String, String> {
+    match spec.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(buf)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+    let run = || -> Result<bool, String> {
+        let base_src = std::fs::read_to_string(&cli.baseline)
+            .map_err(|e| format!("reading {}: {e}", cli.baseline))?;
+        let cand_src = read_source(&cli.candidate)?;
+        let base = parse_artifact(&base_src).map_err(|e| format!("baseline: {e}"))?;
+        let cand = parse_artifact(&cand_src).map_err(|e| format!("candidate: {e}"))?;
+        let report = gate(&base, &cand, &cli.cfg)?;
+        if !cli.quiet || !report.passed() {
+            println!("{}", report.to_markdown());
+        }
+        Ok(report.passed())
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

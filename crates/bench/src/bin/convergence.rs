@@ -5,7 +5,7 @@
 //! Flags: `[n] --seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
 //! span-tree profile of the traced solve.
 
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_core::init;
 use pmcf_core::reference::{path_follow_traced, PathFollowConfig};
 use pmcf_core::trace::TraceRecorder;
@@ -14,9 +14,10 @@ use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let n = args.max_size_or(64);
     let seed = args.seed_or(7);
-    let mut artifact = Artifact::new("convergence", seed);
+    let mut artifact = Artifact::for_run("convergence", seed, &args);
 
     let m = generators::dense_m(n);
     let p = generators::random_mcf(n, m, 8, 6, seed);
@@ -34,23 +35,26 @@ fn main() {
         &PathFollowConfig::default(),
         Some(&mut rec),
     );
-    println!(
+    mdln!(
+        args,
         "## Convergence trace — n={n}, m={m} ({} iterations)\n",
         stats.iterations
     );
-    println!("{}", rec.to_markdown(stats.iterations / 20 + 1));
+    mdln!(args, "{}", rec.to_markdown(stats.iterations / 20 + 1));
     artifact.set("n", Json::from(n));
     artifact.set("m", Json::from(m));
     artifact.set("iterations", Json::from(stats.iterations));
     artifact.set("trace", Json::Raw(rec.to_json()));
     if let Some(rate) = rec.mu_decay_rate() {
         let tau_sum_guess = 2.0 * n as f64;
-        println!(
+        mdln!(
+            args,
             "μ decay/iter: {rate:.5} (theory: 1 − r/√Στ ≈ {:.5})",
             1.0 - 0.5 / tau_sum_guess.sqrt()
         );
         artifact.set("mu_decay_rate", Json::F64(rate));
     }
     artifact.attach_profile(&format!("reference IPM, n={n}, m={m}"), &t);
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

@@ -5,7 +5,7 @@
 //! span-tree profile of the last reduction solve.
 
 use pmcf_baselines::{bellman_ford, bfs, hopcroft_karp};
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_core::corollaries::{bipartite_matching, negative_sssp, reachability};
 use pmcf_core::SolverConfig;
 use pmcf_graph::generators;
@@ -14,21 +14,26 @@ use pmcf_pram::Tracker;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let seed = args.seed_or(3);
-    let mut artifact = Artifact::new("corollaries", seed);
+    let mut artifact = Artifact::for_run("corollaries", seed, &args);
     let mut profile = None;
 
     let cfg = SolverConfig::default();
-    println!("## E-MATCH — bipartite matching (Corollary 1.3)\n");
-    println!("| n_left | n_right | m | HK size | IPM size | IPM work | IPM depth |");
-    println!("|---|---|---|---|---|---|---|");
+    mdln!(args, "## E-MATCH — bipartite matching (Corollary 1.3)\n");
+    mdln!(
+        args,
+        "| n_left | n_right | m | HK size | IPM size | IPM work | IPM depth |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|---|");
     for &(nl, m) in &[(8usize, 24usize), (16, 64), (32, 160)] {
         let g = generators::random_bipartite(nl, nl, m, seed);
         let (want, _) = hopcroft_karp::max_matching(&g, nl);
         let mut t = tracker_from_env();
         let (got, _) = bipartite_matching(&mut t, &g, nl, &cfg);
         assert_eq!(got, want);
-        println!(
+        mdln!(
+            args,
             "| {nl} | {nl} | {m} | {want} | {got} | {} | {} |",
             t.work(),
             t.depth()
@@ -46,16 +51,19 @@ fn main() {
         }
     }
 
-    println!("\n## E-SSSP — negative-weight SSSP (Corollary 1.4)\n");
-    println!("| n | m | matches Bellman-Ford | IPM work | IPM depth |");
-    println!("|---|---|---|---|---|");
+    mdln!(args, "\n## E-SSSP — negative-weight SSSP (Corollary 1.4)\n");
+    mdln!(
+        args,
+        "| n | m | matches Bellman-Ford | IPM work | IPM depth |"
+    );
+    mdln!(args, "|---|---|---|---|---|");
     for &(n, m) in &[(12usize, 36usize), (24, 96), (48, 240)] {
         let (g, w) = generators::random_negative_sssp(n, m, 6, seed + 2);
         let want = bellman_ford::sssp(&g, &w, 0).unwrap();
         let mut t = tracker_from_env();
         let got = negative_sssp(&mut t, &g, &w, 0, &cfg).unwrap();
         assert_eq!(got, want);
-        println!("| {n} | {m} | yes | {} | {} |", t.work(), t.depth());
+        mdln!(args, "| {n} | {m} | yes | {} | {} |", t.work(), t.depth());
         artifact.row(vec![
             ("section", Json::from("sssp")),
             ("n", Json::from(n)),
@@ -65,9 +73,12 @@ fn main() {
         ]);
     }
 
-    println!("\n## E-REACH — reachability (Corollary 1.5)\n");
-    println!("| n | m | matches BFS | IPM work | IPM depth | BFS depth |");
-    println!("|---|---|---|---|---|---|");
+    mdln!(args, "\n## E-REACH — reachability (Corollary 1.5)\n");
+    mdln!(
+        args,
+        "| n | m | matches BFS | IPM work | IPM depth | BFS depth |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|");
     for &k in &[4usize, 8] {
         let g = generators::chained_cliques(k, 5, seed.wrapping_sub(1));
         let want = bfs::reachable_seq(&g, 0);
@@ -76,7 +87,8 @@ fn main() {
         assert_eq!(got, want);
         let mut tb = Tracker::new();
         let _ = bfs::reachable_par(&mut tb, &g, 0);
-        println!(
+        mdln!(
+            args,
             "| {} | {} | yes | {} | {} | {} |",
             g.n(),
             g.m(),
@@ -97,5 +109,6 @@ fn main() {
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

@@ -8,7 +8,7 @@
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
 //! span-tree profile of the last E-PRUNE run.
 
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_expander::pruning::BoostedPruner;
 use pmcf_expander::DynamicExpanderDecomposition;
 use pmcf_graph::generators;
@@ -16,13 +16,20 @@ use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let seed = args.seed_or(5);
-    let mut artifact = Artifact::new("expander_dynamic", seed);
+    let mut artifact = Artifact::for_run("expander_dynamic", seed, &args);
     let mut profile = None;
 
-    println!("## E-DYNX — dynamic decomposition: amortized update work\n");
-    println!("| n | m | batch size | batches | total work | work/edge | depth/batch |");
-    println!("|---|---|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## E-DYNX — dynamic decomposition: amortized update work\n"
+    );
+    mdln!(
+        args,
+        "| n | m | batch size | batches | total work | work/edge | depth/batch |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|---|");
     for &(n, m) in &[(128usize, 1024usize), (256, 2048), (512, 4096)] {
         let g = generators::gnm_ugraph(n, m, seed);
         for &batch in &[16usize, 64, 256] {
@@ -33,7 +40,8 @@ fn main() {
                 let _ = d.insert_edges(&mut t, chunk);
                 batches += 1;
             }
-            println!(
+            mdln!(
+                args,
                 "| {n} | {m} | {batch} | {batches} | {} | {:.1} | {:.0} |",
                 t.work(),
                 t.work() as f64 / m as f64,
@@ -55,9 +63,15 @@ fn main() {
         }
     }
 
-    println!("\n## E-PRUNE — expander pruning: pruned volume ∝ deleted volume\n");
-    println!("| n | deleted edges | pruned volume | ratio | work/deleted edge |");
-    println!("|---|---|---|---|---|");
+    mdln!(
+        args,
+        "\n## E-PRUNE — expander pruning: pruned volume ∝ deleted volume\n"
+    );
+    mdln!(
+        args,
+        "| n | deleted edges | pruned volume | ratio | work/deleted edge |"
+    );
+    mdln!(args, "|---|---|---|---|---|");
     for &n in &[128usize, 256, 512] {
         let g = generators::random_regular_ugraph(n, 8, seed.wrapping_sub(2));
         let mut p = BoostedPruner::new(g.clone(), 0.2);
@@ -78,7 +92,8 @@ fn main() {
             deleted += star.len();
             pruned_vol += r.newly_pruned.len() * 8;
         }
-        println!(
+        mdln!(
+            args,
             "| {n} | {deleted} | {pruned_vol} | {:.2} | {:.0} |",
             pruned_vol as f64 / deleted as f64,
             t.work() as f64 / deleted as f64
@@ -98,10 +113,14 @@ fn main() {
             profile = Some((format!("E-PRUNE, n={n}"), rep));
         }
     }
-    println!("\nShape: work/edge and pruned/deleted stay bounded as n grows (Lemma 3.1/3.3).");
+    mdln!(
+        args,
+        "\nShape: work/edge and pruned/deleted stay bounded as n grows (Lemma 3.1/3.3)."
+    );
 
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

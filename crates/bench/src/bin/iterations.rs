@@ -5,7 +5,7 @@
 //!
 //! Flags: `[max_n] --seed <u64> --json <path>`.
 
-use pmcf_bench::{fit_exponent, Artifact, BenchArgs, Json};
+use pmcf_bench::{fit_exponent, mdln, Artifact, BenchArgs, Json};
 use pmcf_core::init;
 use pmcf_core::reference::{path_follow, PathFollowConfig};
 use pmcf_graph::generators;
@@ -13,14 +13,21 @@ use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let max_n = args.max_size_or(256);
     let seed = args.seed_or(11);
-    let mut artifact = Artifact::new("iterations", seed);
+    let mut artifact = Artifact::for_run("iterations", seed, &args);
     let mut profile = None;
 
-    println!("## E-ITER — path-following iterations vs n (m = n^1.5)\n");
-    println!("| n | m | iterations | iterations/√n | iterations/(√n·log μ-range) |");
-    println!("|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## E-ITER — path-following iterations vs n (m = n^1.5)\n"
+    );
+    mdln!(
+        args,
+        "| n | m | iterations | iterations/√n | iterations/(√n·log μ-range) |"
+    );
+    mdln!(args, "|---|---|---|---|---|");
     let mut pts = Vec::new();
     for &n in &[36usize, 64, 100, 144, 196, 256] {
         if n > max_n {
@@ -42,7 +49,8 @@ fn main() {
         );
         let sq = (n as f64).sqrt();
         let lg = (mu0 / mu_end).ln();
-        println!(
+        mdln!(
+            args,
             "| {n} | {m} | {} | {:.1} | {:.3} |",
             stats.iterations,
             stats.iterations as f64 / sq,
@@ -66,11 +74,15 @@ fn main() {
         pts.push((n as f64, stats.iterations as f64));
     }
     let a = fit_exponent(&pts);
-    println!("\nFitted exponent: iterations ~ n^{a:.2} (paper: 0.5 ± log factors)");
+    mdln!(
+        args,
+        "\nFitted exponent: iterations ~ n^{a:.2} (paper: 0.5 ± log factors)"
+    );
     artifact.set("exponent", Json::F64(a));
 
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

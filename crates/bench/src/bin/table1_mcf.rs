@@ -17,7 +17,7 @@
 //! the same tracker so the artifact covers the whole stack.
 
 use pmcf_baselines::ssp;
-use pmcf_bench::{configs, fit_exponent, Artifact, BenchArgs, Json};
+use pmcf_bench::{configs, fit_exponent, mdln, Artifact, BenchArgs, Json};
 use pmcf_core::solve_mcf;
 use pmcf_expander::DynamicExpanderDecomposition;
 use pmcf_graph::generators;
@@ -25,14 +25,21 @@ use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let max_n = args.max_size_or(144);
     let seed = args.seed_or(42);
-    let mut artifact = Artifact::new("table1_mcf", seed);
+    let mut artifact = Artifact::for_run("table1_mcf", seed, &args);
     let mut profile = None;
 
-    println!("## Table 1 (left) — min-cost flow: measured work and depth\n");
-    println!("| n | m | algorithm | iterations | work | depth | cost |");
-    println!("|---|---|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## Table 1 (left) — min-cost flow: measured work and depth\n"
+    );
+    mdln!(
+        args,
+        "| n | m | algorithm | iterations | work | depth | cost |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|---|");
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for &n in &[36usize, 64, 100, 144, 196, 256] {
         if n > max_n {
@@ -43,7 +50,8 @@ fn main() {
         // sequential baseline: SSP (work = depth = operation count proxy)
         let opt = ssp::min_cost_flow(&p).expect("feasible");
         let ssp_ops = (p.m() as u64) * (p.n() as u64); // O(F·m)-style proxy
-        println!(
+        mdln!(
+            args,
             "| {n} | {m} | sequential SSP | — | {ssp_ops} | {ssp_ops} | {} |",
             opt.cost(&p)
         );
@@ -63,9 +71,11 @@ fn main() {
             let wall = wall.elapsed().as_secs_f64();
             assert_eq!(sol.cost, opt.cost(&p), "exactness violated for {name}");
             let (work, depth) = (t.work(), t.depth());
-            println!(
+            mdln!(
+                args,
                 "| {n} | {m} | {name} | {} | {work} | {depth} | {} |",
-                sol.stats.iterations, sol.cost
+                sol.stats.iterations,
+                sol.cost
             );
             artifact.row(vec![
                 ("section", Json::from("table1")),
@@ -90,9 +100,12 @@ fn main() {
         }
     }
     // density sweep at fixed n: the robust-vs-dense gap must widen in m
-    println!("\n## Density sweep at n = 64 (who wins as m grows)\n");
-    println!("| m | dense [LS14] work | robust work | dense/robust |");
-    println!("|---|---|---|---|");
+    mdln!(args, "\n## Density sweep at n = 64 (who wins as m grows)\n");
+    mdln!(
+        args,
+        "| m | dense [LS14] work | robust work | dense/robust |"
+    );
+    mdln!(args, "|---|---|---|---|");
     if max_n >= 64 {
         for &m in &[512usize, 1024, 2048, 4096] {
             let p = generators::random_mcf(64, m, 8, 6, seed * 10 + m as u64);
@@ -107,7 +120,8 @@ fn main() {
                 assert_eq!(sol.cost, opt.cost(&p));
                 works.push(t.work());
             }
-            println!(
+            mdln!(
+                args,
                 "| {m} | {} | {} | {:.2} |",
                 works[0],
                 works[1],
@@ -124,17 +138,23 @@ fn main() {
         }
     }
 
-    println!("\n### Fitted work exponents (work ~ n^a at m = n^1.5)\n");
+    mdln!(
+        args,
+        "\n### Fitted work exponents (work ~ n^a at m = n^1.5)\n"
+    );
     let mut exps: Vec<(String, Json)> = Vec::new();
     for (name, pts) in &series {
         if pts.len() >= 3 {
             let a = fit_exponent(pts);
-            println!("- {name}: a ≈ {a:.2}");
+            mdln!(args, "- {name}: a ≈ {a:.2}");
             exps.push((name.clone(), Json::F64(a)));
         }
     }
     artifact.set("exponents", Json::Obj(exps));
-    println!("\nPaper: robust = Õ(m + n^1.5) = Õ(n^1.5) here; dense = Õ(m√n) = Õ(n^2).");
+    mdln!(
+        args,
+        "\nPaper: robust = Õ(m + n^1.5) = Õ(n^1.5) here; dense = Õ(m√n) = Õ(n^2)."
+    );
 
     if let Some((label, mut t)) = profile {
         // maintenance drill: exercise the decremental expander path
@@ -152,5 +172,6 @@ fn main() {
             artifact.attach_profile_report(&label, &rep);
         }
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

@@ -7,7 +7,7 @@
 //! Flags: `[max_blocks] --seed <u64> --json <path>`.
 
 use pmcf_baselines::bfs;
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_core::corollaries::reachability;
 use pmcf_core::SolverConfig;
 use pmcf_graph::generators;
@@ -16,14 +16,18 @@ use pmcf_pram::Tracker;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let max_blocks = args.max_size_or(16);
     let seed = args.seed_or(7);
-    let mut artifact = Artifact::new("table1_reach", seed);
+    let mut artifact = Artifact::for_run("table1_reach", seed, &args);
     let mut profile = None;
 
-    println!("## Table 1 (right) — reachability: measured work and depth\n");
-    println!("| n | m | diameter≈ | algorithm | work | depth |");
-    println!("|---|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## Table 1 (right) — reachability: measured work and depth\n"
+    );
+    mdln!(args, "| n | m | diameter≈ | algorithm | work | depth |");
+    mdln!(args, "|---|---|---|---|---|---|");
     for &k in &[4usize, 8, 16, 32] {
         if k > max_blocks {
             break;
@@ -33,7 +37,8 @@ fn main() {
         let (n, m) = (g.n(), g.m());
         let mut tb = Tracker::new();
         let (bfs_mask, levels) = bfs::reachable_par(&mut tb, &g, 0);
-        println!(
+        mdln!(
+            args,
             "| {n} | {m} | {} | parallel BFS | {} | {} |",
             2 * k,
             tb.work(),
@@ -51,7 +56,8 @@ fn main() {
         let mut ti = tracker_from_env();
         let ipm_mask = reachability(&mut ti, &g, 0, &SolverConfig::default());
         assert_eq!(ipm_mask, bfs_mask, "reachability mismatch at k={k}");
-        println!(
+        mdln!(
+            args,
             "| {n} | {m} | {} | IPM (Cor. 1.5) | {} | {} |",
             2 * k,
             ti.work(),
@@ -69,11 +75,18 @@ fn main() {
             profile = Some((format!("IPM reachability, n={n}, m={m}"), rep));
         }
     }
-    println!("\nShape: BFS depth grows linearly with the diameter (∝ n);");
-    println!("the IPM depth grows with √n·polylog — the crossover the paper claims.");
+    mdln!(
+        args,
+        "\nShape: BFS depth grows linearly with the diameter (∝ n);"
+    );
+    mdln!(
+        args,
+        "the IPM depth grows with √n·polylog — the crossover the paper claims."
+    );
 
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

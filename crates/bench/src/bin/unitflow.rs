@@ -4,20 +4,24 @@
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
 //! span-tree profile of the last run.
 
-use pmcf_bench::{Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
 use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
 use pmcf_graph::generators;
 use pmcf_pram::profile::tracker_from_env;
 
 fn main() {
     let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
     let seed = args.seed_or(1);
-    let mut artifact = Artifact::new("unitflow", seed);
+    let mut artifact = Artifact::for_run("unitflow", seed, &args);
     let mut profile = None;
 
-    println!("## E-UF — unit flow: work vs demand size and graph size\n");
-    println!("| n | m | sources | demand | work | depth | sweeps |");
-    println!("|---|---|---|---|---|---|---|");
+    mdln!(
+        args,
+        "## E-UF — unit flow: work vs demand size and graph size\n"
+    );
+    mdln!(args, "| n | m | sources | demand | work | depth | sweeps |");
+    mdln!(args, "|---|---|---|---|---|---|---|");
     for &n in &[256usize, 1024, 4096] {
         let g = generators::random_regular_ugraph(n, 8, seed);
         for &k in &[1usize, 8, 32] {
@@ -38,7 +42,8 @@ fn main() {
             let mut t = tracker_from_env();
             let out = parallel_unit_flow(&mut t, &p, &mut s, &sources, 0.5, 50_000);
             assert!(out.remaining_excess < 1e-9, "unroutable at n={n} k={k}");
-            println!(
+            mdln!(
+                args,
                 "| {n} | {} | {k} | {:.0} | {} | {} | {} |",
                 g.m(),
                 12.0 * k as f64,
@@ -60,10 +65,14 @@ fn main() {
             }
         }
     }
-    println!("\nShape: at fixed sources work is flat in n; work grows ~linearly in demand.");
+    mdln!(
+        args,
+        "\nShape: at fixed sources work is flat in n; work grows ~linearly in demand."
+    );
 
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
     }
-    artifact.write_if_requested(&args.json);
+    artifact.emit(&args);
+    pmcf_obs::finish();
 }

@@ -1,0 +1,534 @@
+//! Noise-aware regression gate over `pmcf.bench/v1` artifacts.
+//!
+//! [`gate`] diffs a candidate artifact against a committed baseline row
+//! by row and metric by metric. Thresholds are chosen so deterministic
+//! counters (work, depth, iterations) tolerate small model drift (±5%
+//! noise passes) while a genuine 2× blow-up fails; wall-clock metrics
+//! are advisory only (CI machines are too noisy to gate on), and fitted
+//! scaling exponents are checked with an absolute slack. The
+//! `bench-gate` binary wraps this as `... --json - | bench-gate
+//! --baseline results/baseline/<bench>.json`.
+
+use pmcf_obs::json::{parse, JsonValue};
+
+/// Gate thresholds. All ratio thresholds compare `candidate/baseline`
+/// and fire when the candidate is *worse* (larger); improvements never
+/// fail the gate.
+#[derive(Clone, Debug)]
+pub struct GateConfig {
+    /// Max allowed ratio for work-like counters (deterministic; 1.30
+    /// absorbs model drift from minor refactors, flags 2×).
+    pub work_ratio: f64,
+    /// Max allowed ratio for depth counters.
+    pub depth_ratio: f64,
+    /// Max allowed ratio for iteration counts.
+    pub iter_ratio: f64,
+    /// Advisory ratio for wall-clock metrics (produces warnings, never
+    /// failures).
+    pub wall_ratio: f64,
+    /// Absolute slack for fitted scaling exponents (|Δ| above this
+    /// fails).
+    pub exponent_slack: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            work_ratio: 1.30,
+            depth_ratio: 1.30,
+            iter_ratio: 1.50,
+            wall_ratio: 3.0,
+            exponent_slack: 0.35,
+        }
+    }
+}
+
+/// How a metric is judged, inferred from its name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MetricClass {
+    Work,
+    Depth,
+    Iter,
+    Wall,
+    Exponent,
+    Other,
+}
+
+fn classify(name: &str) -> MetricClass {
+    let n = name.to_ascii_lowercase();
+    if n.contains("exponent") {
+        MetricClass::Exponent
+    } else if n.contains("wall") || n.contains("seconds") || n.contains("time") {
+        MetricClass::Wall
+    } else if n.contains("depth") {
+        MetricClass::Depth
+    } else if n.contains("iter") {
+        MetricClass::Iter
+    } else if n.contains("work") || n == "cost" {
+        MetricClass::Work
+    } else {
+        MetricClass::Other
+    }
+}
+
+/// Severity of one finding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Gate fails (nonzero exit).
+    Fail,
+    /// Advisory only.
+    Warn,
+}
+
+/// One metric that moved past its threshold.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Identity of the row (or `<top-level>` for artifact extras).
+    pub row: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Fail or warn.
+    pub severity: Severity,
+    /// Human-readable explanation with the threshold that fired.
+    pub detail: String,
+}
+
+/// The gate's verdict over a baseline/candidate pair.
+#[derive(Clone, Debug)]
+pub struct GateReport {
+    /// Bench name (from the baseline artifact).
+    pub bench: String,
+    /// Everything that moved past a threshold.
+    pub findings: Vec<Finding>,
+    /// Rows matched between the two artifacts.
+    pub rows_compared: usize,
+    /// Numeric metrics compared across matched rows and extras.
+    pub metrics_compared: usize,
+}
+
+impl GateReport {
+    /// True when no finding is a failure (warnings don't gate).
+    pub fn passed(&self) -> bool {
+        self.findings.iter().all(|f| f.severity != Severity::Fail)
+    }
+
+    /// Failures only.
+    pub fn failures(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Fail)
+    }
+
+    /// Markdown summary: verdict line plus a findings table when
+    /// anything fired.
+    pub fn to_markdown(&self) -> String {
+        let fails = self.failures().count();
+        let warns = self.findings.len() - fails;
+        let mut out = format!(
+            "## bench-gate — {}\n\n{}: {} rows, {} metrics compared; {} failure(s), {} warning(s)\n",
+            self.bench,
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.rows_compared,
+            self.metrics_compared,
+            fails,
+            warns,
+        );
+        if !self.findings.is_empty() {
+            out.push_str("\n| row | metric | baseline | candidate | severity | detail |\n");
+            out.push_str("|---|---|---:|---:|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| {} | {} | {:.4} | {:.4} | {} | {} |\n",
+                    f.row,
+                    f.metric,
+                    f.baseline,
+                    f.candidate,
+                    match f.severity {
+                        Severity::Fail => "FAIL",
+                        Severity::Warn => "warn",
+                    },
+                    f.detail,
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Parse an artifact and verify it carries the `pmcf.bench/v1` schema.
+pub fn parse_artifact(src: &str) -> Result<JsonValue, String> {
+    let v = parse(src)?;
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(s) if s == crate::artifact::SCHEMA => Ok(v),
+        other => Err(format!(
+            "not a {} artifact (schema {:?})",
+            crate::artifact::SCHEMA,
+            other
+        )),
+    }
+}
+
+/// Identity of a row: the bench-stable fields (all string values, plus
+/// the instance dimensions `n`/`m` when present), independent of the
+/// measured metrics.
+fn row_key(row: &JsonValue) -> String {
+    let mut parts = Vec::new();
+    if let Some(obj) = row.as_obj() {
+        for (k, v) in obj {
+            match v {
+                JsonValue::Str(s) => parts.push(format!("{k}={s}")),
+                _ if k == "n" || k == "m" || k == "size" => {
+                    if let Some(x) = v.as_f64() {
+                        parts.push(format!("{k}={x}"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if parts.is_empty() {
+        "<row>".to_string()
+    } else {
+        parts.join(" ")
+    }
+}
+
+fn ratio(baseline: f64, candidate: f64) -> f64 {
+    if baseline.abs() < 1e-12 {
+        if candidate.abs() < 1e-12 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        candidate / baseline
+    }
+}
+
+/// Compare one named metric pair, pushing a finding when it crosses its
+/// class threshold. Returns whether the metric was numeric (counted).
+fn judge_metric(
+    row: &str,
+    name: &str,
+    base: &JsonValue,
+    cand: &JsonValue,
+    cfg: &GateConfig,
+    findings: &mut Vec<Finding>,
+) -> bool {
+    // boolean invariants: a true→false flip is always a regression
+    if let (JsonValue::Bool(b), JsonValue::Bool(c)) = (base, cand) {
+        if *b && !*c {
+            findings.push(Finding {
+                row: row.to_string(),
+                metric: name.to_string(),
+                baseline: 1.0,
+                candidate: 0.0,
+                severity: Severity::Fail,
+                detail: "boolean invariant regressed true → false".to_string(),
+            });
+        }
+        return false;
+    }
+    // nested objects (e.g. the per-solver `exponents` map): recurse one
+    // level, qualifying the metric name with the outer key
+    if let (JsonValue::Obj(bo), JsonValue::Obj(_)) = (base, cand) {
+        for (k, bv) in bo {
+            if let Some(cv) = cand.get(k) {
+                judge_metric(row, &format!("{name}.{k}"), bv, cv, cfg, findings);
+            }
+        }
+        return false;
+    }
+    let (Some(b), Some(c)) = (base.as_f64(), cand.as_f64()) else {
+        return false;
+    };
+    let class = classify(name);
+    match class {
+        MetricClass::Exponent => {
+            let delta = (c - b).abs();
+            if delta > cfg.exponent_slack {
+                findings.push(Finding {
+                    row: row.to_string(),
+                    metric: name.to_string(),
+                    baseline: b,
+                    candidate: c,
+                    severity: Severity::Fail,
+                    detail: format!(
+                        "exponent moved by {delta:.3} (slack {:.3})",
+                        cfg.exponent_slack
+                    ),
+                });
+            }
+        }
+        MetricClass::Wall => {
+            let r = ratio(b, c);
+            if r > cfg.wall_ratio {
+                findings.push(Finding {
+                    row: row.to_string(),
+                    metric: name.to_string(),
+                    baseline: b,
+                    candidate: c,
+                    severity: Severity::Warn,
+                    detail: format!(
+                        "wall-clock {r:.2}× baseline (advisory, threshold {:.2}×)",
+                        cfg.wall_ratio
+                    ),
+                });
+            }
+        }
+        MetricClass::Work | MetricClass::Depth | MetricClass::Iter | MetricClass::Other => {
+            let limit = match class {
+                MetricClass::Depth => cfg.depth_ratio,
+                MetricClass::Iter => cfg.iter_ratio,
+                _ => cfg.work_ratio,
+            };
+            let r = ratio(b, c);
+            if r > limit {
+                findings.push(Finding {
+                    row: row.to_string(),
+                    metric: name.to_string(),
+                    baseline: b,
+                    candidate: c,
+                    // unknown counters are advisory: their scale-up may
+                    // be benign (e.g. a sampler touching more buckets)
+                    severity: if class == MetricClass::Other {
+                        Severity::Warn
+                    } else {
+                        Severity::Fail
+                    },
+                    detail: format!("{r:.2}× baseline (threshold {limit:.2}×)"),
+                });
+            }
+        }
+    }
+    true
+}
+
+/// Diff `candidate` against `baseline` under `cfg`.
+///
+/// Rows are matched by [`row_key`]; a baseline row with no candidate
+/// counterpart is itself a failure (coverage must not silently shrink).
+/// Extra candidate rows are allowed. Returns `Err` when the two
+/// artifacts are not the same bench.
+pub fn gate(
+    baseline: &JsonValue,
+    candidate: &JsonValue,
+    cfg: &GateConfig,
+) -> Result<GateReport, String> {
+    let bench = baseline
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("<unknown>")
+        .to_string();
+    let cand_bench = candidate
+        .get("bench")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("<unknown>");
+    if bench != cand_bench {
+        return Err(format!(
+            "bench mismatch: baseline is {bench:?}, candidate is {cand_bench:?}"
+        ));
+    }
+    let empty: Vec<JsonValue> = Vec::new();
+    let base_rows = baseline
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&empty);
+    let cand_rows = candidate
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .unwrap_or(&empty);
+
+    let mut findings = Vec::new();
+    let mut rows_compared = 0;
+    let mut metrics_compared = 0;
+
+    for brow in base_rows {
+        let key = row_key(brow);
+        let Some(crow) = cand_rows.iter().find(|r| row_key(r) == key) else {
+            findings.push(Finding {
+                row: key,
+                metric: "<row>".to_string(),
+                baseline: 1.0,
+                candidate: 0.0,
+                severity: Severity::Fail,
+                detail: "row present in baseline but missing from candidate".to_string(),
+            });
+            continue;
+        };
+        rows_compared += 1;
+        if let Some(obj) = brow.as_obj() {
+            for (name, bval) in obj {
+                if let Some(cval) = crow.get(name) {
+                    if judge_metric(&row_key(brow), name, bval, cval, cfg, &mut findings) {
+                        metrics_compared += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // top-level extras (fitted exponents, sweep metadata) — everything
+    // except the structural keys
+    if let Some(obj) = baseline.as_obj() {
+        for (name, bval) in obj {
+            if matches!(
+                name.as_str(),
+                "schema" | "bench" | "seed" | "rows" | "profile"
+            ) {
+                continue;
+            }
+            if let Some(cval) = candidate.get(name) {
+                if judge_metric("<top-level>", name, bval, cval, cfg, &mut findings) {
+                    metrics_compared += 1;
+                }
+            }
+        }
+    }
+
+    Ok(GateReport {
+        bench,
+        findings,
+        rows_compared,
+        metrics_compared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn art(rows: &[(&str, u64, u64, f64)], exponent: f64) -> JsonValue {
+        let rows_json: String = rows
+            .iter()
+            .map(|(s, w, d, wall)| {
+                format!(
+                    r#"{{"solver":"{s}","n":16,"m":64,"work":{w},"depth":{d},"wall_seconds":{wall},"feasible":true}}"#
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        parse(&format!(
+            r#"{{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":{exponent},"rows":[{rows_json}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let a = art(&[("ref", 1000, 50, 0.1), ("robust", 800, 30, 0.2)], 1.5);
+        let r = gate(&a, &a, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.to_markdown());
+        assert_eq!(r.rows_compared, 2);
+        assert!(r.findings.is_empty());
+        assert!(r.metrics_compared >= 8);
+    }
+
+    #[test]
+    fn five_percent_noise_passes() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.50);
+        let cand = art(&[("ref", 1050, 52, 0.104)], 1.55);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.to_markdown());
+        assert!(r.findings.is_empty());
+    }
+
+    #[test]
+    fn doubled_work_fails() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let cand = art(&[("ref", 2000, 50, 0.1)], 1.5);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        let f: Vec<_> = r.failures().collect();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].metric, "work");
+    }
+
+    #[test]
+    fn missing_row_fails_but_extra_row_is_fine() {
+        let base = art(&[("ref", 1000, 50, 0.1), ("robust", 800, 30, 0.2)], 1.5);
+        let cand = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.metric == "<row>"));
+        // reversed direction: candidate grew a row — allowed
+        let r2 = gate(&cand, &base, &GateConfig::default()).unwrap();
+        assert!(r2.passed(), "{}", r2.to_markdown());
+    }
+
+    #[test]
+    fn exponent_slack_is_absolute() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.50);
+        let ok = art(&[("ref", 1000, 50, 0.1)], 1.80);
+        let bad = art(&[("ref", 1000, 50, 0.1)], 1.90);
+        assert!(gate(&base, &ok, &GateConfig::default()).unwrap().passed());
+        let r = gate(&base, &bad, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.metric == "work_exponent"));
+    }
+
+    #[test]
+    fn wall_clock_blowup_only_warns() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let cand = art(&[("ref", 1000, 50, 5.0)], 1.5);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "wall must not gate: {}", r.to_markdown());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Warn && f.metric == "wall_seconds"));
+    }
+
+    #[test]
+    fn boolean_invariant_flip_fails() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let src = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":1.5,"rows":[{"solver":"ref","n":16,"m":64,"work":1000,"depth":50,"wall_seconds":0.1,"feasible":false}]}"#,
+        )
+        .unwrap();
+        let r = gate(&base, &src, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.metric == "feasible"));
+    }
+
+    #[test]
+    fn nested_exponent_maps_are_compared() {
+        let base = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":1,"exponents":{"robust":1.5},"rows":[]}"#,
+        )
+        .unwrap();
+        let bad = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":1,"exponents":{"robust":2.1},"rows":[]}"#,
+        )
+        .unwrap();
+        let r = gate(&base, &bad, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.metric == "exponents.robust"));
+        assert!(gate(&base, &base, &GateConfig::default()).unwrap().passed());
+    }
+
+    #[test]
+    fn bench_mismatch_is_an_error() {
+        let a = art(&[("ref", 1, 1, 0.1)], 1.5);
+        let b = parse(r#"{"schema":"pmcf.bench/v1","bench":"other","seed":1,"rows":[]}"#).unwrap();
+        assert!(gate(&a, &b, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let cand = art(&[("ref", 100, 5, 0.01)], 1.5);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn parse_artifact_rejects_wrong_schema() {
+        assert!(parse_artifact(r#"{"schema":"pmcf.events/v1"}"#).is_err());
+        assert!(parse_artifact(r#"{"schema":"pmcf.bench/v1","bench":"x","rows":[]}"#).is_ok());
+    }
+}

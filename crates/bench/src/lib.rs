@@ -9,6 +9,7 @@ use pmcf_core::reference::PathFollowConfig;
 use pmcf_core::{Engine, SolverConfig};
 
 pub mod artifact;
+pub mod gate;
 
 pub use artifact::{Artifact, BenchArgs, Json};
 

@@ -82,6 +82,17 @@ fn check_centered_inner(t: &mut Tracker, p: &McfProblem, st: &CentralPathState) 
         .max(0.0)
         .sqrt();
 
+    // informational event: the full Definition F.1 measurement (monitors
+    // check declared `ipm.centered` points; this one carries no limit)
+    pmcf_obs::emit_with("ipm.centrality", || {
+        vec![
+            ("centrality", centrality.into()),
+            ("dual_residual", dual_residual.into()),
+            ("primal_infeasibility", primal_infeasibility.into()),
+            ("mu", st.mu.into()),
+        ]
+    });
+
     CenteredReport {
         centrality,
         dual_residual,

@@ -23,6 +23,57 @@ use pmcf_linalg::leverage::estimate_leverage;
 use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
 use pmcf_pram::{Cost, Tracker};
 
+/// Safety factor declared in `solve.start` events for the
+/// `iteration-envelope` monitor: with μ shrinking by `1 − r/√Στ` and
+/// `Στ ≈ 2n`, a solve takes ≈ `(√(2n)/r)·ln(μ₀/μ_end)` outer iterations;
+/// the monitor flags a run exceeding `ENVELOPE_C` times that.
+pub const ENVELOPE_C: f64 = 3.0;
+
+/// Emit the `solve.start` event declaring the iteration envelope.
+pub(crate) fn emit_solve_start(
+    engine: &'static str,
+    n: usize,
+    m: usize,
+    mu0: f64,
+    mu_end: f64,
+    step_r: f64,
+    gamma: f64,
+) {
+    pmcf_obs::emit_with("solve.start", || {
+        vec![
+            ("engine", engine.into()),
+            ("n", n.into()),
+            ("m", m.into()),
+            ("mu0", mu0.into()),
+            ("mu_end", mu_end.into()),
+            ("step_r", step_r.into()),
+            ("gamma", gamma.into()),
+            ("envelope_c", ENVELOPE_C.into()),
+        ]
+    });
+}
+
+/// Emit the `solve.end` event (totals + the profiled span tree's
+/// top-level work when a profiler is attached, for the
+/// `tracker-reconciliation` monitor).
+pub(crate) fn emit_solve_end(engine: &'static str, t: &Tracker, stats: &PathStats) {
+    pmcf_obs::emit_with("solve.end", || {
+        let mut fields: Vec<(&'static str, pmcf_obs::Value)> = vec![
+            ("engine", engine.into()),
+            ("iterations", stats.iterations.into()),
+            ("work", t.work().into()),
+            ("depth", t.depth().into()),
+            ("final_mu", stats.final_mu.into()),
+            ("final_centrality", stats.final_centrality.into()),
+        ];
+        if let Some(report) = t.profile_report() {
+            let span_work: u64 = report.spans.iter().map(|s| s.work).sum();
+            fields.push(("span_work", span_work.into()));
+        }
+        fields
+    });
+}
+
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct PathFollowConfig {
@@ -157,6 +208,7 @@ pub fn path_follow_traced(
     };
     barrier::clamp_interior(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
+    emit_solve_start("reference", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
     let refresh_tau =
         |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, round: usize| {
@@ -250,10 +302,7 @@ pub fn path_follow_traced(
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
             stats.iterations += 1;
             t.counter("ipm.iterations", 1);
-            if let Some(rec) = trace.as_deref_mut() {
-                let tau_sum: f64 = st.tau.iter().sum();
-                rec.record(t, stats.iterations, st.mu, tau_sum, None);
-            }
+            let mu_at_start = st.mu;
             if stats.iterations % cfg.tau_refresh == 0 {
                 let round = stats.iterations;
                 refresh_tau(t, &mut st, &mut stats, round);
@@ -263,6 +312,13 @@ pub fn path_follow_traced(
                 let (_, worst) = centrality(&st, &cap);
                 t.charge(Cost::par_flat(m as u64));
                 if worst <= cfg.center_tol {
+                    pmcf_obs::emit_with("ipm.centered", || {
+                        vec![
+                            ("centrality", worst.into()),
+                            ("limit", cfg.center_tol.into()),
+                            ("phase", "corrector".into()),
+                        ]
+                    });
                     break;
                 }
                 let alpha = newton(t, &mut st, &mut stats);
@@ -272,8 +328,28 @@ pub fn path_follow_traced(
             }
             // predictor: shrink μ
             let tau_sum: f64 = st.tau.iter().sum();
-            let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
-            st.mu *= shrink.max(0.5);
+            let shrink = (1.0 - cfg.step_r / tau_sum.sqrt().max(1.0)).max(0.5);
+            if let Some(rec) = trace.as_deref_mut() {
+                rec.record_step(
+                    t,
+                    stats.iterations,
+                    mu_at_start,
+                    tau_sum,
+                    None,
+                    Some(shrink),
+                );
+            }
+            pmcf_obs::emit_with("ipm.iter", || {
+                vec![
+                    ("iteration", stats.iterations.into()),
+                    ("mu", mu_at_start.into()),
+                    ("gap_proxy", (mu_at_start * tau_sum).into()),
+                    ("step_size", shrink.into()),
+                    ("work", t.work().into()),
+                    ("depth", t.depth().into()),
+                ]
+            });
+            st.mu *= shrink;
         }
     });
     // final polish at μ_end
@@ -291,6 +367,15 @@ pub fn path_follow_traced(
     let (_, worst) = centrality(&st, &cap);
     stats.final_centrality = worst;
     stats.final_mu = st.mu;
+    // the ε-centered ball of Definition F.1: ‖z‖_∞ ≤ 1 at termination
+    pmcf_obs::emit_with("ipm.centered", || {
+        vec![
+            ("centrality", worst.into()),
+            ("limit", 1.0.into()),
+            ("phase", "final".into()),
+        ]
+    });
+    emit_solve_end("reference", t, &stats);
     (st, stats)
 }
 

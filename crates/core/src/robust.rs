@@ -25,7 +25,9 @@
 //! preserved while keeping the trajectory numerically anchored.
 
 use crate::barrier;
-use crate::reference::{centrality, CentralPathState, PathFollowConfig, PathStats};
+use crate::reference::{
+    centrality, emit_solve_end, emit_solve_start, CentralPathState, PathFollowConfig, PathStats,
+};
 use pmcf_ds::dual::DualMaintenance;
 use pmcf_ds::heavy_sampler::HeavySampler;
 use pmcf_ds::lewis_maint::LewisMaintenance;
@@ -229,6 +231,7 @@ pub fn path_follow(
     };
     barrier::clamp_interior(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
+    emit_solve_start("robust", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
     // dense recentering helper (shared with exactification)
     let recenter =
@@ -238,6 +241,13 @@ pub fn path_follow(
                 for _ in 0..rounds {
                     let (_, worst) = centrality(st, &cap);
                     if worst <= cfg.center_tol {
+                        pmcf_obs::emit_with("ipm.centered", || {
+                            vec![
+                                ("centrality", worst.into()),
+                                ("limit", cfg.center_tol.into()),
+                                ("phase", "recenter".into()),
+                            ]
+                        });
                         break;
                     }
                     dense_newton(t, p, &recenter_solver, &cap, &cost, st, stats);
@@ -283,6 +293,13 @@ pub fn path_follow(
             if stats.iterations % epoch == 0 {
                 t.span("ipm/epoch", |t| {
                     t.counter("ipm.epochs", 1);
+                    pmcf_obs::emit_with("ipm.epoch", || {
+                        vec![
+                            ("iteration", stats.iterations.into()),
+                            ("mu", st.mu.into()),
+                            ("epoch_len", epoch.into()),
+                        ]
+                    });
                     let x_exact = rs.pg.compute_exact(t);
                     let s_exact = rs.dm.compute_exact(t);
                     st.x = x_exact;
@@ -473,8 +490,19 @@ pub fn path_follow(
             }
 
             // μ step (Στ̄ maintained incrementally)
-            let shrink = 1.0 - cfg.step_r / tau_sum.sqrt().max(1.0);
-            st.mu *= shrink.max(0.5);
+            let shrink = (1.0 - cfg.step_r / tau_sum.sqrt().max(1.0)).max(0.5);
+            pmcf_obs::emit_with("ipm.iter", || {
+                vec![
+                    ("iteration", stats.iterations.into()),
+                    ("mu", st.mu.into()),
+                    ("gap_proxy", (st.mu * tau_sum).into()),
+                    ("step_size", shrink.into()),
+                    ("sampled_coords", r_sample.len().into()),
+                    ("work", t.work().into()),
+                    ("depth", t.depth().into()),
+                ]
+            });
+            st.mu *= shrink;
         }
     });
 
@@ -487,6 +515,15 @@ pub fn path_follow(
     let (_, worst) = centrality(&st, &cap);
     stats.final_centrality = worst;
     stats.final_mu = st.mu;
+    // the ε-centered ball of Definition F.1: ‖z‖_∞ ≤ 1 at termination
+    pmcf_obs::emit_with("ipm.centered", || {
+        vec![
+            ("centrality", worst.into()),
+            ("limit", 1.0.into()),
+            ("phase", "final".into()),
+        ]
+    });
+    emit_solve_end("robust", t, &stats);
     (st, stats)
 }
 

@@ -2,12 +2,15 @@
 //!
 //! The paper has no empirical figures; a production solver still needs
 //! observability. [`TraceRecorder`] snapshots `(μ, duality-gap proxy,
-//! centrality, cumulative work, cumulative depth)` per iteration so
-//! harnesses can print convergence curves, tests can assert monotone
-//! μ-schedules, and bench artifacts ([`TraceRecorder::to_json`]) can be
-//! post-processed by external tooling.
+//! centrality, step size, cumulative work/depth, wall time)` per
+//! iteration so harnesses can print convergence curves, tests can assert
+//! monotone μ-schedules, and bench artifacts ([`TraceRecorder::to_json`])
+//! can be post-processed by external tooling. When a flight recorder is
+//! installed (see `pmcf_obs`), every snapshot is mirrored as an
+//! `ipm.trace` event.
 
 use pmcf_pram::Tracker;
+use std::time::Instant;
 
 /// One iteration snapshot.
 #[derive(Clone, Copy, Debug)]
@@ -20,25 +23,40 @@ pub struct TracePoint {
     pub gap_proxy: f64,
     /// Centrality `‖z‖_∞` (if measured this iteration).
     pub centrality: Option<f64>,
+    /// Multiplicative μ step taken this iteration, `μ_next/μ` (if the
+    /// recording site measured one).
+    pub step_size: Option<f64>,
     /// Cumulative tracked work.
     pub work: u64,
     /// Cumulative tracked depth (critical-path length).
     pub depth: u64,
+    /// Wall-clock nanoseconds since the recorder was created.
+    pub wall_ns: u64,
 }
 
 /// Collects [`TracePoint`]s; cheap enough to keep on in production.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct TraceRecorder {
     points: Vec<TracePoint>,
+    created: Instant,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            points: Vec::new(),
+            created: Instant::now(),
+        }
+    }
 }
 
 impl TraceRecorder {
-    /// Empty recorder.
+    /// Empty recorder (wall clock starts now).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record a snapshot.
+    /// Record a snapshot (no step size measured).
     pub fn record(
         &mut self,
         t: &Tracker,
@@ -47,14 +65,48 @@ impl TraceRecorder {
         tau_sum: f64,
         centrality: Option<f64>,
     ) {
-        self.points.push(TracePoint {
+        self.record_step(t, iteration, mu, tau_sum, centrality, None);
+    }
+
+    /// Record a snapshot with the μ step `μ_next/μ` the engine is about
+    /// to take (or just took).
+    pub fn record_step(
+        &mut self,
+        t: &Tracker,
+        iteration: usize,
+        mu: f64,
+        tau_sum: f64,
+        centrality: Option<f64>,
+        step_size: Option<f64>,
+    ) {
+        let p = TracePoint {
             iteration,
             mu,
             gap_proxy: mu * tau_sum,
             centrality,
+            step_size,
             work: t.work(),
             depth: t.depth(),
+            wall_ns: self.created.elapsed().as_nanos() as u64,
+        };
+        pmcf_obs::emit_with("ipm.trace", || {
+            let mut fields: Vec<(&'static str, pmcf_obs::Value)> = vec![
+                ("iteration", (p.iteration as u64).into()),
+                ("mu", p.mu.into()),
+                ("gap_proxy", p.gap_proxy.into()),
+                ("work", p.work.into()),
+                ("depth", p.depth.into()),
+                ("wall_ns", p.wall_ns.into()),
+            ];
+            if let Some(c) = p.centrality {
+                fields.push(("centrality", c.into()));
+            }
+            if let Some(s) = p.step_size {
+                fields.push(("step_size", s.into()));
+            }
+            fields
         });
+        self.points.push(p);
     }
 
     /// All snapshots.
@@ -65,26 +117,30 @@ impl TraceRecorder {
     /// Render as a markdown table (the "convergence figure").
     pub fn to_markdown(&self, stride: usize) -> String {
         let mut out = String::from(
-            "| iter | μ | gap proxy | centrality | work | depth |\n|---|---|---|---|---|---|\n",
+            "| iter | μ | gap proxy | centrality | step | work | depth | wall (ms) |\n|---|---|---|---|---|---|---|---|\n",
         );
         for p in self.points.iter().step_by(stride.max(1)) {
             out.push_str(&format!(
-                "| {} | {:.3e} | {:.3e} | {} | {} | {} |\n",
+                "| {} | {:.3e} | {:.3e} | {} | {} | {} | {} | {:.3} |\n",
                 p.iteration,
                 p.mu,
                 p.gap_proxy,
                 p.centrality
                     .map(|c| format!("{c:.3}"))
                     .unwrap_or_else(|| "—".into()),
+                p.step_size
+                    .map(|s| format!("{s:.4}"))
+                    .unwrap_or_else(|| "—".into()),
                 p.work,
-                p.depth
+                p.depth,
+                p.wall_ns as f64 / 1e6,
             ));
         }
         out
     }
 
     /// Serialize the trace as a JSON array of per-iteration objects
-    /// (schema-stable: missing centrality becomes `null`).
+    /// (schema-stable: missing centrality/step_size become `null`).
     pub fn to_json(&self) -> String {
         let mut out = String::from("[");
         for (i, p) in self.points.iter().enumerate() {
@@ -92,15 +148,19 @@ impl TraceRecorder {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"iteration\":{},\"mu\":{:e},\"gap_proxy\":{:e},\"centrality\":{},\"work\":{},\"depth\":{}}}",
+                "{{\"iteration\":{},\"mu\":{:e},\"gap_proxy\":{:e},\"centrality\":{},\"step_size\":{},\"work\":{},\"depth\":{},\"wall_ns\":{}}}",
                 p.iteration,
                 p.mu,
                 p.gap_proxy,
                 p.centrality
                     .map(|c| format!("{c:e}"))
                     .unwrap_or_else(|| "null".into()),
+                p.step_size
+                    .map(|s| format!("{s:e}"))
+                    .unwrap_or_else(|| "null".into()),
                 p.work,
-                p.depth
+                p.depth,
+                p.wall_ns,
             ));
         }
         out.push(']');
@@ -131,7 +191,14 @@ mod tests {
         let t = Tracker::new();
         let mut mu = 1000.0;
         for i in 0..50 {
-            r.record(&t, i, mu, 20.0, if i % 5 == 0 { Some(0.2) } else { None });
+            r.record_step(
+                &t,
+                i,
+                mu,
+                20.0,
+                if i % 5 == 0 { Some(0.2) } else { None },
+                Some(0.9),
+            );
             mu *= 0.9;
         }
         r
@@ -145,6 +212,8 @@ mod tests {
         assert!(md.lines().count() >= 6);
         assert!(md.contains("0.200"));
         assert!(md.contains("| depth |"));
+        assert!(md.contains("| step |"));
+        assert!(md.contains("0.9000"));
     }
 
     #[test]
@@ -154,6 +223,8 @@ mod tests {
         assert!(js.starts_with('[') && js.ends_with(']'));
         assert_eq!(js.matches("\"iteration\"").count(), 50);
         assert_eq!(js.matches("\"depth\"").count(), 50);
+        assert_eq!(js.matches("\"step_size\"").count(), 50);
+        assert_eq!(js.matches("\"wall_ns\"").count(), 50);
         // unmeasured centrality serializes as null
         assert!(js.contains("\"centrality\":null"));
         // balanced braces ⇒ structurally sound
@@ -163,6 +234,12 @@ mod tests {
     #[test]
     fn empty_trace_serializes_to_empty_array() {
         assert_eq!(TraceRecorder::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let r = sample_trace();
+        assert!(r.points().windows(2).all(|w| w[1].wall_ns >= w[0].wall_ns));
     }
 
     #[test]
@@ -187,6 +264,19 @@ mod tests {
         let r = TraceRecorder::new();
         assert!(r.mu_decay_rate().is_none());
         assert!(r.mu_is_monotone());
+    }
+
+    #[test]
+    fn trace_mirrors_into_flight_recorder() {
+        pmcf_obs::install(pmcf_obs::FlightRecorder::new(256));
+        let _ = sample_trace();
+        let rec = pmcf_obs::uninstall().unwrap();
+        assert_eq!(rec.len(), 50);
+        let first = rec.events().next().unwrap();
+        assert_eq!(first.kind, "ipm.trace");
+        assert_eq!(first.num("mu"), Some(1000.0));
+        assert_eq!(first.num("step_size"), Some(0.9));
+        assert!(first.num("wall_ns").is_some());
     }
 }
 
@@ -224,5 +314,12 @@ mod integration_tests {
             .windows(2)
             .all(|w| w[1].work >= w[0].work && w[1].depth >= w[0].depth));
         assert!(rec.points().iter().all(|p| p.depth <= p.work));
+        // step sizes are recorded and in the clamp range [0.5, 1)
+        assert!(rec
+            .points()
+            .iter()
+            .filter_map(|p| p.step_size)
+            .all(|s| (0.5..1.0).contains(&s)));
+        assert!(rec.points().iter().any(|p| p.step_size.is_some()));
     }
 }

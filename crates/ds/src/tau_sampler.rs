@@ -151,6 +151,14 @@ impl TauSampler {
                 touched.max(1) + self.buckets.len() as u64,
                 pmcf_pram::par_depth(touched.max(1)),
             ));
+            pmcf_obs::emit_with("tau.sample", || {
+                vec![
+                    ("out", out.len().into()),
+                    ("touched", touched.into()),
+                    ("k_scale", k_scale.into()),
+                    ("n", self.n.into()),
+                ]
+            });
             out
         })
     }

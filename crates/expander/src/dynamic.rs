@@ -24,6 +24,29 @@ use pmcf_graph::{UGraph, Vertex};
 use pmcf_pram::{Cost, Tracker};
 use std::collections::HashMap;
 
+/// Largest part the flight-recorder spot-check will certify exactly —
+/// `find_sparse_cut` is an `O(|part|²)`-ish diagnostic, so certification
+/// is bounded to keep recording overhead sane.
+const CERTIFY_EDGE_LIMIT: usize = 512;
+
+/// Conductance slack for certification: a part built at target `φ` is
+/// flagged only if a cut sparser than `0.3·φ` exists (matching the
+/// test-suite's tolerance for the practical decomposition).
+const CERTIFY_SLACK: f64 = 0.3;
+
+/// Spot-check a compact part subgraph for a sparse cut. Returns
+/// `(certified, Some(measured φ))` — `certified` stays true when the part
+/// is too small/large to check meaningfully.
+fn certify_part(sub: &UGraph, phi: f64, seed: u64) -> (bool, Option<f64>) {
+    if sub.m() <= 2 || sub.m() > CERTIFY_EDGE_LIMIT {
+        return (true, None);
+    }
+    match crate::conductance::find_sparse_cut(sub, phi * CERTIFY_SLACK, seed) {
+        Some((_, measured)) => (false, Some(measured)),
+        None => (true, None),
+    }
+}
+
 /// Stable handle for an inserted edge.
 pub type EdgeKey = u64;
 
@@ -165,6 +188,12 @@ impl DynamicExpanderDecomposition {
     pub fn insert_edges(&mut self, t: &mut Tracker, edges: &[(Vertex, Vertex)]) -> Vec<EdgeKey> {
         t.span("expander/insert", |t| {
             t.counter("expander.inserted_edges", edges.len() as u64);
+            pmcf_obs::emit_with("expander.insert", || {
+                vec![
+                    ("batch", edges.len().into()),
+                    ("alive_before", self.registry.len().into()),
+                ]
+            });
             let keys: Vec<EdgeKey> = edges
                 .iter()
                 .map(|&(u, v)| {
@@ -186,6 +215,12 @@ impl DynamicExpanderDecomposition {
     pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
         t.span("expander/delete", |t| {
             t.counter("expander.deleted_edges", keys.len() as u64);
+            pmcf_obs::emit_with("expander.delete", || {
+                vec![
+                    ("batch", keys.len().into()),
+                    ("alive_before", self.registry.len().into()),
+                ]
+            });
             // Group the deletions per (bucket, part).
             let mut per_part: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
             for &k in keys {
@@ -210,6 +245,36 @@ impl DynamicExpanderDecomposition {
                     for &le in &outcome.spilled_edges {
                         part.view.kill_edge(le);
                         spilled.push(part.view.keys[le]);
+                    }
+                    // spot-check that pruning left a φ-expander behind
+                    // (Lemma 3.9) — only while a flight recorder is on
+                    if pmcf_obs::recording() && part.view.alive_count > 0 {
+                        let alive_ends: Vec<(usize, usize)> = part
+                            .view
+                            .ends
+                            .iter()
+                            .enumerate()
+                            .filter(|&(le, _)| part.view.alive_edge[le])
+                            .map(|(_, &e)| e)
+                            .collect();
+                        let sub = UGraph::from_edges(part.view.verts.len(), alive_ends);
+                        let (certified, measured) =
+                            certify_part(&sub, self.phi, self.seed ^ 0xB007);
+                        let (alive, phi) = (part.view.alive_count, self.phi);
+                        let (deleted, n_spill) = (local_edges.len(), spilled.len());
+                        pmcf_obs::emit_with("expander.prune", || {
+                            let mut fields: Vec<(&'static str, pmcf_obs::Value)> = vec![
+                                ("part_edges", alive.into()),
+                                ("deleted", deleted.into()),
+                                ("spilled", n_spill.into()),
+                                ("phi", phi.into()),
+                                ("certified", certified.into()),
+                            ];
+                            if let Some(mp) = measured {
+                                fields.push(("measured_phi", mp.into()));
+                            }
+                            fields
+                        });
                     }
                     spilled
                 };
@@ -269,6 +334,13 @@ impl DynamicExpanderDecomposition {
             edge_decompose(t, &host, self.phi, self.seed)
         });
 
+        let total_edges = all_keys.len();
+        let n_parts = parts.len();
+        let certify = pmcf_obs::recording();
+        let mut checked_parts = 0usize;
+        let mut certified = true;
+        let mut worst_measured: Option<f64> = None;
+
         let bucket = &mut self.buckets[target];
         for part in parts {
             // compact local indexing
@@ -290,6 +362,19 @@ impl DynamicExpanderDecomposition {
             }
             let part_keys: Vec<EdgeKey> = part.edges.iter().map(|&e| all_keys[e]).collect();
             let sub = UGraph::from_edges(verts.len(), ends.clone());
+            if certify && sub.m() > 2 && sub.m() <= CERTIFY_EDGE_LIMIT {
+                checked_parts += 1;
+                let (ok, measured) = certify_part(&sub, self.phi, self.seed ^ 0xFACE);
+                if !ok {
+                    certified = false;
+                    worst_measured = Some(
+                        measured
+                            .into_iter()
+                            .chain(worst_measured)
+                            .fold(f64::INFINITY, f64::min),
+                    );
+                }
+            }
             let pruner = BoostedPruner::new(sub, self.phi);
             let view = PartView::from_edges(verts, ends, part_keys);
             let pidx = bucket.parts.len();
@@ -299,6 +384,20 @@ impl DynamicExpanderDecomposition {
             bucket.alive += view.keys.len();
             bucket.parts.push(PartState { pruner, view });
         }
+        pmcf_obs::emit_with("expander.rebuild", || {
+            let mut fields: Vec<(&'static str, pmcf_obs::Value)> = vec![
+                ("edges", total_edges.into()),
+                ("parts", n_parts.into()),
+                ("bucket", target.into()),
+                ("phi", self.phi.into()),
+                ("certified", certified.into()),
+                ("checked_parts", checked_parts.into()),
+            ];
+            if let Some(mp) = worst_measured {
+                fields.push(("measured_phi", mp.into()));
+            }
+            fields
+        });
     }
 
     /// O(1) lookup of an alive edge's part view and local edge id.

@@ -350,6 +350,16 @@ pub fn parallel_unit_flow(
             .map(|&v| s.excess[v])
             .sum();
         outcome.absorbed_now = s.absorbed.iter().sum::<f64>() - absorbed_before;
+        pmcf_obs::emit_with("unitflow.run", || {
+            vec![
+                ("sources", new_source.len().into()),
+                ("sink_rate", sink_rate.into()),
+                ("sweeps", outcome.sweeps.into()),
+                ("absorbed", outcome.absorbed_now.into()),
+                ("remaining_excess", outcome.remaining_excess.into()),
+                ("height", p.height.into()),
+            ]
+        });
         outcome
     })
 }

@@ -1,0 +1,57 @@
+//! `events_check`: replay a `pmcf.events/v1` flight recording through the
+//! invariant monitors.
+//!
+//! ```text
+//! events_check <recording.jsonl> [--quiet]
+//! ```
+//!
+//! Prints a verdict table (markdown) and exits nonzero if any monitor
+//! reports a violation. Used in CI to assert that the seed instances
+//! produce recordings on which every monitor reports `ok`.
+
+use pmcf_obs::json::parse_recording;
+use pmcf_obs::monitor::{all_ok, run_monitors, to_markdown};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: events_check <recording.jsonl> [--quiet]");
+        std::process::exit(2);
+    };
+    let quiet = args.any(|a| a == "--quiet" || a == "-q");
+
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("events_check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let (events, dropped) = match parse_recording(&src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("events_check: {path} is not a pmcf.events/v1 recording: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let verdicts = run_monitors(&events);
+    if !quiet {
+        println!(
+            "# events_check: {path} ({} events, {} dropped)\n",
+            events.len(),
+            dropped
+        );
+        print!("{}", to_markdown(&verdicts));
+    }
+    if all_ok(&verdicts) {
+        if !quiet {
+            println!("\nall monitors ok");
+        }
+    } else {
+        for v in verdicts.iter().filter(|v| !v.ok) {
+            eprintln!("events_check: VIOLATED {}: {}", v.monitor, v.detail);
+        }
+        std::process::exit(1);
+    }
+}

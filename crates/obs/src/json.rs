@@ -1,0 +1,404 @@
+//! A tiny recursive-descent JSON parser.
+//!
+//! The workspace serializes everything by hand (no serde); this is the
+//! matching read side, used to replay `pmcf.events/v1` JSONL recordings
+//! and to diff `pmcf.bench/v1` artifacts in `bench-gate`. It parses the
+//! full JSON grammar into [`JsonValue`]; numbers keep integer identity
+//! when they have one (so sequence numbers and work counters round-trip
+//! exactly) and fall back to `f64` otherwise.
+
+use crate::event::{Event, Value};
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer (fits i64/u64; negative values use the i64 view).
+    Int(i64),
+    /// An unsigned integer too large for i64.
+    UInt(u64),
+    /// A float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::UInt(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (trailing whitespace allowed).
+pub fn parse(src: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            // surrogate pairs are not emitted by our writers;
+                            // map lone surrogates to the replacement char
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
+/// Parse one JSONL event line back into an [`Event`].
+pub fn parse_event_line(line: &str) -> Result<Event, String> {
+    let v = parse(line)?;
+    let obj = v.as_obj().ok_or("event line is not an object")?;
+    let mut seq = 0u64;
+    let mut kind = String::new();
+    let mut fields = Vec::new();
+    for (k, val) in obj {
+        match (k.as_str(), val) {
+            ("seq", JsonValue::Int(s)) => seq = *s as u64,
+            ("seq", JsonValue::UInt(s)) => seq = *s,
+            ("kind", JsonValue::Str(s)) => kind = s.clone(),
+            // non-negative integers normalize to U64 (the emit side's
+            // dominant type) so a recording round-trips exactly
+            (_, JsonValue::Int(i)) if *i >= 0 => fields.push((k.clone(), Value::U64(*i as u64))),
+            (_, JsonValue::Int(i)) => fields.push((k.clone(), Value::I64(*i))),
+            (_, JsonValue::UInt(u)) => fields.push((k.clone(), Value::U64(*u))),
+            (_, JsonValue::Float(f)) => fields.push((k.clone(), Value::F64(*f))),
+            (_, JsonValue::Str(s)) => fields.push((k.clone(), Value::Str(s.clone()))),
+            (_, JsonValue::Bool(b)) => fields.push((k.clone(), Value::Bool(*b))),
+            (_, JsonValue::Null) => fields.push((k.clone(), Value::F64(f64::NAN))),
+            _ => return Err(format!("nested value in event field {k:?}")),
+        }
+    }
+    if kind.is_empty() {
+        return Err("event line missing kind".into());
+    }
+    Ok(Event { seq, kind, fields })
+}
+
+/// Parse a full `pmcf.events/v1` JSONL recording: verifies the header,
+/// returns `(events, dropped)`.
+pub fn parse_recording(src: &str) -> Result<(Vec<Event>, u64), String> {
+    let mut lines = src.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty recording")?;
+    let h = parse(header)?;
+    match h.get("schema").and_then(JsonValue::as_str) {
+        Some(crate::event::SCHEMA) => {}
+        other => return Err(format!("bad schema {other:?}")),
+    }
+    let dropped = h.get("dropped").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        events.push(parse_event_line(line).map_err(|e| format!("line {}: {e}", i + 2))?);
+    }
+    Ok((events, dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        let v = parse(
+            r#"{"a":3,"b":[1.5e0,null,-2],"c":"x\"y","d":true,"e":{"f":18446744073709551615}}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("a"), Some(&JsonValue::Int(3)));
+        assert_eq!(v.get("b").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x\"y"));
+        assert_eq!(v.get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(
+            v.get("e").unwrap().get("f"),
+            Some(&JsonValue::UInt(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn event_line_round_trips() {
+        use crate::event::{Event, Value};
+        let mut e = Event::new(
+            "ipm.iter",
+            vec![
+                ("iteration", Value::U64(3)),
+                ("mu", Value::F64(0.125)),
+                ("engine", Value::Str("robust".into())),
+                ("ok", Value::Bool(true)),
+                ("delta", Value::I64(-4)),
+            ],
+        );
+        e.seq = 11;
+        let back = parse_event_line(&e.to_json_line()).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn recording_round_trips() {
+        use crate::event::{Event, Value};
+        use crate::recorder::FlightRecorder;
+        let mut rec = FlightRecorder::new(2);
+        for i in 0..5u64 {
+            rec.push(Event::new("e", vec![("i", Value::U64(i))]));
+        }
+        let (events, dropped) = parse_recording(&rec.to_jsonl()).unwrap();
+        assert_eq!(dropped, 3);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert_eq!(events[1].num("i"), Some(4.0));
+    }
+}

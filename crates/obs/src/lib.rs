@@ -1,0 +1,32 @@
+//! `pmcf-obs`: observability for the parallel min-cost-flow stack.
+//!
+//! Three pieces, layered bottom-up:
+//!
+//! 1. **Flight recorder** ([`recorder`]) — a bounded in-memory ring of
+//!    [`Event`]s fed by `emit` calls sprinkled through the solver
+//!    (IPM iterations, expander maintenance, sampler calls). Set
+//!    `PMCF_EVENTS=<path>` to dump a `pmcf.events/v1` JSONL recording on
+//!    completion *and* on panic.
+//! 2. **Replay** ([`json`]) — a dependency-free JSON parser that reads a
+//!    recording (or a `pmcf.bench/v1` artifact) back into events.
+//! 3. **Invariant monitors** ([`monitor`]) — deterministic folds over an
+//!    event stream flagging violations of the guarantees the paper
+//!    proves: μ-monotonicity, centrality bounds, certified conductance,
+//!    tracker reconciliation, and the `√n·polylog` iteration envelope.
+//!
+//! The crate depends only on `pmcf-pram` (for JSON string escaping), so
+//! every other crate in the workspace can emit events without cycles.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod monitor;
+pub mod recorder;
+
+pub use event::{Event, Value, SCHEMA};
+pub use monitor::{all_ok, run_monitors, Verdict};
+pub use recorder::{
+    emit, emit_with, finish, init_from_env, install, recording, uninstall, with_recorder,
+    FlightRecorder,
+};

@@ -1,0 +1,130 @@
+//! Property tests for the flight recorder and invariant monitors.
+//!
+//! Two properties the ISSUE pins down:
+//! - the ring buffer never drops the *latest* events (only the oldest);
+//! - monitor verdicts are deterministic under replay of the same seed.
+
+use pmcf_obs::event::{Event, Value};
+use pmcf_obs::json::parse_recording;
+use pmcf_obs::monitor::run_monitors;
+use pmcf_obs::FlightRecorder;
+use proptest::prelude::*;
+
+fn push_n(rec: &mut FlightRecorder, n: u64) {
+    for i in 0..n {
+        rec.push(Event::new("e", vec![("i", Value::U64(i))]));
+    }
+}
+
+/// Build a synthetic recording from a seed: a solve with a decreasing
+/// (or occasionally violated) μ-schedule plus expander maintenance.
+fn synthetic_events(seed: u64, violate_mu: bool) -> Vec<Event> {
+    let mut events = Vec::new();
+    let n = 16 + seed % 64;
+    events.push(Event::new(
+        "solve.start",
+        vec![
+            ("engine", Value::Str("reference".into())),
+            ("n", Value::U64(n)),
+            ("m", Value::U64(n * n)),
+            ("mu0", Value::F64(100.0)),
+            ("mu_end", Value::F64(1e-3)),
+            ("step_r", Value::F64(0.5)),
+            ("gamma", Value::F64(0.25)),
+            ("envelope_c", Value::F64(3.0)),
+        ],
+    ));
+    let mut mu = 100.0f64;
+    let mut work = 0.0f64;
+    let iters = 5 + (seed % 20);
+    for it in 0..iters {
+        mu *= 0.8;
+        if violate_mu && it == iters / 2 {
+            mu *= 2.0; // inject a μ rise mid-solve
+        }
+        work += 100.0 + (seed.wrapping_mul(it + 1) % 50) as f64;
+        events.push(Event::new(
+            "ipm.iter",
+            vec![
+                ("iteration", Value::U64(it)),
+                ("mu", Value::F64(mu)),
+                ("work", Value::F64(work)),
+                ("depth", Value::F64(work / 10.0)),
+            ],
+        ));
+    }
+    events.push(Event::new(
+        "expander.rebuild",
+        vec![
+            ("edges", Value::U64(n)),
+            ("phi", Value::F64(0.1)),
+            ("certified", Value::Bool(true)),
+        ],
+    ));
+    events.push(Event::new(
+        "solve.end",
+        vec![
+            ("iterations", Value::U64(iters)),
+            ("work", Value::F64(work + 1.0)),
+            ("depth", Value::F64(work / 10.0 + 1.0)),
+            ("final_mu", Value::F64(mu)),
+        ],
+    ));
+    events
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ring_never_drops_latest(cap in 1usize..40, n in 0u64..200) {
+        let mut rec = FlightRecorder::new(cap);
+        push_n(&mut rec, n);
+        // retained = the suffix of the emitted sequence
+        let retained: Vec<u64> = rec.events().map(|e| e.seq).collect();
+        let expect_len = (n as usize).min(cap);
+        prop_assert_eq!(retained.len(), expect_len);
+        prop_assert_eq!(rec.dropped(), n - expect_len as u64);
+        if expect_len > 0 {
+            // the newest event is always present, and seqs are the
+            // contiguous tail [n - len, n)
+            prop_assert_eq!(*retained.last().unwrap(), n - 1);
+            let tail: Vec<u64> = (n - expect_len as u64..n).collect();
+            prop_assert_eq!(retained, tail);
+        }
+    }
+
+    #[test]
+    fn ring_survives_jsonl_round_trip(cap in 1usize..20, n in 1u64..60) {
+        let mut rec = FlightRecorder::new(cap);
+        push_n(&mut rec, n);
+        let (events, dropped) = parse_recording(&rec.to_jsonl()).unwrap();
+        prop_assert_eq!(dropped, rec.dropped());
+        prop_assert_eq!(events.len(), rec.len());
+        prop_assert_eq!(events.last().map(|e| e.seq), Some(n - 1));
+    }
+
+    #[test]
+    fn monitor_verdicts_deterministic_under_replay(seed in 0u64..10_000, violate in any::<bool>()) {
+        let events = synthetic_events(seed, violate);
+        let first = run_monitors(&events);
+        // replay 1: same seed, fresh events
+        let second = run_monitors(&synthetic_events(seed, violate));
+        prop_assert_eq!(&first, &second);
+        // replay 2: through the JSONL serialization
+        let mut rec = FlightRecorder::new(4096);
+        for e in &events {
+            rec.push(e.clone());
+        }
+        let (parsed, _) = parse_recording(&rec.to_jsonl()).unwrap();
+        let third = run_monitors(&parsed);
+        for (a, b) in first.iter().zip(third.iter()) {
+            prop_assert_eq!(&a.monitor, &b.monitor);
+            prop_assert_eq!(a.ok, b.ok);
+            prop_assert_eq!(a.checked, b.checked);
+        }
+        // and the verdict matches the injected fault
+        let mu = first.iter().find(|v| v.monitor == "mu-monotone").unwrap();
+        prop_assert_eq!(mu.ok, !violate);
+    }
+}

@@ -160,12 +160,18 @@ impl ProfilerState {
     }
 
     fn exit(&mut self, delta: Cost, wall: Duration) {
+        // Tolerate an empty stack: a panic mid-span can tear guards down
+        // out of order, and a second panic here would abort the process
+        // before the flight recorder's panic hook can dump.
+        if self.stack.is_empty() {
+            return;
+        }
         let path = self.stack.clone();
         let node = self.node_at(&path);
         node.cost = node.cost.seq(delta);
         node.wall += wall;
         node.count += 1;
-        self.stack.pop().expect("span exit without matching enter");
+        self.stack.pop();
     }
 
     fn counter(&mut self, name: &str, delta: u64) {
@@ -223,6 +229,7 @@ impl Profiler {
 }
 
 /// Guard data captured when a span opens (see [`crate::Tracker::span`]).
+#[derive(Debug)]
 pub(crate) struct SpanStart {
     pub(crate) cost_before: Cost,
     pub(crate) wall_start: Instant,

@@ -85,22 +85,48 @@ impl Tracker {
     ///
     /// Spans never charge costs themselves, so profiled and unprofiled
     /// runs of the same code report identical totals.
+    ///
+    /// Built on [`Tracker::span_guard`], so the span closes even if `f`
+    /// panics — a dump-on-panic flight recording sees a consistent span
+    /// tree.
     pub fn span<T>(&mut self, name: &str, f: impl FnOnce(&mut Tracker) -> T) -> T {
-        let Some(profiler) = self.profiler.clone() else {
-            return f(self);
+        let mut guard = self.span_guard(name);
+        f(&mut guard)
+    }
+
+    /// Open a named span and return an RAII guard that closes it on drop
+    /// (including during unwinding). The guard derefs to the tracker, so
+    /// charges inside the span go through the guard:
+    ///
+    /// ```
+    /// use pmcf_pram::{Cost, Tracker};
+    /// let mut t = Tracker::profiled();
+    /// {
+    ///     let mut span = t.span_guard("phase");
+    ///     span.charge(Cost::par_flat(32));
+    /// } // span closes here
+    /// assert_eq!(t.profile_report().unwrap().span("phase").unwrap().work, 32);
+    /// ```
+    ///
+    /// Prefer [`Tracker::span`] for straight-line scopes; the guard form
+    /// exists for spans whose lifetime doesn't nest as a closure (e.g.
+    /// across loop iterations) and for panic safety.
+    pub fn span_guard(&mut self, name: &str) -> SpanGuard<'_> {
+        let profiler = self.profiler.clone();
+        let start = if let Some(p) = &profiler {
+            p.enter(name);
+            Some(SpanStart {
+                cost_before: self.total,
+                wall_start: std::time::Instant::now(),
+            })
+        } else {
+            None
         };
-        profiler.enter(name);
-        let start = SpanStart {
-            cost_before: self.total,
-            wall_start: std::time::Instant::now(),
-        };
-        let out = f(self);
-        let delta = Cost::new(
-            self.total.work - start.cost_before.work,
-            self.total.depth - start.cost_before.depth,
-        );
-        profiler.exit(delta, start.wall_start.elapsed());
-        out
+        SpanGuard {
+            tracker: self,
+            profiler,
+            start,
+        }
     }
 
     /// Add `delta` to the named monotone counter (no-op without a
@@ -234,6 +260,56 @@ impl Tracker {
     }
 }
 
+/// RAII guard for an open profiler span (see [`Tracker::span_guard`]).
+///
+/// Dereferences to the underlying [`Tracker`], and closes the span when
+/// dropped — by normal scope exit, early `return`, or unwinding — so the
+/// profiler's span stack stays balanced no matter how the scope ends.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracker: &'a mut Tracker,
+    profiler: Option<Profiler>,
+    start: Option<SpanStart>,
+}
+
+impl SpanGuard<'_> {
+    /// Close the span now (equivalent to dropping the guard).
+    pub fn end(self) {}
+}
+
+impl std::ops::Deref for SpanGuard<'_> {
+    type Target = Tracker;
+    fn deref(&self) -> &Tracker {
+        self.tracker
+    }
+}
+
+impl std::ops::DerefMut for SpanGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Tracker {
+        self.tracker
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let (Some(p), Some(start)) = (self.profiler.take(), self.start.take()) {
+            // saturating: a panic can interleave guard teardown with
+            // tracker resets, and drop must never panic itself
+            let delta = Cost::new(
+                self.tracker
+                    .total
+                    .work
+                    .saturating_sub(start.cost_before.work),
+                self.tracker
+                    .total
+                    .depth
+                    .saturating_sub(start.cost_before.depth),
+            );
+            p.exit(delta, start.wall_start.elapsed());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +372,75 @@ mod tests {
         assert_eq!(t.total(), Cost::ZERO);
         t.charge(c);
         assert_eq!(t.total(), Cost::new(7, 7));
+    }
+
+    #[test]
+    fn span_guard_matches_closure_span() {
+        let mut a = Tracker::profiled();
+        a.span("phase", |t| t.charge(Cost::new(10, 3)));
+        let mut b = Tracker::profiled();
+        {
+            let mut g = b.span_guard("phase");
+            g.charge(Cost::new(10, 3));
+        }
+        let (ra, rb) = (a.profile_report().unwrap(), b.profile_report().unwrap());
+        assert_eq!(
+            ra.span("phase").unwrap().work,
+            rb.span("phase").unwrap().work
+        );
+        assert_eq!(
+            ra.span("phase").unwrap().count,
+            rb.span("phase").unwrap().count
+        );
+    }
+
+    #[test]
+    fn span_guard_survives_early_return_and_end() {
+        fn body(t: &mut Tracker, bail: bool) -> u64 {
+            let mut g = t.span_guard("inner");
+            g.charge(Cost::new(1, 1));
+            if bail {
+                return 1; // guard drops here
+            }
+            g.end();
+            2
+        }
+        let mut t = Tracker::profiled();
+        assert_eq!(body(&mut t, true), 1);
+        assert_eq!(body(&mut t, false), 2);
+        let report = t.profile_report().unwrap();
+        assert_eq!(report.span("inner").unwrap().count, 2);
+        assert_eq!(report.span("inner").unwrap().work, 2);
+    }
+
+    #[test]
+    fn span_closes_on_panic() {
+        let mut t = Tracker::profiled();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.span("outer", |t| {
+                t.charge(Cost::new(5, 5));
+                t.span("boom", |_t| panic!("mid-span failure"));
+            })
+        }));
+        assert!(result.is_err());
+        // both spans closed during unwinding: the stack is balanced, so a
+        // fresh span lands at the top level, not under "outer"
+        t.span("after", |t| t.charge(Cost::new(2, 2)));
+        let report = t.profile_report().unwrap();
+        assert_eq!(report.span("outer").unwrap().count, 1);
+        assert_eq!(report.span("outer/boom").unwrap().count, 1);
+        assert_eq!(report.span("after").unwrap().count, 1);
+        assert!(report.span("outer/after").is_none());
+    }
+
+    #[test]
+    fn unprofiled_span_guard_is_free_passthrough() {
+        let mut t = Tracker::new();
+        let mut g = t.span_guard("anything");
+        g.charge(Cost::new(3, 3));
+        drop(g);
+        assert_eq!(t.total(), Cost::new(3, 3));
+        assert!(t.profile_report().is_none());
     }
 
     #[test]
