@@ -1,0 +1,195 @@
+//! Experiment E-SOLVER — the Laplacian-solver reuse layer: warm starts,
+//! preconditioner caching, and batched multi-RHS solves.
+//!
+//! Rows:
+//! - `op=leverage` — a sketched leverage estimation (`r` independent CG
+//!   solves through `solve_batch`): wall clock (advisory), charged
+//!   work/depth, and total CG iterations.
+//! - `op=ipm_cold` / `op=ipm_warm` — a full reference-IPM solve with
+//!   warm starts off / on; `cg_iterations` is the gated metric (the
+//!   reuse layer's whole point is to shrink it).
+//!
+//! Boolean invariants (a true→false flip fails the gate):
+//! - `warm_start_reduction_ok` — warm-started solve spends ≤ 0.8× the
+//!   cold CG iterations,
+//! - `batch_matches_single` — `solve_batch` agrees with per-RHS
+//!   `solve` to 1e-9,
+//! - `parallel_cost_model_consistent` — charged work/depth are
+//!   identical across repeat runs and across
+//!   `ParMode::Sequential`/`ParMode::Forked` execution of the same
+//!   branch program (thread scheduling must not leak into the model).
+//!
+//! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
+//! span-tree profile of the leverage run.
+
+use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
+use pmcf_core::init;
+use pmcf_core::reference::{path_follow, PathFollowConfig};
+use pmcf_graph::generators;
+use pmcf_linalg::leverage::estimate_leverage;
+use pmcf_linalg::solver::{LaplacianSolver, RhsSpec, SolverOpts};
+use pmcf_pram::{Cost, ParMode, Tracker};
+use std::time::Instant;
+
+fn main() {
+    let args = BenchArgs::parse();
+    pmcf_obs::init_from_env();
+    let seed = args.seed_or(11);
+    let mut artifact = Artifact::for_run("solver", seed, &args);
+    artifact.set(
+        "threads",
+        Json::Str(rayon::current_num_threads().to_string()),
+    );
+
+    mdln!(args, "## E-SOLVER — Laplacian solver reuse layer\n");
+    mdln!(
+        args,
+        "| op | n | m | wall_seconds | work | depth | cg_iterations | warm_start_hits |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|---|---|");
+
+    // ---- leverage estimation: r independent solves as one batch ----
+    let (lev_n, lev_m) = (192usize, 2560usize);
+    let g = generators::gnm_digraph(lev_n, lev_m, seed);
+    let d: Vec<f64> = (0..lev_m)
+        .map(|e| 0.5 + ((e * 37) % 100) as f64 / 25.0)
+        .collect();
+    let solver = LaplacianSolver::new(g, 0, SolverOpts::default());
+    let mut profile = None;
+    let run_leverage = || {
+        let mut t = Tracker::profiled();
+        let wall = Instant::now();
+        let _ = estimate_leverage(&mut t, &solver, &d, 0.5, seed);
+        (wall.elapsed().as_secs_f64(), t)
+    };
+    let (lev_wall, lev_t) = run_leverage();
+    let lev_iters = counter(&lev_t, "solver.cg_iterations_total");
+    mdln!(
+        args,
+        "| leverage | {lev_n} | {lev_m} | {lev_wall:.4} | {} | {} | {lev_iters} | 0 |",
+        lev_t.work(),
+        lev_t.depth(),
+    );
+    artifact.row(vec![
+        ("op", Json::from("leverage")),
+        ("n", Json::from(lev_n)),
+        ("m", Json::from(lev_m)),
+        ("wall_seconds", Json::from(lev_wall)),
+        ("work", Json::from(lev_t.work())),
+        ("depth", Json::from(lev_t.depth())),
+        ("cg_iterations", Json::from(lev_iters)),
+    ]);
+    // charged costs must not depend on scheduling: a repeat run charges
+    // the same work/depth bit for bit
+    let (_, lev_t2) = run_leverage();
+    let repeat_consistent = lev_t2.work() == lev_t.work() && lev_t2.depth() == lev_t.depth();
+    if std::env::var_os("PMCF_PROFILE").is_some() {
+        profile = Some((format!("leverage, n={lev_n}, m={lev_m}"), lev_t));
+    }
+
+    // ---- reference IPM, cold vs warm Newton solves ----
+    let p = generators::random_mcf(32, 170, 4, 4, seed);
+    let ext = init::extend(&p);
+    let mu0 = init::initial_mu(&ext.prob, 0.25);
+    let mu_end = init::final_mu(&ext.prob);
+    let run_ipm = |warm: bool| {
+        let mut t = Tracker::profiled();
+        let cfg = PathFollowConfig {
+            warm_start: warm,
+            adaptive_tol: warm,
+            ..PathFollowConfig::default()
+        };
+        let (_, stats) = path_follow(&mut t, &ext.prob, ext.x0.clone(), mu0, mu_end, &cfg);
+        (stats, t)
+    };
+    let (cold_stats, cold_t) = run_ipm(false);
+    let (warm_stats, warm_t) = run_ipm(true);
+    let warm_hits = counter(&warm_t, "solver.warm_start_hits");
+    for (op, stats, t, hits) in [
+        ("ipm_cold", &cold_stats, &cold_t, 0u64),
+        ("ipm_warm", &warm_stats, &warm_t, warm_hits),
+    ] {
+        mdln!(
+            args,
+            "| {op} | {} | {} | - | {} | {} | {} | {hits} |",
+            ext.prob.n(),
+            ext.prob.m(),
+            t.work(),
+            t.depth(),
+            stats.cg_iterations,
+        );
+        artifact.row(vec![
+            ("op", Json::from(op)),
+            ("n", Json::from(ext.prob.n())),
+            ("m", Json::from(ext.prob.m())),
+            ("work", Json::from(t.work())),
+            ("depth", Json::from(t.depth())),
+            ("cg_iterations", Json::from(stats.cg_iterations)),
+            ("warm_start_hits", Json::from(hits)),
+        ]);
+    }
+    let warm_ok = (warm_stats.cg_iterations as f64) <= 0.8 * cold_stats.cg_iterations as f64;
+
+    // ---- batch vs single-RHS agreement ----
+    let bg = generators::gnm_digraph(24, 80, seed + 1);
+    let bd: Vec<f64> = (0..80)
+        .map(|e| 0.4 + ((e * 13) % 50) as f64 / 20.0)
+        .collect();
+    let bsolver = LaplacianSolver::new(bg, 0, SolverOpts::default());
+    let rhss: Vec<Vec<f64>> = (0..3)
+        .map(|k| {
+            let mut b: Vec<f64> = (0..24)
+                .map(|v| ((v * (k + 2) + 7) % 11) as f64 - 5.0)
+                .collect();
+            let shift = b.iter().sum::<f64>() / 24.0;
+            b.iter_mut().for_each(|x| *x -= shift);
+            b[0] = 0.0;
+            b
+        })
+        .collect();
+    let specs: Vec<RhsSpec<'_>> = rhss.iter().map(|b| RhsSpec { b, guess: None }).collect();
+    let mut t = Tracker::new();
+    let batch = bsolver.solve_batch(&mut t, &bd, &specs, None);
+    let batch_ok = rhss.iter().zip(&batch).all(|(b, (xb, _))| {
+        let (xs, _) = bsolver.solve(&mut Tracker::new(), &bd, b);
+        xs.iter().zip(xb).all(|(a, c)| (a - c).abs() <= 1e-9)
+    });
+
+    // ---- Sequential vs Forked branch execution charges identically ----
+    let charge_program = |mode: ParMode| {
+        let mut t = Tracker::profiled();
+        t.parallel_in(mode, 4, |i, t| {
+            t.span("branch", |t| {
+                t.charge(Cost::par_for(3 + i as u64, Cost::par_flat(512)));
+                t.counter("branches", 1);
+            });
+        });
+        (t.work(), t.depth())
+    };
+    let modes_consistent = charge_program(ParMode::Sequential) == charge_program(ParMode::Forked);
+    let cost_model_ok = repeat_consistent && modes_consistent;
+
+    mdln!(args);
+    mdln!(
+        args,
+        "warm CG iterations {} vs cold {} (reduction_ok={warm_ok}); batch_matches_single={batch_ok}; parallel_cost_model_consistent={cost_model_ok}",
+        warm_stats.cg_iterations,
+        cold_stats.cg_iterations,
+    );
+    artifact.set("warm_start_reduction_ok", Json::from(warm_ok));
+    artifact.set("batch_matches_single", Json::from(batch_ok));
+    artifact.set("parallel_cost_model_consistent", Json::from(cost_model_ok));
+
+    if let Some((label, t)) = profile {
+        artifact.attach_profile(&label, &t);
+    }
+    artifact.emit(&args);
+    pmcf_obs::finish();
+}
+
+/// A profiler counter of `t`, or 0 when the tracker is unprofiled.
+fn counter(t: &Tracker, name: &str) -> u64 {
+    t.profile_report()
+        .and_then(|r| r.counters.get(name).copied())
+        .unwrap_or(0)
+}

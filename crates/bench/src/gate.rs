@@ -172,16 +172,24 @@ pub fn parse_artifact(src: &str) -> Result<JsonValue, String> {
     }
 }
 
+/// Numeric fields that parameterize a row (instance dimensions and sweep
+/// knobs) rather than measure it. They join the row key so that rows of
+/// the same instance at different sweep points don't collide — a
+/// collision makes the gate diff *mismatched* rows, which can fail a
+/// baseline against itself (or mask a regression when the first match
+/// happens to be the cheapest row).
+const KEY_FIELDS: [&str; 7] = ["n", "m", "size", "batch", "sources", "rounds", "eps"];
+
 /// Identity of a row: the bench-stable fields (all string values, plus
-/// the instance dimensions `n`/`m` when present), independent of the
-/// measured metrics.
+/// the parameter fields of [`KEY_FIELDS`] when present), independent of
+/// the measured metrics.
 fn row_key(row: &JsonValue) -> String {
     let mut parts = Vec::new();
     if let Some(obj) = row.as_obj() {
         for (k, v) in obj {
             match v {
                 JsonValue::Str(s) => parts.push(format!("{k}={s}")),
-                _ if k == "n" || k == "m" || k == "size" => {
+                _ if KEY_FIELDS.contains(&k.as_str()) => {
                     if let Some(x) = v.as_f64() {
                         parts.push(format!("{k}={x}"));
                     }
@@ -524,6 +532,34 @@ mod tests {
         let cand = art(&[("ref", 100, 5, 0.01)], 1.5);
         let r = gate(&base, &cand, &GateConfig::default()).unwrap();
         assert!(r.passed(), "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn sweep_parameter_fields_disambiguate_rows() {
+        // Three rows of the same instance at different sweep points
+        // (`batch`) must pair up batch-for-batch: without `batch` in the
+        // row key, every baseline row diffs against the *first* candidate
+        // row and a baseline can fail against itself.
+        let rows = |w16: u64, w64: u64, w256: u64| {
+            parse(&format!(
+                r#"{{"schema":"pmcf.bench/v1","bench":"demo","seed":7,"rows":[
+                    {{"section":"dynx","n":128,"m":1024,"batch":16,"work":{w16}}},
+                    {{"section":"dynx","n":128,"m":1024,"batch":64,"work":{w64}}},
+                    {{"section":"dynx","n":128,"m":1024,"batch":256,"work":{w256}}}]}}"#
+            ))
+            .unwrap()
+        };
+        let base = rows(1_700_000, 900_000, 800_000);
+        let r = gate(&base, &base, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "self-gate must pass: {}", r.to_markdown());
+        assert!(r.findings.is_empty());
+        // a genuine regression in the *last* sweep point still fails
+        let bad = rows(1_700_000, 900_000, 1_700_000);
+        let r = gate(&base, &bad, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r
+            .failures()
+            .any(|f| f.metric == "work" && f.row.contains("batch=256")));
     }
 
     #[test]

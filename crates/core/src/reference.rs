@@ -92,6 +92,15 @@ pub struct PathFollowConfig {
     /// Ablation (A-ABL): replace the HeavySampler's expander-driven
     /// sparsification of `δ_x` with a dense `Θ(m)` correction.
     pub dense_sampling: bool,
+    /// Warm-start each Newton solve from the previous step's solution
+    /// (`D` drifts slowly along the central path). Disable to measure the
+    /// cold-start baseline; `solver.warm_start_hits` counts acceptances.
+    pub warm_start: bool,
+    /// Per-phase adaptive CG tolerance: solve the Newton system loosely
+    /// when far from centered (the damped line search absorbs direction
+    /// error) and tightly near the path. Disable to pin every solve at
+    /// the solver's construction-time tolerance.
+    pub adaptive_tol: bool,
 }
 
 impl Default for PathFollowConfig {
@@ -104,6 +113,8 @@ impl Default for PathFollowConfig {
             max_iters: 200_000,
             seed: 0x5eed,
             dense_sampling: false,
+            warm_start: true,
+            adaptive_tol: true,
         }
     }
 }
@@ -232,71 +243,97 @@ pub fn path_follow_traced(
         };
     refresh_tau(t, &mut st, &mut stats, 0);
 
-    let newton = |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats| -> f64 {
-        t.span("ipm/newton", |t| {
-            t.counter("ipm.newton_steps", 1);
-            // residuals
-            let ddx: Vec<f64> =
-                st.x.iter()
-                    .zip(&cap)
-                    .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
+    // Previous Newton solution, carried across steps as a warm start.
+    let mut prev_dy: Option<Vec<f64>> = None;
+    let mut newton =
+        |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, worst: f64| -> f64 {
+            t.span("ipm/newton", |t| {
+                t.counter("ipm.newton_steps", 1);
+                // residuals
+                let ddx: Vec<f64> =
+                    st.x.iter()
+                        .zip(&cap)
+                        .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
+                        .collect();
+                let r_d: Vec<f64> =
+                    st.x.iter()
+                        .zip(&cap)
+                        .zip(&st.s)
+                        .zip(&st.tau)
+                        .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
+                        .collect();
+                let atx = incidence::apply_at(t, &p.graph, &st.x);
+                let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
+                // D = 1/(μ τ φ'')
+                let d: Vec<f64> = st
+                    .tau
+                    .iter()
+                    .zip(&ddx)
+                    .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
                     .collect();
-            let r_d: Vec<f64> =
-                st.x.iter()
-                    .zip(&cap)
-                    .zip(&st.s)
-                    .zip(&st.tau)
-                    .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
-                    .collect();
-            let atx = incidence::apply_at(t, &p.graph, &st.x);
-            let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
-            // D = 1/(μ τ φ'')
-            let d: Vec<f64> = st
-                .tau
-                .iter()
-                .zip(&ddx)
-                .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
-                .collect();
-            // rhs = r_p + AᵀD r_d
-            let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
-            let at_dr = incidence::apply_at(t, &p.graph, &dr);
-            let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
-            rhs[0] = 0.0;
-            let (dy, solve_stats) = solver.solve(t, &d, &rhs);
-            stats.cg_iterations += solve_stats.iterations;
-            // δ_x = D(A δ_y − r_d)
-            let ady = incidence::apply_a(t, &p.graph, &dy);
-            let dx: Vec<f64> = d
-                .iter()
-                .zip(&ady)
-                .zip(&r_d)
-                .map(|((&di, &ai), &ri)| di * (ai - ri))
-                .collect();
-            t.charge(Cost::par_flat(m as u64 * 4));
-            // line search: stay strictly inside the box
-            let mut alpha = 1.0f64;
-            for ((&xi, &ui), &dxi) in st.x.iter().zip(&cap).zip(&dx) {
-                if dxi > 0.0 {
-                    alpha = alpha.min(0.90 * (ui - xi) / dxi);
-                } else if dxi < 0.0 {
-                    alpha = alpha.min(0.90 * xi / (-dxi));
+                // rhs = r_p + AᵀD r_d
+                let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
+                let at_dr = incidence::apply_at(t, &p.graph, &dr);
+                let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
+                rhs[0] = 0.0;
+                // Per-phase adaptive tolerance: far from centered (large
+                // ‖z‖_∞) a loose direction suffices — the damped line search
+                // absorbs the error; near the path, tighten back down.
+                let tol = if cfg.adaptive_tol {
+                    (worst * 1e-6).clamp(1e-10, 1e-4)
+                } else {
+                    SolverOpts::default().tol
+                };
+                let params = pmcf_linalg::solver::SolveParams {
+                    opts: Some(SolverOpts {
+                        tol,
+                        max_iter: SolverOpts::default().max_iter,
+                    }),
+                    guess: if cfg.warm_start {
+                        prev_dy.as_deref()
+                    } else {
+                        None
+                    },
+                    d_gen: None,
+                };
+                let (dy, solve_stats) = solver.solve_with(t, &d, &rhs, &params);
+                stats.cg_iterations += solve_stats.iterations;
+                if cfg.warm_start {
+                    prev_dy = Some(dy.clone());
                 }
-            }
-            t.charge(Cost::reduce(m as u64));
-            for (xi, &dxi) in st.x.iter_mut().zip(&dx) {
-                *xi += alpha * dxi;
-            }
-            for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
-                *yi += alpha * dyi;
-            }
-            let ay = incidence::apply_a(t, &p.graph, &st.y);
-            for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
-                *si = ci - ayi;
-            }
-            stats.newton_steps += 1;
-            alpha
-        })
-    };
+                // δ_x = D(A δ_y − r_d)
+                let ady = incidence::apply_a(t, &p.graph, &dy);
+                let dx: Vec<f64> = d
+                    .iter()
+                    .zip(&ady)
+                    .zip(&r_d)
+                    .map(|((&di, &ai), &ri)| di * (ai - ri))
+                    .collect();
+                t.charge(Cost::par_flat(m as u64 * 4));
+                // line search: stay strictly inside the box
+                let mut alpha = 1.0f64;
+                for ((&xi, &ui), &dxi) in st.x.iter().zip(&cap).zip(&dx) {
+                    if dxi > 0.0 {
+                        alpha = alpha.min(0.90 * (ui - xi) / dxi);
+                    } else if dxi < 0.0 {
+                        alpha = alpha.min(0.90 * xi / (-dxi));
+                    }
+                }
+                t.charge(Cost::reduce(m as u64));
+                for (xi, &dxi) in st.x.iter_mut().zip(&dx) {
+                    *xi += alpha * dxi;
+                }
+                for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
+                    *yi += alpha * dyi;
+                }
+                let ay = incidence::apply_a(t, &p.graph, &st.y);
+                for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
+                    *si = ci - ayi;
+                }
+                stats.newton_steps += 1;
+                alpha
+            })
+        };
 
     t.span("ipm/loop", |t| {
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
@@ -321,7 +358,7 @@ pub fn path_follow_traced(
                     });
                     break;
                 }
-                let alpha = newton(t, &mut st, &mut stats);
+                let alpha = newton(t, &mut st, &mut stats, worst);
                 if alpha < 1e-12 {
                     break; // numerically stuck; step μ anyway
                 }
@@ -359,7 +396,7 @@ pub fn path_follow_traced(
             if worst <= cfg.center_tol {
                 break;
             }
-            if newton(t, &mut st, &mut stats) < 1e-12 {
+            if newton(t, &mut st, &mut stats, worst) < 1e-12 {
                 break;
             }
         }

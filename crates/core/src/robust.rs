@@ -34,7 +34,7 @@ use pmcf_ds::lewis_maint::LewisMaintenance;
 use pmcf_ds::primal::PrimalGradient;
 use pmcf_graph::{incidence, DiGraph, McfProblem};
 use pmcf_linalg::lewis::ipm_p;
-use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
+use pmcf_linalg::solver::{LaplacianSolver, RhsSpec, SolveParams, SolverOpts};
 use pmcf_pram::{Cost, Tracker};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -233,8 +233,10 @@ pub fn path_follow(
     let mut stats = PathStats::default();
     emit_solve_start("robust", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
-    // dense recentering helper (shared with exactification)
-    let recenter =
+    // dense recentering helper (shared with exactification); carries the
+    // previous Newton solution across rounds as a CG warm start
+    let mut recenter_warm: Option<Vec<f64>> = None;
+    let mut recenter =
         |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, rounds: usize| {
             t.span("ipm/recenter", |t| {
                 t.counter("ipm.recenterings", 1);
@@ -250,7 +252,17 @@ pub fn path_follow(
                         });
                         break;
                     }
-                    dense_newton(t, p, &recenter_solver, &cap, &cost, st, stats);
+                    dense_newton(
+                        t,
+                        p,
+                        &recenter_solver,
+                        &cap,
+                        &cost,
+                        st,
+                        stats,
+                        cfg.warm_start,
+                        &mut recenter_warm,
+                    );
                 }
             })
         };
@@ -283,6 +295,11 @@ pub fn path_follow(
     let epoch = ((n as f64).sqrt().ceil() as usize).max(8);
     let mut rs = build_structures(t, p, &cap, &st.x, &st.s, st.mu, &solver, &st.tau, cfg.seed);
     let mut tau_sum: f64 = rs.tau.iter().sum();
+
+    // Warm starts for the per-step (δ_y, δ_c) pair: the sparsifier changes
+    // every step but the vertex potentials drift slowly along the path.
+    let mut prev_dy: Option<Vec<f64>> = None;
+    let mut prev_dc: Option<Vec<f64>> = None;
 
     t.span("ipm/loop", |t| {
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
@@ -381,8 +398,31 @@ pub fn path_follow(
                 let ug = pmcf_graph::UGraph::from_edges(n, h_edges.clone());
                 pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1
             };
-            let (dy, dc);
-            if sparsifier_ok {
+            let mut rhs_y = vbar.clone();
+            rhs_y[0] = 0.0;
+            let mut rhs_c = rs.infeas.clone();
+            rhs_c[0] = 0.0;
+            // Both right-hand sides share the step's preconditioner: solve
+            // them as one batch (independent CG branches in the model).
+            let specs = [
+                RhsSpec {
+                    b: &rhs_y,
+                    guess: if cfg.warm_start {
+                        prev_dy.as_deref()
+                    } else {
+                        None
+                    },
+                },
+                RhsSpec {
+                    b: &rhs_c,
+                    guess: if cfg.warm_start {
+                        prev_dc.as_deref()
+                    } else {
+                        None
+                    },
+                },
+            ];
+            let mut solves = if sparsifier_ok {
                 let hsolver = LaplacianSolver::new(
                     DiGraph::from_edges(n, h_edges),
                     0,
@@ -391,29 +431,20 @@ pub fn path_follow(
                         max_iter: 250,
                     },
                 );
-                let mut rhs_y = vbar.clone();
-                rhs_y[0] = 0.0;
-                let (a, sa) = hsolver.solve(t, &h_weights, &rhs_y);
-                let mut rhs_c = rs.infeas.clone();
-                rhs_c[0] = 0.0;
-                let (b2, sb) = hsolver.solve(t, &h_weights, &rhs_c);
-                stats.cg_iterations += sa.iterations + sb.iterations;
-                dy = a;
-                dc = b2;
+                hsolver.solve_batch(t, &h_weights, &specs, None)
             } else {
                 // degenerate sample: fall back to the full matrix this step
                 t.counter("ipm.sparsifier_fallbacks", 1);
                 let d_full: Vec<f64> = (0..m).map(d_at).collect();
                 t.charge(Cost::par_flat(m as u64));
-                let mut rhs_y = vbar.clone();
-                rhs_y[0] = 0.0;
-                let (a, sa) = solver.solve(t, &d_full, &rhs_y);
-                let mut rhs_c = rs.infeas.clone();
-                rhs_c[0] = 0.0;
-                let (b2, sb) = solver.solve(t, &d_full, &rhs_c);
-                stats.cg_iterations += sa.iterations + sb.iterations;
-                dy = a;
-                dc = b2;
+                solver.solve_batch(t, &d_full, &specs, None)
+            };
+            stats.cg_iterations += solves[0].1.iterations + solves[1].1.iterations;
+            let (dc, _) = solves.pop().expect("batch of two");
+            let (dy, _) = solves.pop().expect("batch of two");
+            if cfg.warm_start {
+                prev_dy = Some(dy.clone());
+                prev_dc = Some(dc.clone());
             }
             stats.newton_steps += 1;
 
@@ -529,6 +560,11 @@ pub fn path_follow(
 
 /// One dense Newton step (shared with the reference engine's math; used
 /// for the periodic recentering whose amortized cost is `Õ(m/√n)`).
+///
+/// `warm` carries the previous step's `δ_y` as a CG warm start when
+/// `warm_start` is set; the solver falls back to a cold start whenever
+/// the guess does not reduce the initial residual.
+#[allow(clippy::too_many_arguments)]
 fn dense_newton(
     t: &mut Tracker,
     p: &McfProblem,
@@ -537,6 +573,8 @@ fn dense_newton(
     cost: &[f64],
     st: &mut CentralPathState,
     stats: &mut PathStats,
+    warm_start: bool,
+    warm: &mut Option<Vec<f64>>,
 ) {
     t.span("ipm/newton", |t| {
         t.counter("ipm.newton_steps", 1);
@@ -559,8 +597,16 @@ fn dense_newton(
         let at_dr = incidence::apply_at(t, &p.graph, &dr);
         let mut rhs: Vec<f64> = (0..p.n()).map(|v| b[v] - atx[v] + at_dr[v]).collect();
         rhs[0] = 0.0;
-        let (dy, ss) = solver.solve(t, &d, &rhs);
+        let params = SolveParams {
+            opts: None,
+            guess: if warm_start { warm.as_deref() } else { None },
+            d_gen: None,
+        };
+        let (dy, ss) = solver.solve_with(t, &d, &rhs, &params);
         stats.cg_iterations += ss.iterations;
+        if warm_start {
+            *warm = Some(dy.clone());
+        }
         let ady = incidence::apply_a(t, &p.graph, &dy);
         let dx: Vec<f64> = (0..m).map(|e| d[e] * (ady[e] - r_d[e])).collect();
         let mut alpha = 1.0f64;

@@ -29,53 +29,92 @@ pub struct ExpanderPart {
     pub edges: Vec<EdgeId>,
 }
 
+/// Below this subset size the two cut sides recurse sequentially on the
+/// calling thread; above it they are real fork-join branches
+/// ([`Tracker::par_join`]) so independent subtrees run on the pool. The
+/// cutoff gates execution only — charged work/depth are identical on
+/// either path.
+const PAR_CUTOFF: usize = 32;
+
 /// Partition the vertices of `g` into `φ`-expander clusters (Theorem 3.2
 /// contract). Isolated vertices become singleton clusters.
+///
+/// The two sides of every sparse cut are independent subproblems; they
+/// recurse as parallel branches, so the charged depth is the depth of the
+/// recursion tree rather than the sum over all subsets. Cut salts are
+/// derived per node from the recursion path (not from visit order), so
+/// the output is deterministic and independent of thread scheduling.
 pub fn vertex_decompose(t: &mut Tracker, g: &UGraph, phi: f64, seed: u64) -> Vec<Vec<Vertex>> {
-    let mut out = Vec::new();
     let all: Vec<Vertex> = (0..g.n()).collect();
-    // Recursion stack of vertex subsets (explicit to avoid deep recursion).
-    let mut stack = vec![all];
-    let mut salt = seed;
-    while let Some(subset) = stack.pop() {
-        if subset.len() <= 1 {
-            if !subset.is_empty() {
-                out.push(subset);
-            }
-            continue;
-        }
-        let mut keep = vec![false; g.n()];
-        for &v in &subset {
-            keep[v] = true;
-        }
-        let (sub, _) = g.induced(&keep);
-        // Cost: one power-iteration phase over the induced subgraph.
-        let iters = ((3.0 * (sub.n().max(2) as f64).ln() / phi.max(1e-3)) as u64).clamp(12, 100);
-        t.charge(Cost::par_for(iters, Cost::par_flat(sub.m().max(1) as u64)));
-        salt = salt.wrapping_add(0x9e3779b97f4a7c15);
-        match find_sparse_cut(&sub, phi, salt) {
-            None => out.push(subset),
-            Some((mask, _)) => {
-                let (mut left, mut right) = (Vec::new(), Vec::new());
-                for &v in &subset {
-                    if mask[v] {
-                        left.push(v);
-                    } else {
-                        right.push(v);
-                    }
-                }
-                if left.is_empty() || right.is_empty() {
-                    // degenerate cut (can happen when the sparse side has
-                    // only isolated vertices); accept the subset
-                    out.push(subset);
+    decompose_subset(t, g, phi, all, mix_salt(seed, 0))
+}
+
+/// SplitMix64-style finalizer: derives a child salt from the parent's,
+/// keyed by which cut side the child is. Path-determined, so the salt a
+/// subset sees does not depend on the order subsets are processed in.
+fn mix_salt(s: u64, side: u64) -> u64 {
+    let mut z = s
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(side.wrapping_mul(0xd1b54a32d192ed03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn decompose_subset(
+    t: &mut Tracker,
+    g: &UGraph,
+    phi: f64,
+    subset: Vec<Vertex>,
+    salt: u64,
+) -> Vec<Vec<Vertex>> {
+    if subset.len() <= 1 {
+        return if subset.is_empty() {
+            Vec::new()
+        } else {
+            vec![subset]
+        };
+    }
+    let mut keep = vec![false; g.n()];
+    for &v in &subset {
+        keep[v] = true;
+    }
+    let (sub, _) = g.induced(&keep);
+    // Cost: one power-iteration phase over the induced subgraph.
+    let iters = ((3.0 * (sub.n().max(2) as f64).ln() / phi.max(1e-3)) as u64).clamp(12, 100);
+    t.charge(Cost::par_for(iters, Cost::par_flat(sub.m().max(1) as u64)));
+    match find_sparse_cut(&sub, phi, salt) {
+        None => vec![subset],
+        Some((mask, _)) => {
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &v in &subset {
+                if mask[v] {
+                    left.push(v);
                 } else {
-                    stack.push(left);
-                    stack.push(right);
+                    right.push(v);
                 }
             }
+            if left.is_empty() || right.is_empty() {
+                // degenerate cut (can happen when the sparse side has
+                // only isolated vertices); accept the subset
+                return vec![subset];
+            }
+            let (ls, rs) = (mix_salt(salt, 1), mix_salt(salt, 2));
+            let (mut a, b) = if left.len().min(right.len()) >= PAR_CUTOFF {
+                t.par_join(
+                    |t| decompose_subset(t, g, phi, left, ls),
+                    |t| decompose_subset(t, g, phi, right, rs),
+                )
+            } else {
+                t.join(
+                    |t| decompose_subset(t, g, phi, left, ls),
+                    |t| decompose_subset(t, g, phi, right, rs),
+                )
+            };
+            a.extend(b);
+            a
         }
     }
-    out
 }
 
 /// Edge-partitioned `φ`-expander decomposition (Lemma 3.4): every edge of

@@ -17,7 +17,7 @@
 
 use crate::dense;
 use crate::sketch::JlSketch;
-use crate::solver::LaplacianSolver;
+use crate::solver::{LaplacianSolver, RhsSpec};
 use pmcf_graph::{incidence, DiGraph};
 use pmcf_pram::{Cost, Tracker};
 
@@ -71,16 +71,19 @@ pub fn estimate_leverage(
         t.charge(Cost::par_flat(m as u64));
 
         let mut sigma = vec![0.0f64; m];
-        // The r sketch rows are independent → parallel branches in the model.
-        let results = t.parallel(r, |i, t| {
+        // The r sketch rows are independent → parallel branches in the
+        // model (and on the pool): build the r right-hand sides, solve
+        // them as one batch sharing a single preconditioner, then apply A
+        // to each solution.
+        let rhss: Vec<Vec<f64>> = t.parallel(r, |i, t| {
             // rhs = Aᵀ (√D qᵢ)
             let row: Vec<f64> = (0..m).map(|e| q.entry(i, e) * sqrt_d[e]).collect();
             t.charge(Cost::par_flat(m as u64));
-            let rhs = incidence::apply_at(t, g, &row);
-            let (z, _) = solver.solve(t, d, &rhs);
-
-            incidence::apply_a(t, g, &z)
+            incidence::apply_at(t, g, &row)
         });
+        let specs: Vec<RhsSpec<'_>> = rhss.iter().map(|b| RhsSpec { b, guess: None }).collect();
+        let solves = solver.solve_batch(t, d, &specs, None);
+        let results = t.parallel(r, |i, t| incidence::apply_a(t, g, &solves[i].0));
         for az in &results {
             for e in 0..m {
                 let val = sqrt_d[e] * az[e];

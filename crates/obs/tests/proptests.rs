@@ -8,6 +8,8 @@ use pmcf_obs::event::{Event, Value};
 use pmcf_obs::json::parse_recording;
 use pmcf_obs::monitor::run_monitors;
 use pmcf_obs::FlightRecorder;
+use pmcf_pram::profile::{ProfileReport, SpanReport};
+use pmcf_pram::{Cost, ParMode, Tracker};
 use proptest::prelude::*;
 
 fn push_n(rec: &mut FlightRecorder, n: u64) {
@@ -73,6 +75,36 @@ fn synthetic_events(seed: u64, violate_mu: bool) -> Vec<Event> {
     events
 }
 
+/// A profiled solve-shaped run whose branches execute through the thread
+/// pool (`ParMode::Forked` exercises the merge path even on one core).
+fn forked_profile(seed: u64, branches: usize) -> ProfileReport {
+    let mut t = Tracker::profiled();
+    t.span("solve", |t| {
+        t.counter("solver.solves", 1);
+        t.parallel_in(ParMode::Forked, branches, |i, t| {
+            t.span("cg", |t| {
+                let iters = 1 + (seed.wrapping_add(i as u64 * 7)) % 23;
+                t.charge(Cost::par_for(iters, Cost::par_flat(64)));
+                t.counter("solver.cg_iterations_total", iters);
+                t.observe("solver.cg_iterations", iters);
+            });
+        });
+    });
+    t.profile_report().expect("profiled tracker reports")
+}
+
+/// Span-tree equality ignoring wall time (the only nondeterministic field).
+fn assert_spans_replay_eq(a: &[SpanReport], b: &[SpanReport]) {
+    assert_eq!(a.len(), b.len(), "span count differs under replay");
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.work, y.work, "span {}: work differs", x.name);
+        assert_eq!(x.depth, y.depth, "span {}: depth differs", x.name);
+        assert_eq!(x.count, y.count, "span {}: count differs", x.name);
+        assert_spans_replay_eq(&x.children, &y.children);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -126,5 +158,29 @@ proptest! {
         // and the verdict matches the injected fault
         let mu = first.iter().find(|v| v.monitor == "mu-monotone").unwrap();
         prop_assert_eq!(mu.ok, !violate);
+    }
+
+    #[test]
+    fn span_trees_deterministic_under_forked_replay(seed in 0u64..10_000, branches in 0usize..6) {
+        // Pool scheduling must not leak into the profile: replaying the
+        // same program through Forked branches yields the same span tree,
+        // counters, and histogram shape — wall time is the only field
+        // allowed to differ between runs.
+        let a = forked_profile(seed, branches);
+        let b = forked_profile(seed, branches);
+        prop_assert_eq!(a.work, b.work);
+        prop_assert_eq!(a.depth, b.depth);
+        assert_spans_replay_eq(&a.spans, &b.spans);
+        prop_assert_eq!(&a.counters, &b.counters);
+        prop_assert_eq!(
+            a.histograms.keys().collect::<Vec<_>>(),
+            b.histograms.keys().collect::<Vec<_>>()
+        );
+        for (name, h) in &a.histograms {
+            let o = &b.histograms[name];
+            prop_assert_eq!(h.count, o.count, "histogram {}: count", name);
+            prop_assert_eq!(h.sum, o.sum, "histogram {}: sum", name);
+            prop_assert_eq!(&h.buckets, &o.buckets, "histogram {}: buckets", name);
+        }
     }
 }

@@ -29,7 +29,7 @@ pub mod profile;
 pub mod tracker;
 
 pub use cost::Cost;
-pub use tracker::{SpanGuard, Tracker};
+pub use tracker::{ParMode, SpanGuard, Tracker};
 
 /// `⌈log₂(n)⌉` for `n ≥ 1`; returns 0 for `n ≤ 1`.
 #[inline]

@@ -174,6 +174,52 @@ pub fn par_dot(t: &mut Tracker, a: &[f64], b: &[f64]) -> f64 {
     }
 }
 
+/// Parallel tabulate: `out[i] = f(i)` for `i in 0..n`. Work `n`, depth
+/// `log n + 1` (a flat parallel loop over the index range).
+pub fn par_tabulate<U: Send>(
+    t: &mut Tracker,
+    n: usize,
+    f: impl Fn(usize) -> U + Sync + Send,
+) -> Vec<U> {
+    t.charge_par_flat(n as u64);
+    if n < SEQ_CUTOFF {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Elementwise product `out[i] = a[i] * b[i]` (the preconditioner apply
+/// `z = M⁻¹ r` in CG). Work `n`, depth `log n + 1`.
+pub fn par_hadamard(t: &mut Tracker, a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "hadamard of mismatched lengths");
+    t.charge_par_flat(a.len() as u64);
+    if a.len() < SEQ_CUTOFF {
+        a.iter().zip(b).map(|(x, y)| x * y).collect()
+    } else {
+        a.par_iter()
+            .zip(b.par_iter())
+            .map(|(x, y)| *x * *y)
+            .collect()
+    }
+}
+
+/// `y ← x + alpha * y`, elementwise (the CG direction update
+/// `p = z + beta·p`). Work `n`, depth `log n + 1`.
+pub fn par_xpay(t: &mut Tracker, x: &[f64], alpha: f64, y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "xpay of mismatched lengths");
+    t.charge_par_flat(x.len() as u64);
+    if x.len() < SEQ_CUTOFF {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = xi + alpha * *yi;
+        }
+    } else {
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .for_each(|(yi, xi)| *yi = *xi + alpha * *yi);
+    }
+}
+
 /// `y ← y + alpha * x`, elementwise.
 pub fn par_axpy(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
@@ -254,6 +300,27 @@ mod tests {
         let mut y = vec![1.0, 1.0, 1.0];
         par_axpy(&mut t, 2.0, &a, &mut y);
         assert_eq!(y, vec![3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn tabulate_hadamard_xpay_match_sequential() {
+        let mut t = Tracker::new();
+        for n in [3usize, 5000] {
+            let idx = par_tabulate(&mut t, n, |i| i as f64 + 1.0);
+            assert_eq!(idx[0], 1.0);
+            assert_eq!(idx[n - 1], n as f64);
+            let a: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+            let h = par_hadamard(&mut t, &a, &b);
+            for i in 0..n {
+                assert_eq!(h[i], a[i] * b[i], "n={n} i={i}");
+            }
+            let mut y = b.clone();
+            par_xpay(&mut t, &a, 2.0, &mut y);
+            for i in 0..n {
+                assert_eq!(y[i], a[i] + 2.0 * b[i], "n={n} i={i}");
+            }
+        }
     }
 
     #[test]

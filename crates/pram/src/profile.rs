@@ -38,9 +38,8 @@
 //! model's invariant `Σ child work ≤ parent work` holds either way).
 
 use crate::Cost;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Environment variable that switches profiled trackers on.
@@ -107,6 +106,28 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Fold another histogram into this one (used when merging branch
+    /// profilers back into their parent at a fork-join boundary).
+    fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+        } else {
+            self.min = self.min.min(other.min);
+        }
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+    }
+
     fn observe(&mut self, v: u64) {
         if self.count == 0 {
             self.min = v;
@@ -191,33 +212,93 @@ impl ProfilerState {
             self.histograms.insert(name.to_string(), h);
         }
     }
+
+    /// Merge `src`'s children into `dst` by name, recursively: costs
+    /// compose sequentially (work and depth both add — the *parallel*
+    /// composition across sibling branches happens in the tracker's cost
+    /// totals, not the span tree), wall and counts add.
+    fn merge_children(dst: &mut Node, src_children: Vec<Node>) {
+        for c in src_children {
+            let idx = dst.child_index(&c.name);
+            let d = &mut dst.children[idx];
+            d.cost = d.cost.seq(c.cost);
+            d.wall += c.wall;
+            d.count += c.count;
+            Self::merge_children(d, c.children);
+        }
+    }
+
+    /// Absorb a detached branch profiler's state: its span tree is grafted
+    /// under this profiler's currently open span (the span that was open
+    /// when the branch forked), and its metrics fold into the registry.
+    /// Branches are absorbed in branch order, so the resulting tree is
+    /// identical to what sequential branch execution on a shared profiler
+    /// would have produced — this is what makes profiled runs
+    /// deterministic regardless of thread interleaving.
+    fn absorb(&mut self, branch: ProfilerState) {
+        let path = self.stack.clone();
+        let node = self.node_at(&path);
+        Self::merge_children(node, branch.root.children);
+        for (k, v) in branch.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in branch.histograms {
+            match self.histograms.get_mut(&k) {
+                Some(dh) => dh.merge(&h),
+                None => {
+                    self.histograms.insert(k, h);
+                }
+            }
+        }
+    }
 }
 
 /// Shared handle to a profiler, cloned into forked trackers.
+///
+/// The state sits behind an `Arc<Mutex<_>>` so branch trackers running on
+/// pool threads can record spans and metrics; same-thread forks share the
+/// handle, while detached forks (real fork-join) get a fresh profiler
+/// that is [`absorbed`](Profiler::absorb_branch) back on join.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct Profiler {
-    state: Rc<RefCell<ProfilerState>>,
+    state: Arc<Mutex<ProfilerState>>,
 }
 
 impl Profiler {
+    fn lock(&self) -> std::sync::MutexGuard<'_, ProfilerState> {
+        // A panic while the lock is held poisons it; profiling must keep
+        // working during unwinding (span guards close, the flight
+        // recorder dumps), so shrug the poison off.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     pub(crate) fn enter(&self, name: &str) {
-        self.state.borrow_mut().enter(name);
+        self.lock().enter(name);
     }
 
     pub(crate) fn exit(&self, delta: Cost, wall: Duration) {
-        self.state.borrow_mut().exit(delta, wall);
+        self.lock().exit(delta, wall);
     }
 
     pub(crate) fn counter(&self, name: &str, delta: u64) {
-        self.state.borrow_mut().counter(name, delta);
+        self.lock().counter(name, delta);
     }
 
     pub(crate) fn observe(&self, name: &str, value: u64) {
-        self.state.borrow_mut().observe(name, value);
+        self.lock().observe(name, value);
+    }
+
+    /// Merge a detached branch profiler into this one, grafting the
+    /// branch's spans under the currently open span (see
+    /// [`ProfilerState::absorb`]). Call in branch order for deterministic
+    /// trees.
+    pub(crate) fn absorb_branch(&self, branch: &Profiler) {
+        let taken = std::mem::take(&mut *branch.lock());
+        self.lock().absorb(taken);
     }
 
     pub(crate) fn report(&self, totals: Cost) -> ProfileReport {
-        let st = self.state.borrow();
+        let st = self.lock();
         ProfileReport {
             work: totals.work,
             depth: totals.depth,

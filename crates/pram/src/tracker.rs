@@ -202,8 +202,8 @@ impl Tracker {
     /// `par` (work adds, depth maxes) before being charged here.
     ///
     /// The closures run sequentially on this thread — the *cost model* is
-    /// parallel; use rayon inside the closures when real concurrency is
-    /// profitable.
+    /// parallel. Use [`Tracker::par_join`] when the branches are heavy
+    /// enough to be worth shipping to the thread pool.
     pub fn join<A, B>(
         &mut self,
         f: impl FnOnce(&mut Tracker) -> A,
@@ -217,17 +217,97 @@ impl Tracker {
         (a, b)
     }
 
-    /// Run `k` closures as parallel branches over indices `0..k`.
-    pub fn parallel<T>(&mut self, k: usize, mut f: impl FnMut(usize, &mut Tracker) -> T) -> Vec<T> {
-        let mut outs = Vec::with_capacity(k);
-        let mut branch_costs = Vec::with_capacity(k);
-        for i in 0..k {
-            let mut t = self.fork();
-            outs.push(f(i, &mut t));
-            branch_costs.push(t.total);
+    /// Like [`Tracker::join`], but the branches really run concurrently
+    /// (rayon fork-join) when the pool has more than one thread.
+    ///
+    /// Each branch gets a detached tracker: costs accumulate locally and
+    /// are `par`-composed on join exactly as in `join`, and with a
+    /// profiler attached each branch records into a private span
+    /// tree/metrics registry that is merged back (in branch order, so the
+    /// result is identical to sequential execution) under the span open
+    /// at the fork. Charged work/depth is therefore independent of the
+    /// execution mode — only wall-clock changes.
+    pub fn par_join<A, B>(
+        &mut self,
+        f: impl FnOnce(&mut Tracker) -> A + Send,
+        g: impl FnOnce(&mut Tracker) -> B + Send,
+    ) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+    {
+        if rayon::current_num_threads() <= 1 {
+            return self.join(f, g);
         }
-        self.charge_branches(branch_costs);
-        outs
+        let mut ta = self.fork_detached();
+        let mut tb = self.fork_detached();
+        let (a, b) = rayon::join(|| f(&mut ta), || g(&mut tb));
+        self.merge_branches(vec![ta, tb]);
+        (a, b)
+    }
+
+    /// Run `k` closures as parallel branches over indices `0..k`.
+    ///
+    /// Branches execute on the thread pool when it has more than one
+    /// thread and `k ≥ 2` (the sequential path is kept for small `k` and
+    /// single-threaded pools); charged costs and profiler output are
+    /// identical either way — see [`Tracker::parallel_in`].
+    pub fn parallel<T: Send>(
+        &mut self,
+        k: usize,
+        f: impl Fn(usize, &mut Tracker) -> T + Sync + Send,
+    ) -> Vec<T> {
+        let mode = if k >= 2 && rayon::current_num_threads() > 1 {
+            ParMode::Forked
+        } else {
+            ParMode::Sequential
+        };
+        self.parallel_in(mode, k, f)
+    }
+
+    /// [`Tracker::parallel`] with the execution mode pinned.
+    ///
+    /// `Sequential` runs the branches in a loop on this thread against
+    /// same-thread forks (shared profiler); `Forked` gives each branch a
+    /// detached tracker, executes them via the pool (which may itself be
+    /// single-threaded), and merges trackers back in branch order. Both
+    /// modes charge identical work/depth and produce identical span
+    /// trees, counters and histograms — proptests in this crate pin that
+    /// equivalence, and determinism tests use `Forked` explicitly so the
+    /// merge path is exercised even on single-core machines.
+    pub fn parallel_in<T: Send>(
+        &mut self,
+        mode: ParMode,
+        k: usize,
+        f: impl Fn(usize, &mut Tracker) -> T + Sync + Send,
+    ) -> Vec<T> {
+        match mode {
+            ParMode::Sequential => {
+                let mut outs = Vec::with_capacity(k);
+                let mut branch_costs = Vec::with_capacity(k);
+                for i in 0..k {
+                    let mut t = self.fork();
+                    outs.push(f(i, &mut t));
+                    branch_costs.push(t.total);
+                }
+                self.charge_branches(branch_costs);
+                outs
+            }
+            ParMode::Forked => {
+                let mut branches: Vec<Tracker> = (0..k).map(|_| self.fork_detached()).collect();
+                let outs: Vec<T> = {
+                    use rayon::prelude::*;
+                    branches
+                        .par_iter_mut()
+                        .enumerate()
+                        .with_min_len(1)
+                        .map(|(i, bt)| f(i, bt))
+                        .collect()
+                };
+                self.merge_branches(branches);
+                outs
+            }
+        }
     }
 
     /// Run a closure in a sub-scope and return its cost alongside its value
@@ -248,6 +328,34 @@ impl Tracker {
         }
     }
 
+    /// A branch tracker for real fork-join: private cost total and (when
+    /// profiled) a private profiler, merged back via
+    /// [`Tracker::merge_branches`]. Detaching keeps branch span stacks
+    /// independent across threads — a shared open-span stack would
+    /// interleave nondeterministically.
+    fn fork_detached(&self) -> Tracker {
+        Tracker {
+            total: Cost::ZERO,
+            disabled: self.disabled,
+            profiler: self.profiler.as_ref().map(|_| Profiler::default()),
+        }
+    }
+
+    /// Par-compose and charge the branch costs, and graft each branch's
+    /// profiler output (spans under the currently open span, metrics into
+    /// the registry) in branch order.
+    fn merge_branches(&mut self, branches: Vec<Tracker>) {
+        if let Some(p) = &self.profiler {
+            for b in &branches {
+                if let Some(bp) = &b.profiler {
+                    p.absorb_branch(bp);
+                }
+            }
+        }
+        let costs: Vec<Cost> = branches.iter().map(|b| b.total).collect();
+        self.charge_branches(costs);
+    }
+
     fn charge_branches(&mut self, costs: impl IntoIterator<Item = Cost>) {
         if self.disabled {
             return;
@@ -258,6 +366,16 @@ impl Tracker {
         // sequentially after whatever preceded it.
         self.total += combined;
     }
+}
+
+/// Execution mode for [`Tracker::parallel_in`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParMode {
+    /// Branches run in a loop on the calling thread (shared profiler).
+    Sequential,
+    /// Branches run through the thread pool with detached trackers that
+    /// are merged back in branch order.
+    Forked,
 }
 
 /// RAII guard for an open profiler span (see [`Tracker::span_guard`]).

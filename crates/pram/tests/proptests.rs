@@ -1,8 +1,8 @@
 //! Property-based tests of the PRAM cost algebra, primitives, and the
 //! span profiler's reconciliation invariants.
 
-use pmcf_pram::profile::SpanReport;
-use pmcf_pram::{cost::par_all, primitives as pp, Cost, Tracker};
+use pmcf_pram::profile::{Histogram, SpanReport};
+use pmcf_pram::{cost::par_all, primitives as pp, Cost, ParMode, Tracker};
 use proptest::prelude::*;
 
 /// One instruction of a random profiling program: `(kind, w, d)`.
@@ -50,6 +50,43 @@ fn check_child_work(s: &SpanReport) {
 
 fn cost_strategy() -> impl Strategy<Value = Cost> {
     (0u64..1_000_000, 0u64..10_000).prop_map(|(w, d)| Cost::new(w, d))
+}
+
+/// One parallel branch: interpret the op program, then derive counter and
+/// histogram traffic from it so fork-join metric merging is exercised.
+fn run_branch(t: &mut Tracker, ops: &[Op]) {
+    run_ops(t, ops, 0);
+    for &(kind, w, d) in ops {
+        match kind % 3 {
+            0 => t.counter(if w % 2 == 0 { "c0" } else { "c1" }, w + 1),
+            1 => t.observe("h", d),
+            _ => {}
+        }
+    }
+}
+
+/// Structural span-tree equality ignoring wall time (the only field that
+/// legitimately differs between sequential and pool execution).
+fn assert_span_trees_eq(a: &[SpanReport], b: &[SpanReport]) {
+    assert_eq!(
+        a.iter().map(|s| &s.name).collect::<Vec<_>>(),
+        b.iter().map(|s| &s.name).collect::<Vec<_>>(),
+        "span names/order differ"
+    );
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.work, y.work, "span {}: work differs", x.name);
+        assert_eq!(x.depth, y.depth, "span {}: depth differs", x.name);
+        assert_eq!(x.count, y.count, "span {}: count differs", x.name);
+        assert_span_trees_eq(&x.children, &y.children);
+    }
+}
+
+fn assert_histograms_eq(a: &Histogram, b: &Histogram, name: &str) {
+    assert_eq!(a.count, b.count, "histogram {name}: count");
+    assert_eq!(a.sum, b.sum, "histogram {name}: sum");
+    assert_eq!(a.min, b.min, "histogram {name}: min");
+    assert_eq!(a.max, b.max, "histogram {name}: max");
+    assert_eq!(a.buckets, b.buckets, "histogram {name}: buckets");
 }
 
 proptest! {
@@ -176,6 +213,96 @@ proptest! {
         prop_assert_eq!(t.work(), 0);
         prop_assert_eq!(t.depth(), 0);
         prop_assert!(t.profile_report().is_none());
+    }
+
+    #[test]
+    fn forked_parallel_equals_sequential(
+        branch_ops in prop::collection::vec(
+            prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..12),
+            0..5,
+        )
+    ) {
+        // The cost model is an *accounting* of parallelism: running the
+        // same branches through the pool (Forked) or a loop (Sequential)
+        // must charge identical work/depth and produce identical span
+        // trees, counters, and histograms — only wall time may differ.
+        let run = |mode: ParMode| {
+            let mut t = Tracker::profiled();
+            t.charge(Cost::new(3, 2));
+            t.span("outer", |t| {
+                t.charge(Cost::new(1, 1));
+                t.parallel_in(mode, branch_ops.len(), |i, t| run_branch(t, &branch_ops[i]));
+            });
+            t
+        };
+        let seq = run(ParMode::Sequential);
+        let par = run(ParMode::Forked);
+        prop_assert_eq!(par.work(), seq.work());
+        prop_assert_eq!(par.depth(), seq.depth());
+        let rs = seq.profile_report().expect("profiled");
+        let rp = par.profile_report().expect("profiled");
+        assert_span_trees_eq(&rs.spans, &rp.spans);
+        prop_assert_eq!(&rs.counters, &rp.counters);
+        prop_assert_eq!(
+            rs.histograms.keys().collect::<Vec<_>>(),
+            rp.histograms.keys().collect::<Vec<_>>()
+        );
+        for (name, h) in &rs.histograms {
+            assert_histograms_eq(h, &rp.histograms[name], name);
+        }
+    }
+
+    #[test]
+    fn nested_forked_parallel_equals_sequential(
+        outer_k in 0usize..4,
+        inner_k in 0usize..4,
+        w in 1u64..100,
+    ) {
+        // Nested fork-join: each branch forks again, so branch profilers
+        // are absorbed under a span that is itself inside a branch.
+        let run = |mode: ParMode| {
+            let mut t = Tracker::profiled();
+            t.parallel_in(mode, outer_k, |i, t| {
+                t.span("branch", |t| {
+                    t.counter("branches", 1);
+                    t.parallel_in(mode, inner_k, |j, t| {
+                        t.charge(Cost::new(w * (i as u64 + 1), j as u64 + 1));
+                        t.observe("h", (i + j) as u64);
+                    });
+                });
+            });
+            t
+        };
+        let seq = run(ParMode::Sequential);
+        let par = run(ParMode::Forked);
+        prop_assert_eq!(par.work(), seq.work());
+        prop_assert_eq!(par.depth(), seq.depth());
+        let rs = seq.profile_report().expect("profiled");
+        let rp = par.profile_report().expect("profiled");
+        assert_span_trees_eq(&rs.spans, &rp.spans);
+        prop_assert_eq!(&rs.counters, &rp.counters);
+        for (name, h) in &rs.histograms {
+            assert_histograms_eq(h, &rp.histograms[name], name);
+        }
+    }
+
+    #[test]
+    fn par_join_charges_match_join(
+        w1 in 0u64..1000, d1 in 0u64..1000,
+        w2 in 0u64..1000, d2 in 0u64..1000,
+    ) {
+        let mut a = Tracker::new();
+        a.join(
+            |t| t.charge(Cost::new(w1, d1)),
+            |t| t.charge(Cost::new(w2, d2)),
+        );
+        let mut b = Tracker::new();
+        b.par_join(
+            |t| t.charge(Cost::new(w1, d1)),
+            |t| t.charge(Cost::new(w2, d2)),
+        );
+        prop_assert_eq!(b.work(), a.work());
+        prop_assert_eq!(b.depth(), a.depth());
     }
 
     #[test]

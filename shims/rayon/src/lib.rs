@@ -1,113 +1,524 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, now with a real thread pool.
 //!
 //! The build environment for this workspace has no network access, so the
-//! real `rayon` cannot be fetched from crates.io. This shim exposes the
-//! (small) subset of the rayon API the workspace uses and executes it
-//! **sequentially** on the calling thread. The PRAM *cost model* in
-//! `pmcf-pram` is what the paper's work/depth claims are measured against;
-//! wall-clock parallelism is an orthogonal concern that returns when the
-//! real crate is vendored (the API is call-compatible, so swapping back is
-//! a one-line `Cargo.toml` change).
+//! real `rayon` cannot be fetched from crates.io. Earlier revisions of this
+//! shim executed everything sequentially; that kept the PRAM *cost model*
+//! honest but meant every `t.parallel(...)` site ran single-threaded in
+//! wall-clock. This revision keeps the same (small) API surface the
+//! workspace uses but executes it on a persistent `std::thread` pool:
+//!
+//! * a global injector queue + condvar pool, sized by `RAYON_NUM_THREADS`
+//!   (falling back to the machine's available parallelism);
+//! * a real [`join`] with rayon's `Send` bounds;
+//! * **eager** parallel iterators: `par_iter()` snapshots the items and
+//!   adapters like [`ParIter::map`] apply their closure in parallel
+//!   chunks immediately, so a later `collect()` is just a move.
+//!
+//! Blocked callers *help*: while waiting for their chunks they pop and run
+//! jobs from the shared queue, so nested `join`/`par_iter` calls from
+//! inside pool workers cannot deadlock even with a single worker thread.
+//!
+//! With `RAYON_NUM_THREADS=1` (or on a single-core machine) every entry
+//! point degrades to the old sequential behaviour on the calling thread,
+//! which is the reference execution for determinism tests.
+//!
+//! Sorts ([`ParSortExt`]) remain sequential: no workspace hot path sorts
+//! above the PRAM sequential cutoff, and a parallel merge sort is not
+//! worth the shim complexity yet.
 
-/// Number of worker threads the "pool" would have: the machine's
-/// available parallelism (sequential execution notwithstanding, callers
-/// use this to pick chunk counts, which should match the hardware).
-pub fn current_num_threads() -> usize {
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Environment variable controlling the pool size, read once at first use.
+pub const NUM_THREADS_ENV: &str = "RAYON_NUM_THREADS";
+
+/// Default minimum number of items a parallel chunk must carry before the
+/// shim bothers shipping it to the pool (overridable per-iterator with
+/// [`ParIter::with_min_len`]).
+const DEFAULT_MIN_LEN: usize = 128;
+
+// ---------------------------------------------------------------------------
+// Thread pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+impl Injector {
+    fn push_all(&self, jobs: Vec<Job>) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        for j in jobs {
+            q.push_back(j);
+        }
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    fn try_pop(&self) -> Option<Job> {
+        self.queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+    }
+}
+
+struct LatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Completion latch for one batch of jobs; also carries the first panic
+/// payload so the submitting thread can re-throw it.
+struct Latch {
+    state: Mutex<LatchState>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(remaining: usize) -> Latch {
+        Latch {
+            state: Mutex::new(LatchState {
+                remaining,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.remaining -= 1;
+        if st.panic.is_none() {
+            st.panic = panic;
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+
+    fn is_done(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remaining
+            == 0
+    }
+
+    /// Block until all jobs in the batch have finished, running other
+    /// queued jobs while waiting (help-first, to avoid nested deadlock).
+    fn wait_helping(&self, inj: &Injector) {
+        loop {
+            if self.is_done() {
+                return;
+            }
+            if let Some(job) = inj.try_pop() {
+                job();
+                continue;
+            }
+            let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.remaining == 0 {
+                return;
+            }
+            // Short timeout: a job matching our latch wakes us via `done`,
+            // but new helpable work only shows up on the queue.
+            let _ = self
+                .done
+                .wait_timeout(st, Duration::from_micros(200))
+                .map(drop);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .panic
+            .take()
+    }
+}
+
+struct Pool {
+    injector: Arc<Injector>,
+    threads: usize,
+}
+
+fn configured_threads() -> usize {
+    match std::env::var(NUM_THREADS_ENV) {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(0) | Err(_) => default_threads(),
+            Ok(n) => n,
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// A "parallel" iterator: a thin newtype over a sequential iterator.
-///
-/// Inherent methods shadow the `Iterator` trait methods of the same name
-/// so that rayon-specific signatures (e.g. two-argument [`ParIter::reduce`])
-/// keep working; everything else falls through to `Iterator` via the
-/// blanket impl below.
-pub struct ParIter<I> {
-    inner: I,
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let want = configured_threads();
+        let injector = Arc::new(Injector::default());
+        let mut spawned = 0usize;
+        if want > 1 {
+            for i in 0..want {
+                let inj = Arc::clone(&injector);
+                let ok = std::thread::Builder::new()
+                    .name(format!("pmcf-rayon-{i}"))
+                    .spawn(move || worker_loop(&inj))
+                    .is_ok();
+                if ok {
+                    spawned += 1;
+                }
+            }
+        }
+        Pool {
+            injector,
+            threads: if spawned > 0 { spawned } else { 1 },
+        }
+    })
 }
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.inner.next()
-    }
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.inner.size_hint()
+fn worker_loop(inj: &Injector) {
+    loop {
+        let job = {
+            let mut q = inj.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = inj.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        // Jobs are pre-wrapped in catch_unwind by `run_batch`, so a panic
+        // inside user code never unwinds the worker.
+        job();
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    /// Map, staying in the "parallel" world (rayon's `ParallelIterator::map`).
-    #[inline]
-    pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter {
-            inner: self.inner.map(f),
-        }
-    }
+/// Number of worker threads in the pool (1 = sequential execution).
+pub fn current_num_threads() -> usize {
+    pool().threads
+}
 
-    /// Filter, staying in the "parallel" world.
-    #[inline]
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter {
-            inner: self.inner.filter(f),
-        }
-    }
+/// Drops stand in for un-run queued jobs if the submitting scope unwinds;
+/// waiting in `Drop` keeps borrowed stack data alive until every job that
+/// references it has finished.
+struct BatchGuard<'a> {
+    latch: &'a Latch,
+    injector: &'a Injector,
+}
 
-    /// rayon's `flat_map_iter`: flat-map through a *sequential* iterator.
-    #[inline]
-    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
-        self,
-        f: F,
-    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
-        ParIter {
-            inner: self.inner.flat_map(f),
-        }
+impl Drop for BatchGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.wait_helping(self.injector);
     }
+}
 
-    /// rayon's two-argument reduce: fold from `identity()` with `op`.
-    #[inline]
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
+/// Run a batch of scoped jobs to completion: the first inline on the
+/// calling thread, the rest on the pool. Returns only after every job has
+/// finished (including on panic paths), which is what makes the lifetime
+/// transmute below sound: no job can outlive the borrows it captures.
+fn run_batch(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let mut jobs = jobs;
+    let p = pool();
+    if p.threads <= 1 || jobs.len() <= 1 {
+        for job in jobs {
+            job();
+        }
+        return;
+    }
+    let inline = jobs.remove(0);
+    let latch = Arc::new(Latch::new(jobs.len()));
+    let queued: Vec<Job> = jobs
+        .into_iter()
+        .map(|job| {
+            let latch = Arc::clone(&latch);
+            let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let res = catch_unwind(AssertUnwindSafe(job));
+                latch.count_down(res.err());
+            });
+            // SAFETY: `run_batch` (and `BatchGuard::drop` on unwind) waits
+            // on the latch before returning, so the job cannot outlive the
+            // stack frame whose borrows it captures.
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) }
+        })
+        .collect();
+    p.injector.push_all(queued);
     {
-        self.inner.fold(identity(), op)
+        let _guard = BatchGuard {
+            latch: &latch,
+            injector: &p.injector,
+        };
+        inline();
+        // Guard drop waits for the queued jobs (also on panic).
+    }
+    if let Some(payload) = latch.take_panic() {
+        resume_unwind(payload);
+    }
+}
+
+/// Fork-join: run both closures, potentially in parallel, and return both
+/// results. Matches rayon's bounds (`Send` closures and results).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if pool().threads <= 1 {
+        return (a(), b());
+    }
+    let mut ra: Option<RA> = None;
+    let mut rb: Option<RB> = None;
+    run_batch(vec![
+        Box::new(|| ra = Some(a())),
+        Box::new(|| rb = Some(b())),
+    ]);
+    (ra.unwrap(), rb.unwrap())
+}
+
+// ---------------------------------------------------------------------------
+// Eager parallel iterators
+// ---------------------------------------------------------------------------
+
+/// Run `g` over chunks of `items` (each chunk at least `min_len` long when
+/// possible), in parallel on the pool, preserving chunk order.
+fn par_chunk_apply<T, U, G>(items: Vec<T>, min_len: usize, g: G) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    G: Fn(Vec<T>) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads();
+    let min_len = min_len.max(1);
+    if threads <= 1 || n <= min_len {
+        return if n == 0 { Vec::new() } else { vec![g(items)] };
+    }
+    let target = threads * 4;
+    let chunk = min_len.max(n.div_ceil(target));
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let mut out: Vec<Option<U>> = (0..chunks.len()).map(|_| None).collect();
+    let gref = &g;
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .iter_mut()
+        .zip(chunks)
+        .map(|(slot, chunk)| {
+            Box::new(move || *slot = Some(gref(chunk))) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    run_batch(jobs);
+    out.into_iter().map(|o| o.expect("chunk job ran")).collect()
+}
+
+/// An **eager** "parallel iterator": holds the already-materialized items.
+/// Adapters like [`ParIter::map`] do their work immediately, in parallel
+/// chunks on the pool; terminal ops (`collect`, `sum`, …) then just move
+/// or fold the results on the calling thread.
+pub struct ParIter<T> {
+    items: Vec<T>,
+    min_len: usize,
+}
+
+impl<T> ParIter<T> {
+    fn from_vec(items: Vec<T>) -> ParIter<T> {
+        ParIter {
+            items,
+            min_len: DEFAULT_MIN_LEN,
+        }
     }
 
-    /// Drain the iterator, applying `f` to every item.
-    #[inline]
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
-    }
-
-    /// Hint ignored by the sequential shim (rayon tuning knob).
-    #[inline]
-    pub fn with_min_len(self, _len: usize) -> Self {
+    /// Minimum items per parallel chunk (rayon tuning knob). `1` forces a
+    /// chunk per item even for tiny inputs.
+    pub fn with_min_len(mut self, len: usize) -> Self {
+        self.min_len = len.max(1);
         self
     }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pair element-wise with another parallel iterator (truncating to the
+    /// shorter of the two, like `Iterator::zip`).
+    pub fn zip<U>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        let min_len = self.min_len.min(other.min_len);
+        let items = self.items.into_iter().zip(other.items).collect();
+        ParIter { items, min_len }
+    }
+
+    /// Attach indices, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        let items = self.items.into_iter().enumerate().collect();
+        ParIter {
+            items,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Drain into any collection; the upstream adapters already did the
+    /// parallel work, so this is a sequential move.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items (terminal form).
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
 }
 
-/// `.par_iter()` / mutable / chunked views over slices.
+impl<T: Send> ParIter<T> {
+    /// Parallel map (eager: runs now, on the pool).
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        let min_len = self.min_len;
+        let out = par_chunk_apply(self.items, min_len, |chunk| {
+            chunk.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// Parallel filter (eager), preserving order.
+    pub fn filter<F>(self, pred: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let min_len = self.min_len;
+        let out = par_chunk_apply(self.items, min_len, |chunk| {
+            chunk.into_iter().filter(|x| pred(x)).collect::<Vec<T>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// rayon's `flat_map_iter`: parallel over items, sequential inner
+    /// iterators, concatenated in order.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<U::Item>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        let min_len = self.min_len;
+        let out = par_chunk_apply(self.items, min_len, |chunk| {
+            chunk.into_iter().flat_map(&f).collect::<Vec<U::Item>>()
+        });
+        ParIter {
+            items: out.into_iter().flatten().collect(),
+            min_len,
+        }
+    }
+
+    /// rayon's two-argument reduce: parallel chunk folds from
+    /// `identity()`, then a sequential fold of the partials.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        let min_len = self.min_len;
+        let partials = par_chunk_apply(self.items, min_len, |chunk| {
+            chunk.into_iter().fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Parallel for-each (eager, order of side effects unspecified across
+    /// chunks — same contract as rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        let min_len = self.min_len;
+        par_chunk_apply(self.items, min_len, |chunk| {
+            chunk.into_iter().for_each(&f);
+        });
+    }
+
+    /// Parallel sum: chunk sums on the pool, then a fold of the partials.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let min_len = self.min_len;
+        let partials = par_chunk_apply(self.items, min_len, |chunk| chunk.into_iter().sum::<S>());
+        partials.into_iter().sum()
+    }
+}
+
+impl<T: Clone> ParIter<&T> {
+    /// Clone out of a by-reference iterator (rayon's `cloned`).
+    pub fn cloned(self) -> ParIter<T> {
+        let items = self.items.into_iter().cloned().collect();
+        ParIter {
+            items,
+            min_len: self.min_len,
+        }
+    }
+}
+
+impl<T: Copy> ParIter<&T> {
+    /// Copy out of a by-reference iterator (rayon's `copied`).
+    pub fn copied(self) -> ParIter<T> {
+        let items = self.items.into_iter().copied().collect();
+        ParIter {
+            items,
+            min_len: self.min_len,
+        }
+    }
+}
+
+/// `.par_iter()` / chunked views over slices.
 pub trait ParSliceExt<T> {
-    /// Shared "parallel" iterator over the slice.
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    /// Chunked "parallel" iterator.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Shared parallel iterator over the slice.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Chunked parallel iterator.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
 }
 
 /// Mutable counterparts of [`ParSliceExt`].
 pub trait ParSliceMutExt<T> {
-    /// Exclusive "parallel" iterator over the slice.
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    /// Exclusive chunked "parallel" iterator.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Exclusive parallel iterator over the slice.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Exclusive chunked parallel iterator.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
 }
 
-/// Sequential implementations of rayon's slice sorts.
+/// Sequential implementations of rayon's slice sorts (see module docs).
 pub trait ParSortExt<T> {
     /// Stable sort (rayon: parallel merge sort).
     fn par_sort(&mut self)
@@ -126,57 +537,42 @@ pub trait ParSortExt<T> {
 }
 
 impl<T> ParSliceExt<T> for [T] {
-    #[inline]
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter::from_vec(self.iter().collect())
     }
-    #[inline]
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter {
-            inner: self.chunks(size),
-        }
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        ParIter::from_vec(self.chunks(size.max(1)).collect()).with_min_len(1)
     }
 }
 
 impl<T> ParSliceMutExt<T> for [T] {
-    #[inline]
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter {
-            inner: self.iter_mut(),
-        }
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter::from_vec(self.iter_mut().collect())
     }
-    #[inline]
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter {
-            inner: self.chunks_mut(size),
-        }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        ParIter::from_vec(self.chunks_mut(size.max(1)).collect()).with_min_len(1)
     }
 }
 
 impl<T> ParSortExt<T> for [T] {
-    #[inline]
     fn par_sort(&mut self)
     where
         T: Ord,
     {
         self.sort();
     }
-    #[inline]
     fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
         self.sort_by_key(key);
     }
-    #[inline]
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
         self.sort_unstable();
     }
-    #[inline]
     fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
         self.sort_unstable_by_key(key);
     }
-    #[inline]
     fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, cmp: F) {
         self.sort_by(cmp);
     }
@@ -184,11 +580,9 @@ impl<T> ParSortExt<T> for [T] {
 
 /// `.into_par_iter()` for any owned iterable (ranges, `Vec`, …).
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    /// Convert into a "parallel" iterator.
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter {
-            inner: self.into_iter(),
-        }
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter::from_vec(self.into_iter().collect())
     }
 }
 
@@ -199,18 +593,12 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParSliceExt, ParSliceMutExt, ParSortExt};
 }
 
-/// Sequential stand-in for `rayon::join`: runs both closures on this thread.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn map_collect_roundtrip() {
@@ -220,10 +608,51 @@ mod tests {
     }
 
     #[test]
+    fn large_map_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let ys: Vec<u64> = xs.par_iter().with_min_len(16).map(|&x| x * 3 + 1).collect();
+        assert_eq!(ys.len(), xs.len());
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, i as u64 * 3 + 1);
+        }
+    }
+
+    #[test]
     fn two_arg_reduce() {
         let xs = [1u64, 2, 3, 4];
         let s = xs.par_iter().map(|&x| x).reduce(|| 0, |a, b| a + b);
         assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn large_reduce_matches_sequential() {
+        let xs: Vec<u64> = (1..=50_000).collect();
+        let s = xs
+            .par_iter()
+            .with_min_len(64)
+            .map(|&x| x)
+            .reduce(|| 0u64, |a, b| a + b);
+        assert_eq!(s, 50_000 * 50_001 / 2);
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        let xs: Vec<u64> = (0..5_000).collect();
+        let evens: Vec<u64> = xs
+            .par_iter()
+            .with_min_len(32)
+            .filter(|x| **x % 2 == 0)
+            .cloned()
+            .collect();
+        assert_eq!(evens.len(), 2_500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn flat_map_iter_concatenates_in_order() {
+        let xs = [1usize, 2, 3];
+        let ys: Vec<usize> = xs.par_iter().flat_map_iter(|&x| 0..x).collect();
+        assert_eq!(ys, vec![0, 0, 1, 0, 1, 2]);
     }
 
     #[test]
@@ -247,6 +676,32 @@ mod tests {
     }
 
     #[test]
+    fn par_iter_mut_for_each_writes_every_slot() {
+        let mut v = vec![0u64; 4_096];
+        v.par_iter_mut()
+            .enumerate()
+            .with_min_len(16)
+            .for_each(|(i, x)| *x = i as u64);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn zip_map_sum_matches_dot_product() {
+        let a: Vec<f64> = (0..8_192).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..8_192).map(|i| (i % 7) as f64).collect();
+        let par: f64 = a
+            .par_iter()
+            .zip(b.par_iter())
+            .with_min_len(64)
+            .map(|(x, y)| *x * *y)
+            .sum();
+        let seq: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((par - seq).abs() <= 1e-6 * seq.abs().max(1.0));
+    }
+
+    #[test]
     fn sorts() {
         let mut v = vec![3, 1, 2];
         v.par_sort_unstable();
@@ -254,5 +709,72 @@ mod tests {
         let mut w = [(1, 'b'), (0, 'a')];
         w.par_sort_by_key(|&(k, _)| k);
         assert_eq!(w[0].1, 'a');
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        let (a, (b, c)) = crate::join(
+            || crate::join(|| 1, || 2).0 + 10,
+            || crate::join(|| 3, || 4),
+        );
+        assert_eq!((a, b, c), (11, 3, 4));
+    }
+
+    #[test]
+    fn deep_nested_par_iter_terminates() {
+        let outer: Vec<usize> = (0..64).collect();
+        let total: usize = outer
+            .par_iter()
+            .with_min_len(1)
+            .map(|&i| {
+                let inner: Vec<usize> = (0..64).collect();
+                inner
+                    .par_iter()
+                    .with_min_len(1)
+                    .map(|&j| i + j)
+                    .sum::<usize>()
+            })
+            .sum();
+        let expect: usize = (0..64).map(|i| (0..64).map(|j| i + j).sum::<usize>()).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_caller() {
+        let hits = AtomicUsize::new(0);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let xs: Vec<usize> = (0..1_000).collect();
+            xs.par_iter().with_min_len(1).for_each(|&i| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                if i == 500 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // All non-panicking chunks still ran to completion before the
+        // panic was re-thrown (the batch latch waits for everything).
+        assert!(hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_pool_is_sized() {
+        if crate::current_num_threads() <= 1 {
+            return; // single-core / RAYON_NUM_THREADS=1: nothing to assert
+        }
+        let seen = Mutex::new(HashSet::new());
+        let xs: Vec<usize> = (0..4_096).collect();
+        xs.par_iter().with_min_len(1).for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        assert!(!seen.lock().unwrap().is_empty());
     }
 }
