@@ -12,10 +12,15 @@
 //! * [`hopcroft_karp`] — bipartite maximum matching,
 //! * [`bellman_ford`] — negative-weight SSSP / negative-cycle detection,
 //! * [`bfs`] — sequential and level-synchronous parallel reachability
-//!   (the parallel-BFS row of Table 1 right).
+//!   (the parallel-BFS row of Table 1 right),
+//! * [`oracle`] — the uniform [`oracle::Oracle`] interface the
+//!   differential harness (`pmcf-diff`) drives every solver through.
 
 pub mod bellman_ford;
 pub mod bfs;
 pub mod dinic;
 pub mod hopcroft_karp;
+pub mod oracle;
 pub mod ssp;
+
+pub use oracle::{Oracle, Verdict};

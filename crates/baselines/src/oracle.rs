@@ -1,0 +1,258 @@
+//! A uniform oracle interface over the combinatorial baselines.
+//!
+//! The differential harness (`pmcf-diff`) pits every solver in the
+//! workspace against every other on the same instance. This trait gives
+//! each solver the same five entry points — min-cost flow, max s-t flow,
+//! bipartite matching, negative-weight SSSP, reachability — with a
+//! shared [`Verdict`] vocabulary, so the driver can compare answers
+//! without knowing which algorithm produced them. Each baseline
+//! implements the tasks it naturally answers and reports
+//! [`Verdict::Unsupported`] for the rest; the IPM engines (which answer
+//! all five via `solve_mcf` and the corollary reductions) implement the
+//! same trait from `pmcf-core`.
+
+use crate::{bellman_ford, bfs, dinic, hopcroft_karp, ssp};
+use pmcf_graph::{DiGraph, McfProblem};
+
+/// Outcome of asking an oracle one of the five differential questions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Optimal objective: min-cost flow cost, max s-t flow value, or
+    /// matching size.
+    Value(i64),
+    /// Per-vertex shortest-path distances (`i64::MAX` = unreachable).
+    Distances(Vec<i64>),
+    /// Per-vertex reachability mask.
+    Mask(Vec<bool>),
+    /// The instance is infeasible.
+    Infeasible,
+    /// A negative cycle is reachable from the source (SSSP task).
+    NegativeCycle,
+    /// The oracle rejected the instance as outside its input domain
+    /// (malformed indices, magnitude preconditions). Rejection must be
+    /// unanimous across oracles for a given instance; the payload says
+    /// why.
+    Rejected(String),
+    /// This oracle does not implement the task — skipped, not compared.
+    Unsupported,
+    /// The oracle failed internally. Always a bug.
+    Failed(String),
+}
+
+impl Verdict {
+    /// Whether this verdict takes part in cross-oracle comparison (an
+    /// [`Verdict::Unsupported`] answer is skipped, everything else —
+    /// including failures — is compared so that a lone crash shows up
+    /// as a mismatch).
+    pub fn comparable(&self) -> bool {
+        !matches!(self, Verdict::Unsupported)
+    }
+}
+
+/// A solver that can answer some of the five differential tasks. All
+/// methods default to [`Verdict::Unsupported`]; implementors override
+/// the ones they genuinely answer.
+pub trait Oracle {
+    /// Stable display name (used in mismatch reports and case files).
+    fn name(&self) -> &'static str;
+
+    /// Exact minimum-cost `b`-flow objective for `p`.
+    fn mcf(&self, _p: &McfProblem) -> Verdict {
+        Verdict::Unsupported
+    }
+
+    /// Maximum s-t flow value.
+    fn max_flow(&self, _g: &DiGraph, _cap: &[i64], _s: usize, _t: usize) -> Verdict {
+        Verdict::Unsupported
+    }
+
+    /// Maximum bipartite matching size (left vertices `0..nl`).
+    fn matching(&self, _g: &DiGraph, _nl: usize) -> Verdict {
+        Verdict::Unsupported
+    }
+
+    /// Single-source shortest paths with possibly negative weights.
+    fn sssp(&self, _g: &DiGraph, _w: &[i64], _s: usize) -> Verdict {
+        Verdict::Unsupported
+    }
+
+    /// Reachability from `s`.
+    fn reachability(&self, _g: &DiGraph, _s: usize) -> Verdict {
+        Verdict::Unsupported
+    }
+}
+
+fn check_st(g: &DiGraph, s: usize, t: usize) -> Option<Verdict> {
+    if s >= g.n() || t >= g.n() {
+        return Some(Verdict::Rejected(format!(
+            "source {s} / sink {t} out of range for {} vertices",
+            g.n()
+        )));
+    }
+    if s == t {
+        return Some(Verdict::Rejected("source and sink must differ".into()));
+    }
+    None
+}
+
+/// Successive shortest paths: min-cost flow (the classical exact
+/// oracle), and max s-t flow via the circulation reduction.
+pub struct Ssp;
+
+impl Oracle for Ssp {
+    fn name(&self) -> &'static str {
+        "ssp"
+    }
+
+    fn mcf(&self, p: &McfProblem) -> Verdict {
+        match ssp::min_cost_flow(p) {
+            Some(f) => match f.try_cost(p) {
+                Some(c) => Verdict::Value(c),
+                None => Verdict::Failed("optimal cost overflows i64".into()),
+            },
+            None => Verdict::Infeasible,
+        }
+    }
+
+    fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
+        if let Some(v) = check_st(g, s, t) {
+            return v;
+        }
+        let (p, back) = McfProblem::max_flow(g, cap, s, t);
+        match ssp::min_cost_flow(&p) {
+            Some(f) => Verdict::Value(f.st_value(back)),
+            None => Verdict::Failed("max-flow circulation reported infeasible".into()),
+        }
+    }
+}
+
+/// Dinic's algorithm: max s-t flow.
+pub struct Dinic;
+
+impl Oracle for Dinic {
+    fn name(&self) -> &'static str {
+        "dinic"
+    }
+
+    fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
+        if let Some(v) = check_st(g, s, t) {
+            return v;
+        }
+        let (value, _) = dinic::max_flow(g, cap, s, t);
+        Verdict::Value(value)
+    }
+}
+
+/// Hopcroft-Karp: maximum bipartite matching.
+pub struct HopcroftKarp;
+
+impl Oracle for HopcroftKarp {
+    fn name(&self) -> &'static str {
+        "hopcroft-karp"
+    }
+
+    fn matching(&self, g: &DiGraph, nl: usize) -> Verdict {
+        if nl > g.n() {
+            return Verdict::Rejected(format!(
+                "left side size {nl} exceeds vertex count {}",
+                g.n()
+            ));
+        }
+        if let Some((e, &(u, v))) = g
+            .edges()
+            .iter()
+            .enumerate()
+            .find(|&(_, &(u, v))| !(u < nl && v >= nl))
+        {
+            return Verdict::Rejected(format!(
+                "edge {e} = ({u}, {v}) does not go left → right (nl = {nl})"
+            ));
+        }
+        let (size, _) = hopcroft_karp::max_matching(g, nl);
+        Verdict::Value(size as i64)
+    }
+}
+
+/// Bellman-Ford: negative-weight SSSP with cycle detection.
+pub struct BellmanFord;
+
+impl Oracle for BellmanFord {
+    fn name(&self) -> &'static str {
+        "bellman-ford"
+    }
+
+    fn sssp(&self, g: &DiGraph, w: &[i64], s: usize) -> Verdict {
+        if s >= g.n() {
+            return Verdict::Rejected(format!("source {s} out of range for {} vertices", g.n()));
+        }
+        if w.len() != g.m() {
+            return Verdict::Rejected(format!(
+                "weight vector length {} does not match edge count {}",
+                w.len(),
+                g.m()
+            ));
+        }
+        match bellman_ford::sssp(g, w, s) {
+            Some(d) => Verdict::Distances(d),
+            None => Verdict::NegativeCycle,
+        }
+    }
+}
+
+/// Breadth-first search: reachability.
+pub struct Bfs;
+
+impl Oracle for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn reachability(&self, g: &DiGraph, s: usize) -> Verdict {
+        if s >= g.n() {
+            return Verdict::Rejected(format!("source {s} out of range for {} vertices", g.n()));
+        }
+        Verdict::Mask(bfs::reachable_seq(g, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn ssp_and_dinic_agree_on_max_flow() {
+        for seed in 0..4 {
+            let (g, cap) = generators::random_max_flow(8, 20, 4, seed);
+            let a = Ssp.max_flow(&g, &cap, 0, 7);
+            let b = Dinic.max_flow(&g, &cap, 0, 7);
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn unsupported_tasks_are_skipped_not_compared() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        assert_eq!(
+            Bfs.mcf(&McfProblem::circulation(g, vec![1], vec![0])),
+            Verdict::Unsupported
+        );
+        assert!(!Verdict::Unsupported.comparable());
+        assert!(Verdict::Infeasible.comparable());
+        assert!(Verdict::Failed("x".into()).comparable());
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejections() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        assert!(matches!(
+            Dinic.max_flow(&g, &[1], 0, 5),
+            Verdict::Rejected(_)
+        ));
+        assert!(matches!(Bfs.reachability(&g, 9), Verdict::Rejected(_)));
+        assert!(matches!(
+            BellmanFord.sssp(&g, &[1], 4),
+            Verdict::Rejected(_)
+        ));
+    }
+}

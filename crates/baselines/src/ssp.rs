@@ -64,7 +64,11 @@ pub fn min_cost_flow(p: &McfProblem) -> Option<Flow> {
     // arc index of each original edge's conducting arc + direction flag
     let mut fwd_arc: Vec<Option<(usize, bool)>> = vec![None; p.m()];
     for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
-        if p.cap[e] <= 0 {
+        // Self-loops carry no flow under `solve_mcf`'s sanitize semantics;
+        // pre-saturating a negative-cost one here would wrongly count its
+        // cost with no conservation effect (u == v cancels the demand
+        // adjustment). Pin them to zero like zero-capacity edges.
+        if p.cap[e] <= 0 || u == v {
             continue;
         }
         if p.cost[e] >= 0 {
@@ -194,6 +198,19 @@ mod tests {
         assert!(f.is_feasible(&p));
         assert_eq!(f.x, vec![5, 5, 5]);
         assert_eq!(f.cost(&p), -15);
+    }
+
+    #[test]
+    fn negative_self_loops_carry_no_flow() {
+        // Found by diff_check (mcf-zero-cap-self-loops, seed 2, shrunken):
+        // pre-saturation used to fix a negative-cost self-loop at capacity,
+        // counting its cost into the objective while `solve_mcf` pins
+        // self-loops to zero. The two engines must agree on cost 0 here.
+        let g = DiGraph::from_edges(2, vec![(1, 1)]);
+        let p = McfProblem::new(g, vec![1], vec![-1], vec![0, 0]);
+        let f = min_cost_flow(&p).unwrap();
+        assert_eq!(f.x, vec![0]);
+        assert_eq!(f.cost(&p), 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ fn main() {
     mdln!(args, "|---|---|---|---|---|---|---|");
     for &(n, m) in &[(64usize, 1024usize), (64, 4096), (144, 1728)] {
         let p = generators::random_mcf(n, m, 4, 3, seed);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).expect("bench instance within magnitude bounds");
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mu_end = init::final_mu(&ext.prob);
         for (label, dense) in [("HeavySampler (paper)", false), ("dense Θ(m)", true)] {
@@ -42,7 +42,7 @@ fn main() {
             let mut t = tracker_from_env();
             let (st, stats) =
                 robust::path_follow(&mut t, &ext.prob, ext.x0.clone(), mu0, mu_end, &cfg);
-            let ok = pmcf_core::rounding::round_to_optimal(&ext.prob, &st.x).is_some();
+            let ok = pmcf_core::rounding::round_to_optimal(&ext.prob, &st.x).is_ok();
             assert!(ok);
             let coords_per_iter = stats.sampled_coords as f64 / stats.iterations.max(1) as f64;
             mdln!(

@@ -21,7 +21,7 @@ fn main() {
 
     let m = generators::dense_m(n);
     let p = generators::random_mcf(n, m, 8, 6, seed);
-    let ext = init::extend(&p);
+    let ext = init::extend(&p).expect("bench instance within magnitude bounds");
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mu_end = init::final_mu(&ext.prob);
     let mut t = tracker_from_env();

@@ -30,7 +30,7 @@ fn main() {
         let g = generators::random_bipartite(nl, nl, m, seed);
         let (want, _) = hopcroft_karp::max_matching(&g, nl);
         let mut t = tracker_from_env();
-        let (got, _) = bipartite_matching(&mut t, &g, nl, &cfg);
+        let (got, _) = bipartite_matching(&mut t, &g, nl, &cfg).expect("valid bipartite instance");
         assert_eq!(got, want);
         mdln!(
             args,
@@ -83,7 +83,7 @@ fn main() {
         let g = generators::chained_cliques(k, 5, seed.wrapping_sub(1));
         let want = bfs::reachable_seq(&g, 0);
         let mut t = tracker_from_env();
-        let got = reachability(&mut t, &g, 0, &cfg);
+        let got = reachability(&mut t, &g, 0, &cfg).expect("valid reachability instance");
         assert_eq!(got, want);
         let mut tb = Tracker::new();
         let _ = bfs::reachable_par(&mut tb, &g, 0);

@@ -89,7 +89,7 @@ fn main() {
 
     // ---- reference IPM, cold vs warm Newton solves ----
     let p = generators::random_mcf(32, 170, 4, 4, seed);
-    let ext = init::extend(&p);
+    let ext = init::extend(&p).expect("bench instance within magnitude bounds");
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mu_end = init::final_mu(&ext.prob);
     let run_ipm = |warm: bool| {

@@ -54,7 +54,8 @@ fn main() {
         ]);
         let _ = levels;
         let mut ti = tracker_from_env();
-        let ipm_mask = reachability(&mut ti, &g, 0, &SolverConfig::default());
+        let ipm_mask = reachability(&mut ti, &g, 0, &SolverConfig::default())
+            .expect("valid reachability instance");
         assert_eq!(ipm_mask, bfs_mask, "reachability mismatch at k={k}");
         mdln!(
             args,

@@ -1,5 +1,6 @@
 //! Public solver entry points (paper Theorem 1.2).
 
+use crate::error::McfError;
 use crate::init;
 use crate::reference::{self, PathFollowConfig, PathStats};
 use crate::robust;
@@ -39,10 +40,66 @@ pub struct McfSolution {
     pub stats: PathStats,
 }
 
+/// Validate the documented magnitude precondition `C·W·m² < 2^62` plus
+/// the internal headroom the big-M construction and the combinatorial
+/// repair passes need, using checked arithmetic throughout — an
+/// out-of-range instance is rejected with [`McfError::Overflow`] instead
+/// of silently wrapping, and demands that provably exceed the total
+/// capacity are [`McfError::Infeasible`] without running the IPM.
+pub fn validate_instance(p: &McfProblem) -> Result<(), McfError> {
+    let c = p.max_cost();
+    let w = p.max_cap();
+    let m = i64::try_from(p.m()).map_err(|_| McfError::overflow("edge count exceeds i64"))?;
+    let n = i64::try_from(p.n()).map_err(|_| McfError::overflow("vertex count exceeds i64"))?;
+    let cwm2 = m
+        .checked_mul(m)
+        .and_then(|m2| c.checked_mul(w).and_then(|cw| cw.checked_mul(m2)));
+    match cwm2 {
+        Some(v) if v < (1i64 << 62) => {}
+        _ => {
+            return Err(McfError::overflow(format!(
+                "C·W·m² precondition violated (C={c}, W={w}, m={m} needs C·W·m² < 2^62)"
+            )))
+        }
+    }
+    // total capacity bounds every feasible flow; Σ|b| > 2·Σu is
+    // unsatisfiable outright
+    let total_cap = p
+        .cap
+        .iter()
+        .try_fold(0i64, |a, &u| a.checked_add(u))
+        .ok_or_else(|| McfError::overflow("total capacity Σu exceeds i64"))?;
+    let total_demand = p
+        .demand
+        .iter()
+        .try_fold(0i64, |a, &b| {
+            a.checked_add(b.unsigned_abs().try_into().ok()?)
+        })
+        .ok_or(McfError::Infeasible)?; // Σ|b| overflowing i64 certainly exceeds 2·Σu
+    if total_demand > total_cap.saturating_mul(2) {
+        return Err(McfError::Infeasible);
+    }
+    // headroom: the rounding pipeline runs Bellman-Ford/SSP over a
+    // residual graph whose costs reach ±big-M; path sums must stay in
+    // i64 with margin
+    let big_m = init::checked_big_m(p)
+        .ok_or_else(|| McfError::overflow("big-M construction: 2 + 4·Σ|c_e|·u_e exceeds i64"))?;
+    match (n + 2).checked_mul(big_m) {
+        Some(v) if v < (1i64 << 59) => Ok(()),
+        _ => Err(McfError::overflow(format!(
+            "path-cost headroom: (n+2)·big_M = (n+2)·{big_m} must stay below 2^59"
+        ))),
+    }
+}
+
 /// Exact minimum-cost `b`-flow: `min cᵀx, Aᵀx = b, 0 ≤ x ≤ u`.
 ///
-/// Returns `None` if the demands are infeasible. Costs/capacities must be
-/// polynomially bounded (`C·W·m² < 2^62` to avoid big-M overflow).
+/// Fails with [`McfError::Infeasible`] if the demands cannot be
+/// satisfied, and [`McfError::Overflow`] if the instance violates the
+/// `C·W·m² < 2^62` magnitude precondition (see [`validate_instance`]) —
+/// the input is rejected instead of wrapping. A
+/// [`McfError::NumericalFailure`] indicates a solver bug, never a
+/// property of the instance.
 ///
 /// ```
 /// use pmcf_core::{solve_mcf, SolverConfig};
@@ -58,7 +115,12 @@ pub struct McfSolution {
 ///
 /// (The doc example routes both units over the cheap two-hop path; the
 /// expensive direct edge stays empty.)
-pub fn solve_mcf(t: &mut Tracker, p: &McfProblem, cfg: &SolverConfig) -> Option<McfSolution> {
+pub fn solve_mcf(
+    t: &mut Tracker,
+    p: &McfProblem,
+    cfg: &SolverConfig,
+) -> Result<McfSolution, McfError> {
+    validate_instance(p)?;
     // 1. sanitize: strip zero-capacity edges and self loops
     let mut keep: Vec<usize> = Vec::new();
     for (e, &(u, v)) in p.graph.edges().iter().enumerate() {
@@ -91,14 +153,14 @@ pub fn solve_mcf(t: &mut Tracker, p: &McfProblem, cfg: &SolverConfig) -> Option<
         if verts.len() == 1 {
             // isolated vertex: feasible iff zero demand
             if work.demand[verts[0]] != 0 {
-                return None;
+                return Err(McfError::Infeasible);
             }
             continue;
         }
         // demands must balance within the component
         let bal: i64 = verts.iter().map(|&v| work.demand[v]).sum();
         if bal != 0 {
-            return None;
+            return Err(McfError::Infeasible);
         }
         let mut local_of = vec![usize::MAX; work.n()];
         for (i, &v) in verts.iter().enumerate() {
@@ -140,10 +202,14 @@ pub fn solve_mcf(t: &mut Tracker, p: &McfProblem, cfg: &SolverConfig) -> Option<
         Flow { x: x_all }
     };
     if !flow.is_feasible(p) {
-        return None;
+        return Err(McfError::numerical(
+            "assembled per-component optimum violates feasibility",
+        ));
     }
-    let cost = flow.cost(p);
-    Some(McfSolution {
+    let cost = flow
+        .try_cost(p)
+        .ok_or_else(|| McfError::overflow("optimal cost cᵀx overflows i64"))?;
+    Ok(McfSolution {
         flow,
         cost,
         stats: stats_total,
@@ -155,15 +221,15 @@ fn solve_connected(
     t: &mut Tracker,
     p: &McfProblem,
     cfg: &SolverConfig,
-) -> Option<(Vec<i64>, PathStats)> {
+) -> Result<(Vec<i64>, PathStats), McfError> {
     if p.m() == 0 {
         return if p.demand.iter().all(|&b| b == 0) {
-            Some((Vec::new(), PathStats::default()))
+            Ok((Vec::new(), PathStats::default()))
         } else {
-            None
+            Err(McfError::Infeasible)
         };
     }
-    let ext = init::extend(p);
+    let ext = init::extend(p)?;
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mu_end = init::final_mu(&ext.prob);
     let (state, stats) = match cfg.engine {
@@ -175,13 +241,15 @@ fn solve_connected(
     let rounded = rounding::round_to_optimal(&ext.prob, &state.x)?;
     // feasible original instance ⇒ big-M drives aux flow to zero
     if rounded.x[ext.m_orig..].iter().any(|&x| x != 0) {
-        return None; // demands not satisfiable without auxiliary edges
+        return Err(McfError::Infeasible); // demands not satisfiable without auxiliary edges
     }
-    Some((rounded.x[..ext.m_orig].to_vec(), stats))
+    Ok((rounded.x[..ext.m_orig].to_vec(), stats))
 }
 
 /// Exact minimum-cost *maximum* s-t flow (Theorem 1.2's statement).
-/// Returns `(flow on original edges, st value, cost)`.
+/// Returns `(flow on original edges, st value, cost)`. The original-cost
+/// accumulation uses checked arithmetic: an overflow is rejected as
+/// [`McfError::Overflow`] instead of silently wrapping.
 pub fn min_cost_flow(
     t: &mut Tracker,
     graph: &DiGraph,
@@ -190,13 +258,26 @@ pub fn min_cost_flow(
     s: usize,
     sink: usize,
     cfg: &SolverConfig,
-) -> Option<(Flow, i64, i64)> {
+) -> Result<(Flow, i64, i64), McfError> {
+    if s >= graph.n() || sink >= graph.n() {
+        return Err(McfError::invalid(format!(
+            "source {s} / sink {sink} out of range for {} vertices",
+            graph.n()
+        )));
+    }
+    if s == sink {
+        return Err(McfError::invalid("source and sink must differ"));
+    }
     let (p, back) = McfProblem::min_cost_max_flow(graph, cap, cost, s, sink);
     let sol = solve_mcf(t, &p, cfg)?;
     let value = sol.flow.st_value(back);
     let x = sol.flow.x[..graph.m()].to_vec();
-    let real_cost: i64 = x.iter().zip(cost).map(|(&f, &c)| f * c).sum();
-    Some((Flow { x }, value, real_cost))
+    let real_cost = x
+        .iter()
+        .zip(cost)
+        .try_fold(0i64, |acc, (&f, &c)| acc.checked_add(f.checked_mul(c)?))
+        .ok_or_else(|| McfError::overflow("s-t flow cost cᵀx overflows i64"))?;
+    Ok((Flow { x }, value, real_cost))
 }
 
 /// Exact maximum s-t flow via the circulation reduction.
@@ -207,11 +288,20 @@ pub fn max_flow(
     s: usize,
     sink: usize,
     cfg: &SolverConfig,
-) -> Option<(Flow, i64)> {
+) -> Result<(Flow, i64), McfError> {
+    if s >= graph.n() || sink >= graph.n() {
+        return Err(McfError::invalid(format!(
+            "source {s} / sink {sink} out of range for {} vertices",
+            graph.n()
+        )));
+    }
+    if s == sink {
+        return Err(McfError::invalid("source and sink must differ"));
+    }
     let (p, back) = McfProblem::max_flow(graph, cap, s, sink);
     let sol = solve_mcf(t, &p, cfg)?;
     let value = sol.flow.st_value(back);
-    Some((
+    Ok((
         Flow {
             x: sol.flow.x[..graph.m()].to_vec(),
         },
@@ -275,11 +365,45 @@ mod tests {
     }
 
     #[test]
-    fn infeasible_demand_returns_none() {
+    fn infeasible_demand_is_typed() {
         let g = DiGraph::from_edges(2, vec![(0, 1)]);
         let p = McfProblem::new(g, vec![1], vec![1], vec![-5, 5]);
         let mut t = Tracker::new();
-        assert!(solve_mcf(&mut t, &p, &SolverConfig::default()).is_none());
+        assert!(matches!(
+            solve_mcf(&mut t, &p, &SolverConfig::default()),
+            Err(McfError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn disconnected_s_t_demand_is_infeasible_not_a_panic() {
+        // two components, demand crossing the cut
+        let g = DiGraph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let p = McfProblem::new(g, vec![5, 5], vec![1, 1], vec![-2, 0, 0, 2]);
+        let mut t = Tracker::new();
+        assert!(matches!(
+            solve_mcf(&mut t, &p, &SolverConfig::default()),
+            Err(McfError::Infeasible)
+        ));
+    }
+
+    #[test]
+    fn overflow_boundary_inputs_are_rejected_not_wrapped() {
+        // C·W·m² ≥ 2^62: rejected by validation, never silently wrapped
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let huge = 1i64 << 61;
+        let p = McfProblem::new(g, vec![4], vec![huge], vec![-4, 4]);
+        let mut t = Tracker::new();
+        match solve_mcf(&mut t, &p, &SolverConfig::default()) {
+            Err(McfError::Overflow { .. }) => {}
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_range_magnitudes_pass_validation() {
+        let p = generators::random_mcf(10, 36, 4, 3, 1);
+        assert!(validate_instance(&p).is_ok());
     }
 
     #[test]

@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn engine_trajectory_stays_centered() {
         let p = generators::random_mcf(10, 30, 4, 3, 1);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mut t = Tracker::new();
         let (st, _) = path_follow(
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn off_path_point_is_flagged() {
         let p = generators::random_mcf(8, 24, 4, 3, 2);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mut t = Tracker::new();
         let (mut st, _) = path_follow(
@@ -160,7 +160,7 @@ mod tests {
     fn initial_point_is_centered_for_large_mu() {
         // the init construction promises ε-centering at μ₀ by design
         let p = generators::random_mcf(9, 27, 5, 4, 3);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let cap: Vec<f64> = ext.prob.cap.iter().map(|&u| u as f64).collect();
         let m = ext.prob.m();

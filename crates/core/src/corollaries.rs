@@ -1,25 +1,50 @@
 //! The paper's corollaries: bipartite matching (1.3), negative-weight
 //! SSSP (1.4), and reachability (1.5), each by reduction to the flow
 //! solver.
+//!
+//! All three validate their inputs up front and surface malformed calls
+//! as [`McfError::InvalidInput`] instead of panicking, and
+//! `negative_sssp` reports an actual negative cycle (as edge ids) via
+//! [`SsspError::NegativeCycle`] rather than a bare `None`.
 
 use crate::api::{solve_mcf, McfSolution, SolverConfig};
+use crate::error::{McfError, SsspError};
 use pmcf_graph::{DiGraph, McfProblem};
 use pmcf_pram::Tracker;
 
 /// Corollary 1.3 — maximum matching of a bipartite graph (left vertices
 /// `0..nl`, edges left→right). Returns `(size, matched edge ids)`.
+///
+/// An empty side (or an entirely empty graph) is a valid instance with
+/// an empty matching; edges that do not go left→right, or `nl > n`, are
+/// [`McfError::InvalidInput`].
 pub fn bipartite_matching(
     t: &mut Tracker,
     g: &DiGraph,
     nl: usize,
     cfg: &SolverConfig,
-) -> (usize, Vec<usize>) {
+) -> Result<(usize, Vec<usize>), McfError> {
     let n = g.n();
+    if nl > n {
+        return Err(McfError::invalid(format!(
+            "left side size {nl} exceeds vertex count {n}"
+        )));
+    }
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        if !(u < nl && v >= nl) {
+            return Err(McfError::invalid(format!(
+                "edge {e} = ({u}, {v}) does not go left → right (nl = {nl})"
+            )));
+        }
+    }
+    if nl == 0 || nl == n || g.m() == 0 {
+        // one side is empty (or no edges): the maximum matching is empty
+        return Ok((0, Vec::new()));
+    }
     // source s* = n, sink t* = n+1; unit caps everywhere
     let mut edges = Vec::with_capacity(g.m() + n);
     let mut cap = Vec::new();
     for &(u, v) in g.edges() {
-        assert!(u < nl && v >= nl, "edges must go left → right");
         edges.push((u, v));
         cap.push(1i64);
     }
@@ -34,18 +59,34 @@ pub fn bipartite_matching(
     let g2 = DiGraph::from_edges(n + 2, edges);
     let (p, back) = McfProblem::max_flow(&g2, &cap, n, n + 1);
     let mut tt = Tracker::disabled();
-    let sol = solve_mcf(if t.is_enabled() { t } else { &mut tt }, &p, cfg)
-        .expect("matching reduction is always feasible");
+    let sol = solve_mcf(if t.is_enabled() { t } else { &mut tt }, &p, cfg)?;
     let matched: Vec<usize> = (0..g.m()).filter(|&e| sol.flow.x[e] == 1).collect();
     let size = sol.flow.st_value(back) as usize;
     debug_assert_eq!(size, matched.len());
-    (size, matched)
+    Ok((size, matched))
 }
 
 /// Corollary 1.5 — reachability from `s`: single max-flow with unit
 /// collector edges into a super sink.
-pub fn reachability(t: &mut Tracker, g: &DiGraph, s: usize, cfg: &SolverConfig) -> Vec<bool> {
+///
+/// `s` out of range is [`McfError::InvalidInput`]; an isolated `s` (no
+/// outgoing edges, even `n == 1`) is a valid instance whose answer is
+/// `{s}` alone.
+pub fn reachability(
+    t: &mut Tracker,
+    g: &DiGraph,
+    s: usize,
+    cfg: &SolverConfig,
+) -> Result<Vec<bool>, McfError> {
     let n = g.n();
+    if s >= n {
+        return Err(McfError::invalid(format!(
+            "source {s} out of range for {n} vertices"
+        )));
+    }
+    if n == 1 {
+        return Ok(vec![true]);
+    }
     let big = n as i64;
     let mut edges = Vec::with_capacity(g.m() + n);
     let mut cap = Vec::new();
@@ -63,7 +104,7 @@ pub fn reachability(t: &mut Tracker, g: &DiGraph, s: usize, cfg: &SolverConfig) 
     }
     let g2 = DiGraph::from_edges(n + 1, edges);
     let (p, _) = McfProblem::max_flow(&g2, &cap, s, n);
-    let sol = solve_mcf(t, &p, cfg).expect("reachability reduction is feasible");
+    let sol = solve_mcf(t, &p, cfg)?;
     let mut out = vec![false; n];
     out[s] = true;
     for v in 0..n {
@@ -71,23 +112,35 @@ pub fn reachability(t: &mut Tracker, g: &DiGraph, s: usize, cfg: &SolverConfig) 
             out[v] = true;
         }
     }
-    out
+    Ok(out)
 }
 
-/// Corollary 1.4 — single-source shortest paths with negative weights
-/// (no negative cycles). Returns `None` if a negative cycle is reachable
-/// from `s`; unreachable vertices get `i64::MAX`.
+/// Corollary 1.4 — single-source shortest paths with negative weights.
+/// Unreachable vertices get `i64::MAX`.
+///
+/// If a negative cycle is reachable from `s`, the error is
+/// [`SsspError::NegativeCycle`] carrying one such cycle as edge ids of
+/// the *input* graph (extracted from the support of the negative-cost
+/// unit circulation), so callers get a checkable certificate instead of
+/// garbage distances.
 pub fn negative_sssp(
     t: &mut Tracker,
     g: &DiGraph,
     w: &[i64],
     s: usize,
     cfg: &SolverConfig,
-) -> Option<Vec<i64>> {
-    assert_eq!(w.len(), g.m());
+) -> Result<Vec<i64>, SsspError> {
+    if w.len() != g.m() {
+        return Err(McfError::invalid(format!(
+            "weight vector length {} does not match edge count {}",
+            w.len(),
+            g.m()
+        ))
+        .into());
+    }
     let n = g.n();
-    // restrict to the reachable part
-    let reach = reachability(t, g, s, cfg);
+    // restrict to the reachable part (also validates s)
+    let reach = reachability(t, g, s, cfg)?;
     // negative-cycle detection: a unit-capacity min-cost circulation on
     // the reachable subgraph is negative iff a negative cycle exists
     let reach_edges: Vec<usize> = (0..g.m())
@@ -96,15 +149,32 @@ pub fn negative_sssp(
             reach[u] && reach[v]
         })
         .collect();
+    // a negative self-loop is a one-edge negative cycle; the flow solver
+    // strips self-loops, so catch it before the circulation check
+    for &e in &reach_edges {
+        let (u, v) = g.endpoints(e);
+        if u == v && w[e] < 0 {
+            return Err(SsspError::NegativeCycle(vec![e]));
+        }
+    }
     {
         let edges: Vec<(usize, usize)> = reach_edges.iter().map(|&e| g.endpoints(e)).collect();
         let cost: Vec<i64> = reach_edges.iter().map(|&e| w[e]).collect();
         let cap = vec![1i64; edges.len()];
-        let p = McfProblem::circulation(DiGraph::from_edges(n, edges), cap, cost);
+        let p = McfProblem::circulation(DiGraph::from_edges(n, edges.clone()), cap, cost.clone());
         let sol = solve_mcf(t, &p, cfg)?;
         if sol.cost < 0 {
-            return None; // negative cycle reachable from s (it lies in the
-                         // reachable subgraph by construction)
+            // the support of a unit circulation decomposes into
+            // edge-disjoint cycles; total cost < 0 means at least one is
+            // negative — peel it out and return it as a certificate
+            let cycle = extract_negative_cycle(n, &edges, &cost, &sol.flow.x).ok_or_else(|| {
+                McfError::numerical(
+                    "negative circulation reported but no negative cycle found in its support",
+                )
+            })?;
+            return Err(SsspError::NegativeCycle(
+                cycle.into_iter().map(|i| reach_edges[i]).collect(),
+            ));
         }
     }
     // broadcast flow: route 1 unit from s to every reachable vertex;
@@ -114,7 +184,7 @@ pub fn negative_sssp(
     if k <= 0 {
         let mut d = vec![i64::MAX; n];
         d[s] = 0;
-        return Some(d);
+        return Ok(d);
     }
     let edges: Vec<(usize, usize)> = reach_edges.iter().map(|&e| g.endpoints(e)).collect();
     let cost: Vec<i64> = reach_edges.iter().map(|&e| w[e]).collect();
@@ -155,7 +225,58 @@ pub fn negative_sssp(
             break;
         }
     }
-    Some(dist)
+    Ok(dist)
+}
+
+/// Peel one negative-cost cycle out of the support of a unit-capacity
+/// circulation. `edges`/`cost`/`x` are parallel; returns indices into
+/// them. The support (edges with `x > 0`) decomposes into edge-disjoint
+/// cycles; repeatedly walk successor pointers until a vertex repeats,
+/// drop the cycle if its cost is non-negative, and continue until a
+/// negative one is found.
+fn extract_negative_cycle(
+    n: usize,
+    edges: &[(usize, usize)],
+    cost: &[i64],
+    x: &[i64],
+) -> Option<Vec<usize>> {
+    // out-adjacency over the remaining support
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut alive = vec![false; edges.len()];
+    for (e, &f) in x.iter().enumerate() {
+        if f > 0 {
+            out[edges[e].0].push(e);
+            alive[e] = true;
+        }
+    }
+    loop {
+        // find any alive starting edge
+        let start = alive.iter().position(|&a| a)?;
+        // walk successors, recording the path until a vertex repeats
+        let mut path: Vec<usize> = Vec::new(); // edge ids
+        let mut at_vertex: Vec<Option<usize>> = vec![None; n]; // vertex -> path pos
+        let mut v = edges[start].0;
+        at_vertex[v] = Some(0);
+        let cycle = loop {
+            let e = *out[v].iter().find(|&&e| alive[e])?;
+            path.push(e);
+            v = edges[e].1;
+            if let Some(pos) = at_vertex[v] {
+                break path[pos..].to_vec();
+            }
+            at_vertex[v] = Some(path.len());
+        };
+        let total: i64 = cycle.iter().map(|&e| cost[e]).sum();
+        if total < 0 {
+            return Some(cycle);
+        }
+        // non-negative cycle: remove it from the support and keep peeling
+        for e in cycle {
+            alive[e] = false;
+        }
+        // edges on the walked prefix before the cycle stay alive — they
+        // belong to other cycles through the shared vertices
+    }
 }
 
 #[cfg(test)]
@@ -170,7 +291,8 @@ mod tests {
             let g = generators::random_bipartite(6, 6, 16, seed);
             let (want, _) = hopcroft_karp::max_matching(&g, 6);
             let mut t = Tracker::new();
-            let (got, matched) = bipartite_matching(&mut t, &g, 6, &SolverConfig::default());
+            let (got, matched) =
+                bipartite_matching(&mut t, &g, 6, &SolverConfig::default()).unwrap();
             assert_eq!(got, want, "seed {seed}");
             // matched edges form a matching
             let mut used = std::collections::HashSet::new();
@@ -182,14 +304,73 @@ mod tests {
     }
 
     #[test]
+    fn matching_empty_sides_are_empty_matchings() {
+        let mut t = Tracker::new();
+        let cfg = SolverConfig::default();
+        // no right side
+        let g = DiGraph::from_edges(3, vec![]);
+        assert_eq!(
+            bipartite_matching(&mut t, &g, 3, &cfg).unwrap(),
+            (0, vec![])
+        );
+        // no left side
+        assert_eq!(
+            bipartite_matching(&mut t, &g, 0, &cfg).unwrap(),
+            (0, vec![])
+        );
+        // empty graph entirely
+        let g0 = DiGraph::from_edges(0, vec![]);
+        assert_eq!(
+            bipartite_matching(&mut t, &g0, 0, &cfg).unwrap(),
+            (0, vec![])
+        );
+    }
+
+    #[test]
+    fn matching_rejects_malformed_inputs() {
+        let mut t = Tracker::new();
+        let cfg = SolverConfig::default();
+        let g = DiGraph::from_edges(4, vec![(2, 3)]); // right → right for nl = 2
+        assert!(matches!(
+            bipartite_matching(&mut t, &g, 2, &cfg),
+            Err(McfError::InvalidInput { .. })
+        ));
+        let g2 = DiGraph::from_edges(2, vec![(0, 1)]);
+        assert!(matches!(
+            bipartite_matching(&mut t, &g2, 5, &cfg),
+            Err(McfError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
     fn reachability_matches_bfs() {
         for seed in 0..3 {
             let g = generators::gnm_digraph(12, 24, seed);
             let want = bfs::reachable_seq(&g, 0);
             let mut t = Tracker::new();
-            let got = reachability(&mut t, &g, 0, &SolverConfig::default());
+            let got = reachability(&mut t, &g, 0, &SolverConfig::default()).unwrap();
             assert_eq!(got, want, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn reachability_isolated_source_and_bad_source() {
+        let mut t = Tracker::new();
+        let cfg = SolverConfig::default();
+        // s has no outgoing edges: only s is reachable
+        let g = DiGraph::from_edges(3, vec![(1, 2)]);
+        assert_eq!(
+            reachability(&mut t, &g, 0, &cfg).unwrap(),
+            vec![true, false, false]
+        );
+        // single-vertex graph
+        let g1 = DiGraph::from_edges(1, vec![]);
+        assert_eq!(reachability(&mut t, &g1, 0, &cfg).unwrap(), vec![true]);
+        // s out of range is a typed error, not a panic
+        assert!(matches!(
+            reachability(&mut t, &g, 7, &cfg),
+            Err(McfError::InvalidInput { .. })
+        ));
     }
 
     #[test]
@@ -204,10 +385,24 @@ mod tests {
     }
 
     #[test]
-    fn sssp_detects_negative_cycle() {
+    fn sssp_reports_the_negative_cycle() {
         let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 1)]);
         let mut t = Tracker::new();
-        assert!(negative_sssp(&mut t, &g, &[1, -3, 1], 0, &SolverConfig::default()).is_none());
+        let err = negative_sssp(&mut t, &g, &[1, -3, 1], 0, &SolverConfig::default()).unwrap_err();
+        let SsspError::NegativeCycle(cycle) = err else {
+            panic!("expected a negative-cycle certificate, got {err}");
+        };
+        // the certificate is a real cycle of input edges with negative cost
+        let total: i64 = cycle.iter().map(|&e| [1i64, -3, 1][e]).sum();
+        assert!(total < 0, "cycle {cycle:?} has cost {total}");
+        for pair in cycle.windows(2) {
+            assert_eq!(g.endpoints(pair[0]).1, g.endpoints(pair[1]).0);
+        }
+        assert_eq!(
+            g.endpoints(*cycle.last().unwrap()).1,
+            g.endpoints(cycle[0]).0,
+            "certificate must close into a cycle"
+        );
     }
 
     #[test]
@@ -218,5 +413,16 @@ mod tests {
         assert_eq!(d[1], 2);
         assert_eq!(d[2], i64::MAX);
         assert_eq!(d[3], i64::MAX);
+    }
+
+    #[test]
+    fn sssp_ignores_unreachable_negative_cycle() {
+        // the negative cycle sits in a component s cannot reach; distances
+        // for the reachable part must still come back
+        let g = DiGraph::from_edges(5, vec![(0, 1), (2, 3), (3, 4), (4, 2)]);
+        let mut t = Tracker::new();
+        let d = negative_sssp(&mut t, &g, &[3, -1, -1, -1], 0, &SolverConfig::default()).unwrap();
+        assert_eq!(d[1], 3);
+        assert_eq!(d[2], i64::MAX);
     }
 }

@@ -1,0 +1,142 @@
+//! Typed solver errors.
+//!
+//! Historically `solve_mcf` returned `Option<McfSolution>`, conflating
+//! "the instance is infeasible" with "the solver failed" — and the
+//! documented `C·W·m² < 2^62` magnitude precondition was never checked,
+//! so out-of-range inputs silently wrapped in the big-M construction.
+//! [`McfError`] separates those outcomes so callers (and the
+//! differential harness in `pmcf-diff`) can distinguish them.
+
+use std::fmt;
+
+/// Why a solve did not produce an optimal flow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum McfError {
+    /// The demand vector cannot be satisfied (disconnected `s`–`t`,
+    /// unbalanced component demands, or insufficient capacity).
+    Infeasible,
+    /// The objective is unbounded below. Cannot happen for a plain
+    /// min-cost flow with finite capacities; reserved for reductions
+    /// that introduce unbounded directions.
+    Unbounded,
+    /// The instance violates the magnitude precondition
+    /// `C·W·m² < 2^62`, or an internal big-M / cost accumulation would
+    /// overflow `i64`. The input is rejected instead of wrapping.
+    Overflow {
+        /// Which computation would overflow.
+        detail: String,
+    },
+    /// A caller error: indices out of range, mismatched slice lengths,
+    /// or malformed reduction inputs.
+    InvalidInput {
+        /// What was malformed.
+        detail: String,
+    },
+    /// The solver itself failed (iterate not roundable, degenerate
+    /// residual cycle, internal invariant broken). A bug, not a
+    /// property of the instance.
+    NumericalFailure {
+        /// Which invariant failed.
+        detail: String,
+    },
+}
+
+impl McfError {
+    /// Shorthand constructor for [`McfError::Overflow`].
+    pub fn overflow(detail: impl Into<String>) -> Self {
+        McfError::Overflow {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`McfError::InvalidInput`].
+    pub fn invalid(detail: impl Into<String>) -> Self {
+        McfError::InvalidInput {
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`McfError::NumericalFailure`].
+    pub fn numerical(detail: impl Into<String>) -> Self {
+        McfError::NumericalFailure {
+            detail: detail.into(),
+        }
+    }
+
+    /// Stable machine-readable kind tag (used by the differential
+    /// harness and case files).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            McfError::Infeasible => "infeasible",
+            McfError::Unbounded => "unbounded",
+            McfError::Overflow { .. } => "overflow",
+            McfError::InvalidInput { .. } => "invalid_input",
+            McfError::NumericalFailure { .. } => "numerical_failure",
+        }
+    }
+}
+
+impl fmt::Display for McfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McfError::Infeasible => write!(f, "infeasible: demands cannot be satisfied"),
+            McfError::Unbounded => write!(f, "unbounded: objective has no finite minimum"),
+            McfError::Overflow { detail } => write!(f, "overflow: {detail}"),
+            McfError::InvalidInput { detail } => write!(f, "invalid input: {detail}"),
+            McfError::NumericalFailure { detail } => write!(f, "numerical failure: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for McfError {}
+
+/// Why `negative_sssp` did not produce distances.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SsspError {
+    /// A negative-cost cycle is reachable from the source; the payload
+    /// is one such cycle as edge ids of the input graph, in order.
+    NegativeCycle(Vec<usize>),
+    /// The underlying flow solve failed.
+    Solver(McfError),
+}
+
+impl fmt::Display for SsspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsspError::NegativeCycle(edges) => {
+                write!(f, "negative cycle reachable from source: edges {edges:?}")
+            }
+            SsspError::Solver(e) => write!(f, "flow solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SsspError {}
+
+impl From<McfError> for SsspError {
+    fn from(e: McfError) -> Self {
+        SsspError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(McfError::Infeasible.kind(), "infeasible");
+        assert_eq!(McfError::Unbounded.kind(), "unbounded");
+        assert_eq!(McfError::overflow("x").kind(), "overflow");
+        assert_eq!(McfError::invalid("x").kind(), "invalid_input");
+        assert_eq!(McfError::numerical("x").kind(), "numerical_failure");
+    }
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = McfError::overflow("big-M exceeds i64");
+        assert!(e.to_string().contains("big-M"));
+        let s = SsspError::NegativeCycle(vec![2, 5, 7]);
+        assert!(s.to_string().contains("[2, 5, 7]"));
+    }
+}

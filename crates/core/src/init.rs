@@ -13,6 +13,7 @@
 //! * auxiliary edges carry a `big-M` cost, so the LP optimum drives them
 //!   to zero whenever the original instance is feasible.
 
+use crate::error::McfError;
 use pmcf_graph::{DiGraph, McfProblem};
 
 /// The extended problem plus bookkeeping to map back.
@@ -30,9 +31,23 @@ pub struct Extended {
     pub big_m: i64,
 }
 
+/// The big-M cost that dominates any achievable original cost, or
+/// `None` if its construction would overflow `i64` (the caller must
+/// reject the instance instead of letting the arithmetic wrap).
+pub fn checked_big_m(p: &McfProblem) -> Option<i64> {
+    let mut sum: i64 = 0;
+    for (&c, &u) in p.cost.iter().zip(&p.cap) {
+        let abs: i64 = c.unsigned_abs().try_into().ok()?;
+        sum = sum.checked_add(abs.checked_mul(u)?)?;
+    }
+    sum.checked_mul(4)?.checked_add(2)
+}
+
 /// Build the extended instance. Edges with zero capacity are kept but
 /// pinned (the engines skip them); self-loops are tolerated and ignored.
-pub fn extend(p: &McfProblem) -> Extended {
+/// Fails with [`McfError::Overflow`] when the big-M construction would
+/// overflow `i64`.
+pub fn extend(p: &McfProblem) -> Result<Extended, McfError> {
     let n = p.n();
     let m = p.m();
     // centre of the box per edge; zero-capacity edges are frozen at 0
@@ -50,21 +65,17 @@ pub fn extend(p: &McfProblem) -> Extended {
         .map(|(v, &dv)| (v, dv))
         .collect();
 
-    let big_m: i64 = 2 + 4 * p
-        .cost
-        .iter()
-        .zip(&p.cap)
-        .map(|(&c, &u)| c.unsigned_abs() as i64 * u)
-        .sum::<i64>();
+    let big_m = checked_big_m(p)
+        .ok_or_else(|| McfError::overflow("big-M construction: 2 + 4·Σ|c_e|·u_e exceeds i64"))?;
 
     if imbalanced.is_empty() {
-        return Extended {
+        return Ok(Extended {
             prob: p.clone(),
             m_orig: m,
             aux_vertex: None,
             x0: x0_orig,
             big_m,
-        };
+        });
     }
 
     let z = n; // auxiliary vertex
@@ -93,13 +104,13 @@ pub fn extend(p: &McfProblem) -> Extended {
     let mut demand = p.demand.clone();
     demand.push(0);
     let graph = DiGraph::from_edges(n + 1, edges);
-    Extended {
+    Ok(Extended {
         prob: McfProblem::new(graph, cap, cost, demand),
         m_orig: m,
         aux_vertex: Some(z),
         x0,
         big_m,
-    }
+    })
 }
 
 /// The starting path parameter: large enough that the box-center point is
@@ -128,7 +139,7 @@ mod tests {
     fn extension_is_primal_feasible_at_x0() {
         for seed in 0..5 {
             let p = generators::random_mcf(10, 30, 6, 4, seed);
-            let ext = extend(&p);
+            let ext = extend(&p).unwrap();
             // Aᵀ x0 = b on the extended instance
             let mut net: Vec<f64> = ext.prob.demand.iter().map(|&b| -b as f64).collect();
             for (e, &(u, v)) in ext.prob.graph.edges().iter().enumerate() {
@@ -153,7 +164,7 @@ mod tests {
         // circulation with even caps: u/2 is already balanced iff Aᵀ(u/2)=0
         let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
         let p = McfProblem::circulation(g, vec![4, 4, 4], vec![1, 2, 3]);
-        let ext = extend(&p);
+        let ext = extend(&p).unwrap();
         assert!(ext.aux_vertex.is_none());
         assert_eq!(ext.prob.m(), 3);
     }
@@ -161,7 +172,7 @@ mod tests {
     #[test]
     fn big_m_dominates_any_original_cost() {
         let p = generators::random_mcf(8, 20, 5, 7, 3);
-        let ext = extend(&p);
+        let ext = extend(&p).unwrap();
         let max_gain: i64 = p
             .cost
             .iter()

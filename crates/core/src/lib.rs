@@ -27,10 +27,15 @@ pub mod api;
 pub mod barrier;
 pub mod centered;
 pub mod corollaries;
+pub mod error;
 pub mod init;
+pub mod oracle;
 pub mod reference;
 pub mod robust;
 pub mod rounding;
 pub mod trace;
 
-pub use api::{max_flow, min_cost_flow, solve_mcf, Engine, McfSolution, SolverConfig};
+pub use api::{
+    max_flow, min_cost_flow, solve_mcf, validate_instance, Engine, McfSolution, SolverConfig,
+};
+pub use error::{McfError, SsspError};

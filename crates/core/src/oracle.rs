@@ -1,0 +1,139 @@
+//! The IPM engines as differential oracles.
+//!
+//! [`IpmOracle`] answers all five tasks of
+//! [`pmcf_baselines::oracle::Oracle`] — min-cost flow directly through
+//! [`solve_mcf`], the other four through the corollary reductions — so
+//! the differential harness can cross-check both engines against the
+//! combinatorial baselines with one uniform interface.
+
+use crate::api::{max_flow, solve_mcf, Engine, SolverConfig};
+use crate::corollaries;
+use crate::error::{McfError, SsspError};
+use pmcf_baselines::oracle::{Oracle, Verdict};
+use pmcf_graph::{DiGraph, McfProblem};
+use pmcf_pram::Tracker;
+
+/// An IPM engine behind the [`Oracle`] interface.
+pub struct IpmOracle {
+    /// Which engine to run.
+    pub engine: Engine,
+}
+
+impl IpmOracle {
+    /// The reference engine as an oracle.
+    pub fn reference() -> Self {
+        IpmOracle {
+            engine: Engine::Reference,
+        }
+    }
+
+    /// The robust engine as an oracle.
+    pub fn robust() -> Self {
+        IpmOracle {
+            engine: Engine::Robust,
+        }
+    }
+
+    fn cfg(&self) -> SolverConfig {
+        SolverConfig {
+            engine: self.engine,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+fn verdict_of(e: McfError) -> Verdict {
+    match e {
+        McfError::Infeasible => Verdict::Infeasible,
+        McfError::Overflow { .. } | McfError::InvalidInput { .. } => {
+            Verdict::Rejected(e.to_string())
+        }
+        McfError::Unbounded | McfError::NumericalFailure { .. } => Verdict::Failed(e.to_string()),
+    }
+}
+
+impl Oracle for IpmOracle {
+    fn name(&self) -> &'static str {
+        match self.engine {
+            Engine::Reference => "ipm-reference",
+            Engine::Robust => "ipm-robust",
+        }
+    }
+
+    fn mcf(&self, p: &McfProblem) -> Verdict {
+        let mut t = Tracker::disabled();
+        match solve_mcf(&mut t, p, &self.cfg()) {
+            Ok(sol) => Verdict::Value(sol.cost),
+            Err(e) => verdict_of(e),
+        }
+    }
+
+    fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
+        let mut tr = Tracker::disabled();
+        match max_flow(&mut tr, g, cap, s, t, &self.cfg()) {
+            Ok((_, value)) => Verdict::Value(value),
+            Err(e) => verdict_of(e),
+        }
+    }
+
+    fn matching(&self, g: &DiGraph, nl: usize) -> Verdict {
+        let mut t = Tracker::disabled();
+        match corollaries::bipartite_matching(&mut t, g, nl, &self.cfg()) {
+            Ok((size, _)) => Verdict::Value(size as i64),
+            Err(e) => verdict_of(e),
+        }
+    }
+
+    fn sssp(&self, g: &DiGraph, w: &[i64], s: usize) -> Verdict {
+        let mut t = Tracker::disabled();
+        match corollaries::negative_sssp(&mut t, g, w, s, &self.cfg()) {
+            Ok(d) => Verdict::Distances(d),
+            Err(SsspError::NegativeCycle(_)) => Verdict::NegativeCycle,
+            Err(SsspError::Solver(e)) => verdict_of(e),
+        }
+    }
+
+    fn reachability(&self, g: &DiGraph, s: usize) -> Verdict {
+        let mut t = Tracker::disabled();
+        match corollaries::reachability(&mut t, g, s, &self.cfg()) {
+            Ok(mask) => Verdict::Mask(mask),
+            Err(e) => verdict_of(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_baselines::oracle::{BellmanFord, Bfs, Dinic, Ssp};
+    use pmcf_graph::generators;
+
+    #[test]
+    fn both_engines_match_every_baseline_once() {
+        let p = generators::random_mcf(8, 24, 3, 3, 7);
+        let want = Ssp.mcf(&p);
+        for o in [IpmOracle::reference(), IpmOracle::robust()] {
+            assert_eq!(o.mcf(&p), want, "engine {}", o.name());
+        }
+
+        let (g, cap) = generators::random_max_flow(8, 20, 4, 2);
+        let want = Dinic.max_flow(&g, &cap, 0, 7);
+        assert_eq!(IpmOracle::reference().max_flow(&g, &cap, 0, 7), want);
+
+        let g = generators::gnm_digraph(9, 18, 5);
+        let want = Bfs.reachability(&g, 0);
+        assert_eq!(IpmOracle::reference().reachability(&g, 0), want);
+
+        let (g, w) = generators::random_negative_sssp(8, 18, 4, 3);
+        let want = BellmanFord.sssp(&g, &w, 0);
+        assert_eq!(IpmOracle::reference().sssp(&g, &w, 0), want);
+    }
+
+    #[test]
+    fn infeasible_instances_yield_infeasible_verdicts_everywhere() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let p = McfProblem::new(g, vec![1], vec![1], vec![-5, 5]);
+        assert_eq!(IpmOracle::reference().mcf(&p), Verdict::Infeasible);
+        assert_eq!(Ssp.mcf(&p), Verdict::Infeasible);
+    }
+}

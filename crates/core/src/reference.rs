@@ -426,7 +426,7 @@ mod tests {
     #[test]
     fn stays_feasible_and_interior() {
         let p = generators::random_mcf(10, 30, 4, 3, 1);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mu_end = init::final_mu(&ext.prob);
         let mut t = Tracker::new();
@@ -461,7 +461,7 @@ mod tests {
             let p = generators::random_mcf(8, 24, 3, 3, seed);
             let opt = ssp::min_cost_flow(&p).unwrap();
             let opt_cost = opt.cost(&p) as f64;
-            let ext = init::extend(&p);
+            let ext = init::extend(&p).unwrap();
             let mu0 = init::initial_mu(&ext.prob, 0.25);
             let mu_end = init::final_mu(&ext.prob);
             let mut t = Tracker::new();
@@ -496,7 +496,7 @@ mod tests {
         let mut iters = Vec::new();
         for &(n, m) in &[(8usize, 24usize), (32, 160)] {
             let p = generators::random_mcf(n, m, 4, 3, 7);
-            let ext = init::extend(&p);
+            let ext = init::extend(&p).unwrap();
             let mu0 = init::initial_mu(&ext.prob, 0.25);
             let mu_end = init::final_mu(&ext.prob);
             let mut t = Tracker::new();

@@ -644,7 +644,7 @@ mod tests {
         for seed in 0..3 {
             let p = generators::random_mcf(10, 36, 3, 3, seed);
             let opt = ssp::min_cost_flow(&p).unwrap();
-            let ext = init::extend(&p);
+            let ext = init::extend(&p).unwrap();
             let mu0 = init::initial_mu(&ext.prob, 0.25);
             let mu_end = init::final_mu(&ext.prob);
             let mut t = Tracker::new();
@@ -676,7 +676,7 @@ mod tests {
         // accounted work per iteration (excluding epoch boundaries) must
         // be well below m on a dense instance
         let p = generators::random_mcf(64, 4096, 4, 3, 9);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mut t_rob = Tracker::new();
         let (_, s_rob) = path_follow(

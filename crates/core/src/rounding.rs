@@ -14,13 +14,26 @@
 //! Step 3 certifies the output even if the IPM stopped early; it just
 //! performs more cancellations then.
 
+use crate::error::McfError;
 use pmcf_baselines::ssp;
 use pmcf_graph::{DiGraph, Flow, McfProblem};
 
-/// Round, repair, and certify. Returns `None` only if the instance is
-/// infeasible (cannot happen when `x` is near-feasible).
-pub fn round_to_optimal(p: &McfProblem, x: &[f64]) -> Option<Flow> {
-    assert_eq!(x.len(), p.m());
+/// Round, repair, and certify. Fails with [`McfError::Infeasible`] if
+/// the instance has no feasible flow at all, and with
+/// [`McfError::InvalidInput`] / [`McfError::NumericalFailure`] on
+/// malformed iterates instead of panicking (or, worse, silently looping
+/// in release builds).
+pub fn round_to_optimal(p: &McfProblem, x: &[f64]) -> Result<Flow, McfError> {
+    if x.len() != p.m() {
+        return Err(McfError::invalid(format!(
+            "iterate length {} does not match edge count {}",
+            x.len(),
+            p.m()
+        )));
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(McfError::numerical("iterate contains NaN/∞ coordinates"));
+    }
     let mut xi: Vec<i64> = x
         .iter()
         .zip(&p.cap)
@@ -32,7 +45,7 @@ pub fn round_to_optimal(p: &McfProblem, x: &[f64]) -> Option<Flow> {
     if imb.iter().any(|&r| r != 0) {
         // the correction y must satisfy Aᵀy = b − Aᵀx = −imb
         let need: Vec<i64> = imb.iter().map(|&r| -r).collect();
-        let correction = residual_flow(p, &xi, &need)?;
+        let correction = residual_flow(p, &xi, &need).ok_or(McfError::Infeasible)?;
         for (e, d) in correction.iter().enumerate() {
             xi[e] += d;
         }
@@ -40,10 +53,14 @@ pub fn round_to_optimal(p: &McfProblem, x: &[f64]) -> Option<Flow> {
     debug_assert!(p.imbalance(&xi).iter().all(|&r| r == 0));
 
     // certify optimality: cancel negative residual cycles
-    cancel_negative_cycles(p, &mut xi);
+    cancel_negative_cycles(p, &mut xi)?;
     let f = Flow { x: xi };
-    debug_assert!(f.is_feasible(p));
-    Some(f)
+    if !f.is_feasible(p) {
+        return Err(McfError::numerical(
+            "repaired flow violates feasibility after cycle cancelling",
+        ));
+    }
+    Ok(f)
 }
 
 /// Solve a min-cost `demand`-flow on the residual graph of `x`; returns
@@ -86,18 +103,44 @@ fn residual_flow(p: &McfProblem, x: &[i64], demand: &[i64]) -> Option<Vec<i64>> 
 
 /// Bellman-Ford-based negative-cycle cancelling on the residual graph.
 /// Each cancellation strictly decreases cost; terminates at optimality.
-pub fn cancel_negative_cycles(p: &McfProblem, x: &mut [i64]) {
+///
+/// Degenerate inputs surface as errors: a length-mismatched flow is
+/// [`McfError::InvalidInput`], and a zero-bottleneck cycle (which would
+/// previously pass a `debug_assert!` silently in release builds and
+/// then loop forever, cancelling nothing) is
+/// [`McfError::NumericalFailure`].
+pub fn cancel_negative_cycles(p: &McfProblem, x: &mut [i64]) -> Result<(), McfError> {
+    if x.len() != p.m() {
+        return Err(McfError::invalid(format!(
+            "flow length {} does not match edge count {}",
+            x.len(),
+            p.m()
+        )));
+    }
+    if x.iter().zip(&p.cap).any(|(&xi, &u)| xi < 0 || xi > u) {
+        return Err(McfError::invalid(
+            "flow violates capacity bounds; residual graph undefined",
+        ));
+    }
     loop {
         let Some(cycle) = find_negative_cycle(p, x) else {
-            return;
+            return Ok(());
         };
+        if cycle.is_empty() {
+            return Err(McfError::numerical("extracted an empty residual cycle"));
+        }
         // bottleneck residual capacity around the cycle
         let mut bott = i64::MAX;
         for &(e, fwd) in &cycle {
             let r = if fwd { p.cap[e] - x[e] } else { x[e] };
             bott = bott.min(r);
         }
-        debug_assert!(bott > 0);
+        if bott <= 0 {
+            return Err(McfError::numerical(format!(
+                "zero-bottleneck residual cycle of {} arcs: cancelling cannot progress",
+                cycle.len()
+            )));
+        }
         for &(e, fwd) in &cycle {
             if fwd {
                 x[e] += bott;
@@ -202,7 +245,7 @@ mod tests {
         let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (2, 0)]);
         let p = McfProblem::circulation(g, vec![4, 4, 4], vec![1, 1, -5]);
         let mut x = vec![0i64; 3];
-        cancel_negative_cycles(&p, &mut x);
+        cancel_negative_cycles(&p, &mut x).unwrap();
         assert_eq!(x, vec![4, 4, 4]);
     }
 
@@ -211,7 +254,7 @@ mod tests {
         let p = generators::random_mcf(8, 24, 4, 3, 31);
         let opt = ssp::min_cost_flow(&p).unwrap();
         let mut x = opt.x.clone();
-        cancel_negative_cycles(&p, &mut x);
+        cancel_negative_cycles(&p, &mut x).unwrap();
         assert_eq!(x, opt.x, "optimal flow must be a fixed point");
     }
 }

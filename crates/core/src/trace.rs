@@ -290,7 +290,7 @@ mod integration_tests {
     #[test]
     fn engine_produces_monotone_geometric_trace() {
         let p = generators::random_mcf(8, 24, 4, 3, 1);
-        let ext = init::extend(&p);
+        let ext = init::extend(&p).unwrap();
         let mu0 = init::initial_mu(&ext.prob, 0.25);
         let mut t = Tracker::new();
         let mut rec = TraceRecorder::new();

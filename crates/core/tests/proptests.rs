@@ -48,7 +48,7 @@ proptest! {
         let p = generators::random_mcf(7, 21, 3, 4, seed);
         let opt = ssp::min_cost_flow(&p).unwrap();
         let mut x = opt.x.clone();
-        cancel_negative_cycles(&p, &mut x);
+        cancel_negative_cycles(&p, &mut x).unwrap();
         // cost must be unchanged (a different optimal flow is acceptable)
         let f = pmcf_graph::Flow { x };
         prop_assert!(f.is_feasible(&p));

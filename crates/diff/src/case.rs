@@ -1,0 +1,316 @@
+//! Replayable case files: `pmcf.case/v1`.
+//!
+//! A case file captures one (usually shrunken) scenario that once made
+//! the oracles disagree, plus enough metadata to understand why it was
+//! interesting. Checked-in cases under `results/cases/` are replayed by
+//! `cargo test` and by the CI fuzz-smoke leg, so a fixed bug stays
+//! fixed.
+//!
+//! Format notes: scalars that index vertices (`n`, `s`, `t`, `nl`) and
+//! the seed are plain JSON numbers; every `i64` payload (capacities,
+//! costs, demands, weights) is a JSON *string*, because the overflow
+//! boundary cases carry values near `2^62` that a float-backed JSON
+//! number cannot round-trip exactly.
+
+use crate::families::Scenario;
+use pmcf_graph::{DiGraph, McfProblem};
+use pmcf_obs::json::{parse, JsonValue};
+use std::path::Path;
+
+/// The schema tag every case file starts with.
+pub const SCHEMA: &str = "pmcf.case/v1";
+
+/// A replayable differential-test case.
+#[derive(Clone, Debug)]
+pub struct CaseFile {
+    /// Which family produced the original instance.
+    pub family: String,
+    /// The seed it was produced from.
+    pub seed: u64,
+    /// Why this case exists (the mismatch message at capture time).
+    pub reason: String,
+    /// The (shrunken) scenario to replay.
+    pub scenario: Scenario,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn i64s(xs: &[i64]) -> String {
+    let inner: Vec<String> = xs.iter().map(|x| format!("\"{x}\"")).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn edges_json(g: &DiGraph) -> String {
+    let inner: Vec<String> = g
+        .edges()
+        .iter()
+        .map(|&(u, v)| format!("[{u},{v}]"))
+        .collect();
+    format!("[{}]", inner.join(","))
+}
+
+impl CaseFile {
+    /// Serialize as a single pretty-enough JSON object.
+    pub fn to_json(&self) -> String {
+        let scenario = match &self.scenario {
+            Scenario::Mcf(p) => format!(
+                "{{\"n\":{},\"edges\":{},\"cap\":{},\"cost\":{},\"demand\":{}}}",
+                p.n(),
+                edges_json(&p.graph),
+                i64s(&p.cap),
+                i64s(&p.cost),
+                i64s(&p.demand)
+            ),
+            Scenario::MaxFlow { g, cap, s, t } => format!(
+                "{{\"n\":{},\"edges\":{},\"cap\":{},\"s\":{s},\"t\":{t}}}",
+                g.n(),
+                edges_json(g),
+                i64s(cap)
+            ),
+            Scenario::Matching { g, nl } => format!(
+                "{{\"n\":{},\"edges\":{},\"nl\":{nl}}}",
+                g.n(),
+                edges_json(g)
+            ),
+            Scenario::Sssp { g, w, s } => format!(
+                "{{\"n\":{},\"edges\":{},\"w\":{},\"s\":{s}}}",
+                g.n(),
+                edges_json(g),
+                i64s(w)
+            ),
+            Scenario::Reach { g, s } => {
+                format!("{{\"n\":{},\"edges\":{},\"s\":{s}}}", g.n(), edges_json(g))
+            }
+        };
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"family\": \"{}\",\n  \"seed\": {},\n  \"task\": \"{}\",\n  \"reason\": \"{}\",\n  \"scenario\": {}\n}}\n",
+            SCHEMA,
+            esc(&self.family),
+            self.seed,
+            self.scenario.task(),
+            esc(&self.reason),
+            scenario
+        )
+    }
+
+    /// Parse a case file.
+    pub fn from_json(src: &str) -> Result<CaseFile, String> {
+        let v = parse(src)?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("missing schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema {schema:?} (want {SCHEMA})"));
+        }
+        let family = v
+            .get("family")
+            .and_then(|s| s.as_str())
+            .ok_or("missing family")?
+            .to_string();
+        let seed = v
+            .get("seed")
+            .and_then(|s| s.as_f64())
+            .ok_or("missing seed")? as u64;
+        let reason = v
+            .get("reason")
+            .and_then(|s| s.as_str())
+            .unwrap_or("")
+            .to_string();
+        let task = v
+            .get("task")
+            .and_then(|s| s.as_str())
+            .ok_or("missing task")?;
+        let sc = v.get("scenario").ok_or("missing scenario")?;
+        let scenario = parse_scenario(task, sc)?;
+        Ok(CaseFile {
+            family,
+            seed,
+            reason,
+            scenario,
+        })
+    }
+
+    /// Write to `path` (creating parent directories).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from `path`.
+    pub fn load(path: &Path) -> Result<CaseFile, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        CaseFile::from_json(&src).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn get_usize(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(|x| x.as_f64())
+        .map(|f| f as usize)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn get_i64s(v: &JsonValue, key: &str) -> Result<Vec<i64>, String> {
+    let arr = v
+        .get(key)
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| format!("missing array field {key:?}"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_str()
+                .ok_or_else(|| format!("{key:?} entries must be strings"))?
+                .parse::<i64>()
+                .map_err(|e| format!("{key:?} entry: {e}"))
+        })
+        .collect()
+}
+
+fn get_graph(v: &JsonValue) -> Result<DiGraph, String> {
+    let n = get_usize(v, "n")?;
+    let arr = v
+        .get("edges")
+        .and_then(|x| x.as_arr())
+        .ok_or("missing edges array")?;
+    let mut edges = Vec::with_capacity(arr.len());
+    for e in arr {
+        let pair = e.as_arr().ok_or("edge must be a [u, v] pair")?;
+        if pair.len() != 2 {
+            return Err("edge must be a [u, v] pair".into());
+        }
+        let u = pair[0].as_f64().ok_or("edge endpoint must be a number")? as usize;
+        let w = pair[1].as_f64().ok_or("edge endpoint must be a number")? as usize;
+        if u >= n || w >= n {
+            return Err(format!("edge ({u}, {w}) out of range for n = {n}"));
+        }
+        edges.push((u, w));
+    }
+    Ok(DiGraph::from_edges(n, edges))
+}
+
+fn parse_scenario(task: &str, v: &JsonValue) -> Result<Scenario, String> {
+    let g = get_graph(v)?;
+    match task {
+        "mcf" => {
+            let cap = get_i64s(v, "cap")?;
+            let cost = get_i64s(v, "cost")?;
+            let demand = get_i64s(v, "demand")?;
+            if cap.len() != g.m() || cost.len() != g.m() || demand.len() != g.n() {
+                return Err("cap/cost/demand lengths do not match the graph".into());
+            }
+            if demand.iter().sum::<i64>() != 0 {
+                return Err("demands must sum to zero".into());
+            }
+            if cap.iter().any(|&u| u < 0) {
+                return Err("capacities must be ≥ 0".into());
+            }
+            Ok(Scenario::Mcf(McfProblem::new(g, cap, cost, demand)))
+        }
+        "max_flow" => {
+            let cap = get_i64s(v, "cap")?;
+            if cap.len() != g.m() {
+                return Err("cap length does not match the graph".into());
+            }
+            Ok(Scenario::MaxFlow {
+                cap,
+                s: get_usize(v, "s")?,
+                t: get_usize(v, "t")?,
+                g,
+            })
+        }
+        "matching" => Ok(Scenario::Matching {
+            nl: get_usize(v, "nl")?,
+            g,
+        }),
+        "sssp" => {
+            let w = get_i64s(v, "w")?;
+            if w.len() != g.m() {
+                return Err("w length does not match the graph".into());
+            }
+            Ok(Scenario::Sssp {
+                w,
+                s: get_usize(v, "s")?,
+                g,
+            })
+        }
+        "reachability" => Ok(Scenario::Reach {
+            s: get_usize(v, "s")?,
+            g,
+        }),
+        other => Err(format!("unknown task {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::families::families;
+
+    #[test]
+    fn every_family_round_trips_through_json() {
+        for f in families() {
+            for seed in 0..3u64 {
+                let case = CaseFile {
+                    family: f.name.to_string(),
+                    seed,
+                    reason: "round-trip \"test\"\n".to_string(),
+                    scenario: (f.gen)(seed),
+                };
+                let back = CaseFile::from_json(&case.to_json())
+                    .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+                assert_eq!(back.family, case.family);
+                assert_eq!(back.seed, seed);
+                assert_eq!(
+                    format!("{:?}", back.scenario),
+                    format!("{:?}", case.scenario),
+                    "family {} seed {seed}",
+                    f.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_magnitudes_survive_exactly() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let c = (1i64 << 62) / 9 + 3; // not representable as f64
+        let case = CaseFile {
+            family: "mcf-bigm-boundary".into(),
+            seed: 0,
+            reason: String::new(),
+            scenario: Scenario::Mcf(McfProblem::new(g, vec![1], vec![c], vec![-1, 1])),
+        };
+        let back = CaseFile::from_json(&case.to_json()).unwrap();
+        let Scenario::Mcf(p) = back.scenario else {
+            panic!("wrong task");
+        };
+        assert_eq!(p.cost[0], c);
+    }
+
+    #[test]
+    fn malformed_files_are_typed_errors() {
+        assert!(CaseFile::from_json("{}").is_err());
+        assert!(CaseFile::from_json("{\"schema\":\"pmcf.case/v2\"}").is_err());
+        let bad_edge = format!(
+            "{{\"schema\":\"{SCHEMA}\",\"family\":\"x\",\"seed\":0,\"task\":\"reachability\",\"scenario\":{{\"n\":2,\"edges\":[[0,5]],\"s\":0}}}}"
+        );
+        assert!(CaseFile::from_json(&bad_edge).is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! The differential driver: run every applicable oracle on a scenario,
+//! compare verdicts, and check the invariant monitors stayed clean.
+//!
+//! Comparison rules:
+//!
+//! * [`Verdict::Unsupported`] answers are skipped; everything else is
+//!   compared, so a lone crash ([`Verdict::Failed`]) shows up as a
+//!   mismatch against the engines that answered.
+//! * Instances rejected by [`pmcf_core::validate_instance`] with an
+//!   overflow must be rejected by *every* IPM engine; the combinatorial
+//!   baselines are not run on them (their unchecked arithmetic is
+//!   exactly what the validation protects).
+//! * [`Verdict::Rejected`] compares equal regardless of message — what
+//!   must agree is *that* the instance is rejected, not the prose.
+//! * During IPM runs a flight recorder is installed and the
+//!   `pmcf-obs` invariant monitors are evaluated over the recording; a
+//!   monitor failure fails the scenario even when all answers agree.
+
+use crate::families::Scenario;
+use pmcf_baselines::oracle::{BellmanFord, Bfs, Dinic, HopcroftKarp, Oracle, Ssp, Verdict};
+use pmcf_core::oracle::IpmOracle;
+use pmcf_core::{validate_instance, McfError};
+use pmcf_obs::monitor::{run_monitors, Verdict as MonitorVerdict};
+use pmcf_obs::recorder::{install, uninstall, FlightRecorder};
+
+/// One oracle's answer to the scenario.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The oracle's stable name.
+    pub oracle: &'static str,
+    /// Its verdict.
+    pub verdict: Verdict,
+}
+
+/// The result of one differential run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Every oracle's answer (including `Unsupported` ones, for the log).
+    pub outcomes: Vec<Outcome>,
+    /// Human-readable description of the disagreement, if any.
+    pub mismatch: Option<String>,
+    /// Invariant monitors that failed during the IPM runs.
+    pub monitor_failures: Vec<String>,
+}
+
+impl Report {
+    /// Whether the scenario passed: all comparable verdicts agree and
+    /// every monitor stayed clean.
+    pub fn clean(&self) -> bool {
+        self.mismatch.is_none() && self.monitor_failures.is_empty()
+    }
+
+    /// One-line summary of every oracle's verdict.
+    pub fn verdict_summary(&self) -> String {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.comparable())
+            .map(|o| format!("{}={}", o.oracle, short(&o.verdict)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+fn short(v: &Verdict) -> String {
+    match v {
+        Verdict::Value(x) => format!("value({x})"),
+        Verdict::Distances(d) => format!("distances[{}]", d.len()),
+        Verdict::Mask(m) => format!("mask({}/{})", m.iter().filter(|&&r| r).count(), m.len()),
+        Verdict::Infeasible => "infeasible".into(),
+        Verdict::NegativeCycle => "negative-cycle".into(),
+        Verdict::Rejected(_) => "rejected".into(),
+        Verdict::Unsupported => "unsupported".into(),
+        Verdict::Failed(e) => format!("FAILED({e})"),
+    }
+}
+
+/// Whether two comparable verdicts agree (rejections agree regardless of
+/// their message; failures never agree with anything).
+fn agree(a: &Verdict, b: &Verdict) -> bool {
+    match (a, b) {
+        (Verdict::Rejected(_), Verdict::Rejected(_)) => true,
+        (Verdict::Failed(_), _) | (_, Verdict::Failed(_)) => false,
+        _ => a == b,
+    }
+}
+
+/// Run an oracle call under a fresh flight recorder and evaluate the
+/// invariant monitors over whatever the solver emitted. Restores any
+/// previously installed recorder afterwards.
+fn monitored<T>(f: impl FnOnce() -> T) -> (T, Vec<MonitorVerdict>) {
+    let prev = install(FlightRecorder::new(16_384));
+    let out = f();
+    let rec = uninstall();
+    if let Some(p) = prev {
+        install(p);
+    }
+    let verdicts = match rec {
+        Some(rec) => run_monitors(&rec.snapshot()),
+        None => Vec::new(),
+    };
+    (out, verdicts)
+}
+
+/// Run all applicable oracles on the scenario and compare.
+pub fn run_scenario(sc: &Scenario) -> Report {
+    let mut report = Report::default();
+    let reference = IpmOracle::reference();
+    let robust = IpmOracle::robust();
+
+    // the magnitude pre-screen: instances the API boundary rejects for
+    // overflow never reach the baselines (whose unchecked arithmetic
+    // would wrap) — but both IPM engines must reject them unanimously
+    if let Scenario::Mcf(p) = sc {
+        if let Err(e @ McfError::Overflow { .. }) = validate_instance(p) {
+            for o in [&reference as &dyn Oracle, &robust] {
+                let v = o.mcf(p);
+                report.outcomes.push(Outcome {
+                    oracle: o.name(),
+                    verdict: v,
+                });
+            }
+            if !report
+                .outcomes
+                .iter()
+                .all(|o| matches!(o.verdict, Verdict::Rejected(_)))
+            {
+                report.mismatch = Some(format!(
+                    "validation rejects ({e}) but not every engine does: {}",
+                    report.verdict_summary()
+                ));
+            }
+            return report;
+        }
+    }
+
+    let ipms: [&dyn Oracle; 2] = [&reference, &robust];
+    let baselines: [&dyn Oracle; 5] = [&Ssp, &Dinic, &HopcroftKarp, &BellmanFord, &Bfs];
+
+    let mut monitor_failures = Vec::new();
+    let mut ask = |o: &dyn Oracle, monitored_run: bool| -> Verdict {
+        let call = || match sc {
+            Scenario::Mcf(p) => o.mcf(p),
+            Scenario::MaxFlow { g, cap, s, t } => o.max_flow(g, cap, *s, *t),
+            Scenario::Matching { g, nl } => o.matching(g, *nl),
+            Scenario::Sssp { g, w, s } => o.sssp(g, w, *s),
+            Scenario::Reach { g, s } => o.reachability(g, *s),
+        };
+        if monitored_run {
+            let (v, verdicts) = monitored(call);
+            for mv in verdicts.iter().filter(|mv| !mv.ok) {
+                monitor_failures.push(format!("{}: {} ({})", o.name(), mv.monitor, mv.detail));
+            }
+            v
+        } else {
+            call()
+        }
+    };
+
+    for o in ipms {
+        let v = ask(o, true);
+        report.outcomes.push(Outcome {
+            oracle: o.name(),
+            verdict: v,
+        });
+    }
+    for o in baselines {
+        let v = ask(o, false);
+        report.outcomes.push(Outcome {
+            oracle: o.name(),
+            verdict: v,
+        });
+    }
+    report.monitor_failures = monitor_failures;
+
+    let comparable: Vec<&Outcome> = report
+        .outcomes
+        .iter()
+        .filter(|o| o.verdict.comparable())
+        .collect();
+    if let Some(first) = comparable.first() {
+        for other in &comparable[1..] {
+            if !agree(&first.verdict, &other.verdict) {
+                report.mismatch = Some(format!(
+                    "{} disagrees with {}: {}",
+                    other.oracle,
+                    first.oracle,
+                    report.verdict_summary()
+                ));
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::{generators, DiGraph, McfProblem};
+
+    #[test]
+    fn feasible_instance_is_clean_across_all_oracles() {
+        let p = generators::random_mcf(6, 16, 3, 3, 11);
+        let r = run_scenario(&Scenario::Mcf(p));
+        assert!(r.clean(), "{:?}", r);
+        // both IPMs and SSP answered with the same value
+        assert!(
+            r.outcomes
+                .iter()
+                .filter(|o| matches!(o.verdict, Verdict::Value(_)))
+                .count()
+                >= 3
+        );
+    }
+
+    #[test]
+    fn overflow_instance_short_circuits_to_unanimous_rejection() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let p = McfProblem::new(g, vec![1], vec![1i64 << 61], vec![-1, 1]);
+        let r = run_scenario(&Scenario::Mcf(p));
+        assert!(r.clean(), "{:?}", r);
+        assert_eq!(r.outcomes.len(), 2, "baselines must not run on overflow");
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| matches!(o.verdict, Verdict::Rejected(_))));
+    }
+
+    #[test]
+    fn infeasible_instance_is_unanimous() {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let p = McfProblem::new(g, vec![2, 2], vec![1, 1], vec![-1, 0, 0, 1]);
+        let r = run_scenario(&Scenario::Mcf(p));
+        assert!(r.clean(), "{:?}", r);
+        assert!(r
+            .outcomes
+            .iter()
+            .filter(|o| o.verdict.comparable())
+            .all(|o| o.verdict == Verdict::Infeasible));
+    }
+
+    #[test]
+    fn rejections_agree_across_different_messages() {
+        assert!(agree(
+            &Verdict::Rejected("a".into()),
+            &Verdict::Rejected("b".into())
+        ));
+        assert!(!agree(&Verdict::Failed("x".into()), &Verdict::Value(3)));
+        assert!(!agree(&Verdict::Value(3), &Verdict::Value(4)));
+    }
+}

@@ -1,0 +1,612 @@
+//! Seeded adversarial instance families.
+//!
+//! Each family is a deterministic `seed → Scenario` generator aimed at a
+//! specific failure mode the solver stack has exhibited or plausibly
+//! could: degenerate edges (zero capacity, self-loops, saturated cuts),
+//! demand vectors that are infeasible in structured ways (disconnected
+//! components, over-capacity), degenerate objectives (all-equal costs),
+//! magnitudes at the `C·W·m² < 2^62` validation boundary, and
+//! topologies (star, path, expander) that stress different parts of the
+//! IPM. Every family stays tiny (n ≤ 12) so a fuzz run is thousands of
+//! full solves, not dozens.
+
+use pmcf_graph::{generators, DiGraph, McfProblem};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One differential test input: a task plus its instance.
+#[derive(Clone, Debug)]
+pub enum Scenario {
+    /// Min-cost `b`-flow through `solve_mcf` vs SSP.
+    Mcf(McfProblem),
+    /// Max s-t flow through the circulation reduction vs Dinic and SSP.
+    MaxFlow {
+        /// The graph.
+        g: DiGraph,
+        /// Edge capacities.
+        cap: Vec<i64>,
+        /// Source.
+        s: usize,
+        /// Sink.
+        t: usize,
+    },
+    /// Bipartite matching (Corollary 1.3) vs Hopcroft-Karp.
+    Matching {
+        /// The bipartite graph (left vertices `0..nl`, edges left→right).
+        g: DiGraph,
+        /// Size of the left side.
+        nl: usize,
+    },
+    /// Negative-weight SSSP (Corollary 1.4) vs Bellman-Ford.
+    Sssp {
+        /// The graph.
+        g: DiGraph,
+        /// Edge weights (may be negative).
+        w: Vec<i64>,
+        /// Source.
+        s: usize,
+    },
+    /// Reachability (Corollary 1.5) vs BFS.
+    Reach {
+        /// The graph.
+        g: DiGraph,
+        /// Source.
+        s: usize,
+    },
+}
+
+impl Scenario {
+    /// Stable task tag (used in case files and reports).
+    pub fn task(&self) -> &'static str {
+        match self {
+            Scenario::Mcf(_) => "mcf",
+            Scenario::MaxFlow { .. } => "max_flow",
+            Scenario::Matching { .. } => "matching",
+            Scenario::Sssp { .. } => "sssp",
+            Scenario::Reach { .. } => "reachability",
+        }
+    }
+}
+
+/// A named seeded generator.
+pub struct Family {
+    /// Stable family name (used in case files, reports, CLI filters).
+    pub name: &'static str,
+    /// The generator.
+    pub gen: fn(u64) -> Scenario,
+}
+
+/// All registered families.
+pub fn families() -> Vec<Family> {
+    vec![
+        Family {
+            name: "mcf-random",
+            gen: mcf_random,
+        },
+        Family {
+            name: "mcf-zero-cap-self-loops",
+            gen: mcf_zero_cap_self_loops,
+        },
+        Family {
+            name: "mcf-saturated",
+            gen: mcf_saturated,
+        },
+        Family {
+            name: "mcf-parallel-antiparallel",
+            gen: mcf_parallel_antiparallel,
+        },
+        Family {
+            name: "mcf-disconnected",
+            gen: mcf_disconnected,
+        },
+        Family {
+            name: "mcf-infeasible-demand",
+            gen: mcf_infeasible_demand,
+        },
+        Family {
+            name: "mcf-equal-costs",
+            gen: mcf_equal_costs,
+        },
+        Family {
+            name: "mcf-bigm-boundary",
+            gen: mcf_bigm_boundary,
+        },
+        Family {
+            name: "mcf-star",
+            gen: mcf_star,
+        },
+        Family {
+            name: "mcf-path",
+            gen: mcf_path,
+        },
+        Family {
+            name: "mcf-expander",
+            gen: mcf_expander,
+        },
+        Family {
+            name: "maxflow-random",
+            gen: maxflow_random,
+        },
+        Family {
+            name: "maxflow-disconnected",
+            gen: maxflow_disconnected,
+        },
+        Family {
+            name: "matching-random",
+            gen: matching_random,
+        },
+        Family {
+            name: "matching-empty-side",
+            gen: matching_empty_side,
+        },
+        Family {
+            name: "sssp-random-negative",
+            gen: sssp_random_negative,
+        },
+        Family {
+            name: "sssp-negative-cycle",
+            gen: sssp_negative_cycle,
+        },
+        Family {
+            name: "reach-random",
+            gen: reach_random,
+        },
+        Family {
+            name: "reach-isolated-source",
+            gen: reach_isolated_source,
+        },
+    ]
+}
+
+fn rng_for(seed: u64, salt: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed.wrapping_mul(0x9e3779b97f4a7c15) ^ salt)
+}
+
+/// Baseline: feasible random instances (the control group).
+fn mcf_random(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 1);
+    let n = rng.gen_range(4..=9);
+    let m = rng.gen_range((n + 2)..=(3 * n));
+    Scenario::Mcf(generators::random_mcf(n, m, 4, 3, seed))
+}
+
+/// Zero-capacity edges and self-loops sprinkled over a feasible base —
+/// the sanitize pass must strip them without changing the optimum.
+fn mcf_zero_cap_self_loops(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 2);
+    let base = generators::random_mcf(6, 14, 3, 3, seed);
+    let mut edges = base.graph.edges().to_vec();
+    let mut cap = base.cap.clone();
+    let mut cost = base.cost.clone();
+    for _ in 0..rng.gen_range(1..=4usize) {
+        let v = rng.gen_range(0..6usize);
+        match rng.gen_range(0..3u32) {
+            // self-loop, possibly with wildly negative cost
+            0 => {
+                edges.push((v, v));
+                cap.push(rng.gen_range(0..=5));
+                cost.push(rng.gen_range(-50..=5));
+            }
+            // zero-capacity edge anywhere
+            1 => {
+                let u = rng.gen_range(0..6usize);
+                edges.push((u, v));
+                cap.push(0);
+                cost.push(rng.gen_range(-50..=50));
+            }
+            // zero-capacity self-loop (both degeneracies at once)
+            _ => {
+                edges.push((v, v));
+                cap.push(0);
+                cost.push(rng.gen_range(-50..=50));
+            }
+        }
+    }
+    let g = DiGraph::from_edges(6, edges);
+    Scenario::Mcf(McfProblem::new(g, cap, cost, base.demand.clone()))
+}
+
+/// Demands that force every edge of a cut to saturation: the optimum
+/// lies on the boundary of the box, where the barrier blows up and
+/// rounding is most delicate.
+fn mcf_saturated(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 3);
+    let k = rng.gen_range(2..=4usize); // parallel middle edges
+                                       // 0 → 1 (k parallel edges, all saturated) → 2, plus slack edges
+    let mut edges = vec![];
+    let mut cap = vec![];
+    let mut cost = vec![];
+    for _ in 0..k {
+        edges.push((1usize, 2usize));
+        let u = rng.gen_range(1..=2i64);
+        cap.push(u);
+        cost.push(rng.gen_range(-3..=3));
+    }
+    let total: i64 = cap.iter().sum();
+    edges.push((0, 1));
+    cap.push(total);
+    cost.push(1);
+    // a decoy edge that cannot help
+    edges.push((2, 0));
+    cap.push(rng.gen_range(0..=2));
+    cost.push(rng.gen_range(0..=3));
+    let g = DiGraph::from_edges(3, edges);
+    // demand exactly the cut capacity: every 1→2 edge must saturate
+    Scenario::Mcf(McfProblem::new(g, cap, cost, vec![-total, 0, total]))
+}
+
+/// Bundles of parallel and antiparallel edges with mixed costs — the
+/// residual graph gets parallel arcs in both directions and cycle
+/// cancelling must pick the right ones.
+fn mcf_parallel_antiparallel(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 4);
+    let n = 4usize;
+    let mut edges = vec![];
+    let mut cap = vec![];
+    let mut cost = vec![];
+    // ring 0→1→2→3→0 so the instance is connected
+    for v in 0..n {
+        edges.push((v, (v + 1) % n));
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-3..=3));
+    }
+    for _ in 0..rng.gen_range(2..=6usize) {
+        let u = rng.gen_range(0..n);
+        let v = (u + 1 + rng.gen_range(0..n - 1)) % n;
+        // a parallel copy and an antiparallel twin, different costs
+        edges.push((u, v));
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-3..=3));
+        edges.push((v, u));
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-3..=3));
+    }
+    let m = edges.len();
+    let g = DiGraph::from_edges(n, edges);
+    // feasible by construction: demand from a random sub-flow
+    let x0: Vec<i64> = cap.iter().map(|&u| rng.gen_range(0..=u)).collect();
+    let mut demand = vec![0i64; n];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        demand[u] -= x0[e];
+        demand[v] += x0[e];
+    }
+    let _ = m;
+    Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Two components; demands balance globally but may or may not balance
+/// per component — infeasible exactly when they cross the gap.
+fn mcf_disconnected(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 5);
+    // component A = {0,1,2}, component B = {3,4,5}
+    let mut edges = vec![(0usize, 1usize), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+    let mut cap = vec![];
+    let mut cost = vec![];
+    for _ in 0..edges.len() {
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-2..=3));
+    }
+    // extra random intra-component edges
+    for _ in 0..rng.gen_range(0..=3usize) {
+        let a = rng.gen_range(0..3usize);
+        let b = (a + 1 + rng.gen_range(0..2usize)) % 3;
+        edges.push((a, b));
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-2..=3));
+    }
+    let d = rng.gen_range(1..=2i64);
+    let demand = if rng.gen_bool(0.5) {
+        // crossing: A is a net source, B a net sink → infeasible
+        vec![-d, 0, 0, 0, 0, d]
+    } else {
+        // within components: feasible iff capacities suffice
+        vec![-d, 0, d, -d, 0, d]
+    };
+    let g = DiGraph::from_edges(6, edges);
+    Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Demands that provably exceed what the capacities can carry (balanced
+/// globally, so the constructor accepts them) — every oracle must say
+/// infeasible, none may panic.
+fn mcf_infeasible_demand(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 6);
+    let n = rng.gen_range(3..=6);
+    let m = rng.gen_range(n..=2 * n);
+    let base = generators::random_mcf(n, m, 3, 3, seed);
+    let total_cap: i64 = base.cap.iter().sum();
+    // net demand across any cut exceeds total capacity
+    let over = total_cap + rng.gen_range(1i64..=3);
+    let mut demand = vec![0i64; n];
+    demand[0] = -over;
+    demand[n - 1] = over;
+    Scenario::Mcf(McfProblem::new(
+        base.graph.clone(),
+        base.cap.clone(),
+        base.cost.clone(),
+        demand,
+    ))
+}
+
+/// All-equal costs: the LP optimum is massively degenerate (every
+/// feasible flow of the same volume costs the same), which stresses
+/// tie-breaking in rounding and cycle cancelling.
+fn mcf_equal_costs(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 7);
+    let n = rng.gen_range(4..=8);
+    let m = rng.gen_range(n + 2..=3 * n);
+    let base = generators::random_mcf(n, m, 4, 1, seed);
+    let c = rng.gen_range(-2..=2i64);
+    let cost = vec![c; base.m()];
+    Scenario::Mcf(McfProblem::new(
+        base.graph.clone(),
+        base.cap.clone(),
+        cost,
+        base.demand.clone(),
+    ))
+}
+
+/// Magnitudes straddling the `C·W·m² < 2^62` precondition: some seeds
+/// are just inside (must solve exactly), some outside (must be rejected
+/// by every IPM engine — unanimously, with no wrapping).
+fn mcf_bigm_boundary(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 8);
+    let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+    let m2 = 9i64; // m = 3
+    if rng.gen_bool(0.5) {
+        // outside: C·W·m² ≥ 2^62 (or big-M headroom blown)
+        let c = (1i64 << 62) / m2 + rng.gen_range(0i64..=4);
+        Scenario::Mcf(McfProblem::new(
+            g,
+            vec![1, 1, 1],
+            vec![c, 1, 1],
+            vec![-1, 0, 1],
+        ))
+    } else {
+        // inside by a comfortable margin but still astronomically large:
+        // the checked paths must accept and solve it
+        let c = 1i64 << rng.gen_range(30..=40);
+        Scenario::Mcf(McfProblem::new(
+            g,
+            vec![1, 1, 1],
+            vec![c, c - 1, 1],
+            vec![-1, 0, 1],
+        ))
+    }
+}
+
+/// Star topology: one hub, all demand through it — the Laplacian has a
+/// single dominant vertex and τ concentrates.
+fn mcf_star(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 9);
+    let leaves = rng.gen_range(3..=7usize);
+    let n = leaves + 1; // hub = 0
+    let mut edges = vec![];
+    let mut cap = vec![];
+    let mut cost = vec![];
+    for leaf in 1..n {
+        if rng.gen_bool(0.5) {
+            edges.push((0, leaf));
+        } else {
+            edges.push((leaf, 0));
+        }
+        cap.push(rng.gen_range(1..=4));
+        cost.push(rng.gen_range(-3..=3));
+    }
+    let g = DiGraph::from_edges(n, edges);
+    let x0: Vec<i64> = cap.iter().map(|&u| rng.gen_range(0..=u)).collect();
+    let mut demand = vec![0i64; n];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        demand[u] -= x0[e];
+        demand[v] += x0[e];
+    }
+    Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Path topology: maximum diameter, the hardest shape for depth — and a
+/// single saturated edge anywhere cuts the instance.
+fn mcf_path(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 10);
+    let n = rng.gen_range(4..=10usize);
+    let mut edges = vec![];
+    let mut cap = vec![];
+    let mut cost = vec![];
+    for v in 0..n - 1 {
+        edges.push((v, v + 1));
+        cap.push(rng.gen_range(1..=3));
+        cost.push(rng.gen_range(-2..=3));
+    }
+    let bottleneck: i64 = *cap.iter().min().unwrap();
+    let d = rng.gen_range(1..=bottleneck + 1); // sometimes infeasible by 1
+    let mut demand = vec![0i64; n];
+    demand[0] = -d;
+    demand[n - 1] = d;
+    let g = DiGraph::from_edges(n, edges);
+    Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Expander-ish topology (union of random matchings): low diameter,
+/// well-conditioned Laplacian — the regime the paper's data structures
+/// are designed for.
+fn mcf_expander(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 11);
+    let n = 8usize;
+    let ug = generators::random_regular_ugraph(n, 3, seed);
+    let mut edges = vec![];
+    for &(u, v) in ug.edges() {
+        if u == v {
+            continue; // matchings of the shim may self-pair; drop those
+        }
+        edges.push(if rng.gen_bool(0.5) { (u, v) } else { (v, u) });
+    }
+    let m = edges.len();
+    let cap: Vec<i64> = (0..m).map(|_| rng.gen_range(1..=4)).collect();
+    let cost: Vec<i64> = (0..m).map(|_| rng.gen_range(-3..=3)).collect();
+    let g = DiGraph::from_edges(n, edges);
+    let x0: Vec<i64> = cap.iter().map(|&u| rng.gen_range(0..=u)).collect();
+    let mut demand = vec![0i64; n];
+    for (e, &(u, v)) in g.edges().iter().enumerate() {
+        demand[u] -= x0[e];
+        demand[v] += x0[e];
+    }
+    Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Random max-flow instances (IPM circulation reduction vs Dinic vs SSP).
+fn maxflow_random(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 12);
+    let n = rng.gen_range(4..=8);
+    let m = rng.gen_range(2 * (n - 1)..=3 * n);
+    let (g, cap) = generators::random_max_flow(n, m, 4, seed);
+    Scenario::MaxFlow {
+        g,
+        cap,
+        s: 0,
+        t: n - 1,
+    }
+}
+
+/// Source and sink in different components: the max flow is 0, not an
+/// error, and every engine must agree.
+fn maxflow_disconnected(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 13);
+    let edges = vec![(0usize, 1usize), (1, 0), (2, 3), (3, 2)];
+    let cap: Vec<i64> = (0..4).map(|_| rng.gen_range(1..=4)).collect();
+    Scenario::MaxFlow {
+        g: DiGraph::from_edges(4, edges),
+        cap,
+        s: 0,
+        t: 3,
+    }
+}
+
+/// Random bipartite matchings (Corollary 1.3 vs Hopcroft-Karp).
+fn matching_random(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 14);
+    let nl = rng.gen_range(2..=6);
+    let nr = rng.gen_range(2..=6);
+    let m = rng.gen_range(1..=nl * nr);
+    Scenario::Matching {
+        g: generators::random_bipartite(nl, nr, m, seed),
+        nl,
+    }
+}
+
+/// Empty sides: no left vertices, no right vertices, or no edges — the
+/// matching is empty, not a crash.
+fn matching_empty_side(seed: u64) -> Scenario {
+    match seed % 3 {
+        0 => Scenario::Matching {
+            g: DiGraph::from_edges(3, vec![]),
+            nl: 3, // right side empty
+        },
+        1 => Scenario::Matching {
+            g: DiGraph::from_edges(3, vec![]),
+            nl: 0, // left side empty
+        },
+        _ => Scenario::Matching {
+            g: DiGraph::from_edges(5, vec![]),
+            nl: 2, // both sides nonempty, zero edges
+        },
+    }
+}
+
+/// Random negative-weight SSSP without negative cycles (vs Bellman-Ford).
+fn sssp_random_negative(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 16);
+    let n = rng.gen_range(4..=8);
+    let m = rng.gen_range(n..=3 * n);
+    let (g, w) = generators::random_negative_sssp(n, m, 4, seed);
+    Scenario::Sssp { g, w, s: 0 }
+}
+
+/// Graphs *with* a reachable negative cycle — every engine must detect
+/// it (and the IPM must certify it), not loop or emit garbage distances.
+fn sssp_negative_cycle(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 17);
+    let n = rng.gen_range(4..=7usize);
+    let mut edges = vec![];
+    let mut w = vec![];
+    // path 0 → 1 → … so the cycle is reachable
+    for v in 0..n - 1 {
+        edges.push((v, v + 1));
+        w.push(rng.gen_range(-2..=3));
+    }
+    // close a negative cycle over the last few vertices
+    let a = rng.gen_range(1..n - 1);
+    edges.push((n - 1, a));
+    let path_cost: i64 = (a..n - 1).map(|i| w[i]).sum();
+    w.push(-path_cost - rng.gen_range(1i64..=3)); // total strictly negative
+                                                  // some extra noise edges
+    for _ in 0..rng.gen_range(0..=3usize) {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+            w.push(rng.gen_range(0..=4));
+        }
+    }
+    Scenario::Sssp {
+        g: DiGraph::from_edges(n, edges),
+        w,
+        s: 0,
+    }
+}
+
+/// Random reachability (Corollary 1.5 vs BFS).
+fn reach_random(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 18);
+    let n = rng.gen_range(4..=10);
+    let m = rng.gen_range(n..=3 * n);
+    Scenario::Reach {
+        g: generators::gnm_digraph(n, m, seed),
+        s: rng.gen_range(0..n),
+    }
+}
+
+/// A source with no outgoing edges (including in-edges pointing at it):
+/// only the source itself is reachable.
+fn reach_isolated_source(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 19);
+    let n = rng.gen_range(3..=6usize);
+    let mut edges = vec![];
+    // edges only among 1..n, plus some pointing INTO 0
+    for _ in 0..rng.gen_range(1..=6usize) {
+        let u = rng.gen_range(1..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    Scenario::Reach {
+        g: DiGraph::from_edges(n, edges),
+        s: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_is_deterministic_in_its_seed() {
+        for f in families() {
+            let a = format!("{:?}", (f.gen)(42));
+            let b = format!("{:?}", (f.gen)(42));
+            assert_eq!(a, b, "family {} is not deterministic", f.name);
+            let c = format!("{:?}", (f.gen)(43));
+            // (a different seed *may* collide, but for these generators the
+            // chance is negligible; a collision here means the seed is unused)
+            assert_ne!(a, c, "family {} ignores its seed", f.name);
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<&str> = families().iter().map(|f| f.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,285 @@
+//! Greedy scenario shrinking.
+//!
+//! Given a scenario on which some predicate holds (in practice: "the
+//! oracles disagree"), repeatedly apply size- and magnitude-reducing
+//! transformations, keeping each candidate only if the predicate still
+//! holds, until a fixpoint. The passes, in order of aggressiveness:
+//!
+//! 1. drop one edge at a time (with its capacity/cost/weight),
+//! 2. zero out one demand pair at a time (moving a vertex's demand onto
+//!    another keeps the vector balanced),
+//! 3. shrink each magnitude toward zero (halving), which walks
+//!    `2^61`-scale boundary cases down to the smallest failing value,
+//! 4. drop trailing vertices that became isolated with zero demand.
+//!
+//! Greedy one-pass-at-a-time is not globally minimal, but it reliably
+//! turns a 30-edge random counterexample into a handful of edges — small
+//! enough to read, check in, and debug.
+
+use crate::families::Scenario;
+use pmcf_graph::{DiGraph, McfProblem};
+
+/// Shrink `sc` while `bad` keeps holding. `bad` must be true for the
+/// input scenario (otherwise the input is returned unchanged).
+pub fn shrink(sc: &Scenario, bad: &dyn Fn(&Scenario) -> bool) -> Scenario {
+    if !bad(sc) {
+        return sc.clone();
+    }
+    let mut cur = sc.clone();
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&cur) {
+            if bad(&cand) {
+                cur = cand;
+                progressed = true;
+                break; // restart candidate enumeration from the smaller scenario
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+/// All one-step-smaller candidate scenarios, cheapest-to-check first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    match sc {
+        Scenario::Mcf(p) => {
+            for e in 0..p.m() {
+                if let Some(q) = drop_edge_mcf(p, e) {
+                    out.push(Scenario::Mcf(q));
+                }
+            }
+            // move each vertex's demand onto the lexicographically next
+            // demanding vertex (keeps Σb = 0)
+            let demanding: Vec<usize> = (0..p.n()).filter(|&v| p.demand[v] != 0).collect();
+            if demanding.len() >= 2 {
+                for w in demanding.windows(2) {
+                    let mut d = p.demand.clone();
+                    d[w[1]] += d[w[0]];
+                    d[w[0]] = 0;
+                    out.push(Scenario::Mcf(McfProblem::new(
+                        p.graph.clone(),
+                        p.cap.clone(),
+                        p.cost.clone(),
+                        d,
+                    )));
+                }
+            }
+            for e in 0..p.m() {
+                for (which, xs) in [("cap", &p.cap), ("cost", &p.cost)] {
+                    let x = xs[e];
+                    if x == 0 {
+                        continue;
+                    }
+                    for smaller in [x / 2, x.signum()] {
+                        if smaller == x {
+                            continue;
+                        }
+                        let mut cap = p.cap.clone();
+                        let mut cost = p.cost.clone();
+                        match which {
+                            "cap" => cap[e] = smaller,
+                            _ => cost[e] = smaller,
+                        }
+                        out.push(Scenario::Mcf(McfProblem::new(
+                            p.graph.clone(),
+                            cap,
+                            cost,
+                            p.demand.clone(),
+                        )));
+                    }
+                }
+            }
+            for v in 0..p.n() {
+                if p.demand[v] != 0 {
+                    let half = p.demand[v] / 2;
+                    // rebalance the other half onto the largest opposite vertex
+                    if let Some(u) = (0..p.n())
+                        .filter(|&u| u != v && p.demand[u].signum() == -p.demand[v].signum())
+                        .max_by_key(|&u| p.demand[u].abs())
+                    {
+                        let mut d = p.demand.clone();
+                        let delta = d[v] - half;
+                        d[v] = half;
+                        d[u] += delta;
+                        out.push(Scenario::Mcf(McfProblem::new(
+                            p.graph.clone(),
+                            p.cap.clone(),
+                            p.cost.clone(),
+                            d,
+                        )));
+                    }
+                }
+            }
+            if let Some(q) = trim_vertex_mcf(p) {
+                out.push(Scenario::Mcf(q));
+            }
+        }
+        Scenario::MaxFlow { g, cap, s, t } => {
+            for e in 0..g.m() {
+                let mut edges = g.edges().to_vec();
+                let mut c = cap.clone();
+                edges.remove(e);
+                c.remove(e);
+                out.push(Scenario::MaxFlow {
+                    g: DiGraph::from_edges(g.n(), edges),
+                    cap: c,
+                    s: *s,
+                    t: *t,
+                });
+            }
+            for e in 0..g.m() {
+                if cap[e] > 1 {
+                    let mut c = cap.clone();
+                    c[e] /= 2;
+                    out.push(Scenario::MaxFlow {
+                        g: g.clone(),
+                        cap: c,
+                        s: *s,
+                        t: *t,
+                    });
+                }
+            }
+        }
+        Scenario::Matching { g, nl } => {
+            for e in 0..g.m() {
+                let mut edges = g.edges().to_vec();
+                edges.remove(e);
+                out.push(Scenario::Matching {
+                    g: DiGraph::from_edges(g.n(), edges),
+                    nl: *nl,
+                });
+            }
+        }
+        Scenario::Sssp { g, w, s } => {
+            for e in 0..g.m() {
+                let mut edges = g.edges().to_vec();
+                let mut ww = w.clone();
+                edges.remove(e);
+                ww.remove(e);
+                out.push(Scenario::Sssp {
+                    g: DiGraph::from_edges(g.n(), edges),
+                    w: ww,
+                    s: *s,
+                });
+            }
+            for e in 0..g.m() {
+                if w[e].abs() > 1 {
+                    let mut ww = w.clone();
+                    ww[e] /= 2;
+                    out.push(Scenario::Sssp {
+                        g: g.clone(),
+                        w: ww,
+                        s: *s,
+                    });
+                }
+            }
+        }
+        Scenario::Reach { g, s } => {
+            for e in 0..g.m() {
+                let mut edges = g.edges().to_vec();
+                edges.remove(e);
+                out.push(Scenario::Reach {
+                    g: DiGraph::from_edges(g.n(), edges),
+                    s: *s,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn drop_edge_mcf(p: &McfProblem, e: usize) -> Option<McfProblem> {
+    let mut edges = p.graph.edges().to_vec();
+    let mut cap = p.cap.clone();
+    let mut cost = p.cost.clone();
+    edges.remove(e);
+    cap.remove(e);
+    cost.remove(e);
+    Some(McfProblem::new(
+        DiGraph::from_edges(p.n(), edges),
+        cap,
+        cost,
+        p.demand.clone(),
+    ))
+}
+
+/// Drop the last vertex if it is isolated with zero demand.
+fn trim_vertex_mcf(p: &McfProblem) -> Option<McfProblem> {
+    let last = p.n().checked_sub(1)?;
+    if p.demand[last] != 0 {
+        return None;
+    }
+    if p.graph.edges().iter().any(|&(u, v)| u == last || v == last) {
+        return None;
+    }
+    let mut demand = p.demand.clone();
+    demand.pop();
+    Some(McfProblem::new(
+        DiGraph::from_edges(last, p.graph.edges().to_vec()),
+        p.cap.clone(),
+        p.cost.clone(),
+        demand,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcf_graph::generators;
+
+    #[test]
+    fn shrinks_to_the_single_guilty_edge() {
+        // predicate: "contains an edge with cost ≤ −5" — the shrinker
+        // should strip everything else down to one edge
+        let base = generators::random_mcf(8, 24, 3, 3, 5);
+        let mut cost = base.cost.clone();
+        cost[7] = -9;
+        let sc = Scenario::Mcf(McfProblem::new(
+            base.graph.clone(),
+            base.cap.clone(),
+            cost,
+            base.demand.clone(),
+        ));
+        let bad = |s: &Scenario| match s {
+            Scenario::Mcf(p) => p.cost.iter().any(|&c| c <= -5),
+            _ => false,
+        };
+        let small = shrink(&sc, &bad);
+        let Scenario::Mcf(p) = small else { panic!() };
+        assert_eq!(p.m(), 1, "exactly the guilty edge survives");
+        assert!(p.cost[0] <= -5);
+        assert!(p.cost[0] >= -9, "magnitude shrinking also ran");
+    }
+
+    #[test]
+    fn magnitudes_walk_down_to_the_boundary() {
+        // predicate: capacity ≥ 13 somewhere; halving should land near 13
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        let sc = Scenario::Mcf(McfProblem::new(g, vec![4096], vec![1], vec![0, 0]));
+        let bad = |s: &Scenario| match s {
+            Scenario::Mcf(p) => p.cap.iter().any(|&u| u >= 13),
+            _ => false,
+        };
+        let Scenario::Mcf(p) = shrink(&sc, &bad) else {
+            panic!()
+        };
+        assert!(
+            p.cap[0] >= 13 && p.cap[0] < 26,
+            "cap {} not minimal",
+            p.cap[0]
+        );
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let sc = Scenario::Reach {
+            g: DiGraph::from_edges(2, vec![(0, 1)]),
+            s: 0,
+        };
+        let out = shrink(&sc, &|_| false);
+        assert_eq!(format!("{out:?}"), format!("{sc:?}"));
+    }
+}

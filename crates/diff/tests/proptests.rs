@@ -1,0 +1,32 @@
+//! Property test: every adversarial family produces instances on which
+//! all applicable oracles agree — same optimal value, or a unanimous
+//! infeasible / rejected verdict — with no monitor violations.
+//!
+//! This is the same check `diff_check` runs, driven from `cargo test`
+//! over a seed range so tier-1 CI exercises the differential harness
+//! without a separate fuzzing leg.
+
+use pmcf_diff::{families, run_scenario};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_families_agree_across_oracles(seed in 0u64..1_000) {
+        for f in families() {
+            let sc = (f.gen)(seed);
+            let report = run_scenario(&sc);
+            prop_assert!(
+                report.clean(),
+                "family {} seed {}: {}",
+                f.name,
+                seed,
+                report
+                    .mismatch
+                    .clone()
+                    .unwrap_or_else(|| report.monitor_failures.join("; "))
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Replay every checked-in `pmcf.case/v1` file under `results/cases/`.
+//!
+//! Each case is a shrunken instance that once made the oracles disagree
+//! (or exposed a panic/overflow). Replaying them in `cargo test` keeps
+//! each fixed bug fixed: a regression flips the corresponding case from
+//! clean back to mismatching and fails this test with the case path.
+
+use pmcf_diff::{run_scenario, CaseFile};
+use std::path::PathBuf;
+
+fn cases_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/cases")
+}
+
+#[test]
+fn every_checked_in_case_replays_clean() {
+    let dir = cases_dir();
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("{}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let p = entry.ok()?.path();
+            (p.extension().and_then(|x| x.to_str()) == Some("json")).then_some(p)
+        })
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 3,
+        "expected at least three regression cases in {}, found {}",
+        dir.display(),
+        paths.len()
+    );
+    for path in paths {
+        let case = CaseFile::load(&path).unwrap_or_else(|e| panic!("{e}"));
+        let report = run_scenario(&case.scenario);
+        assert!(
+            report.clean(),
+            "{} regressed: {}\n(original reason: {})",
+            path.display(),
+            report
+                .mismatch
+                .clone()
+                .unwrap_or_else(|| report.monitor_failures.join("; ")),
+            case.reason
+        );
+    }
+}

@@ -156,6 +156,15 @@ impl Flow {
         self.x.iter().zip(&p.cost).map(|(&x, &c)| x * c).sum()
     }
 
+    /// Total cost `cᵀx` with checked arithmetic; `None` if any product
+    /// or the running sum overflows `i64`.
+    pub fn try_cost(&self, p: &McfProblem) -> Option<i64> {
+        self.x
+            .iter()
+            .zip(&p.cost)
+            .try_fold(0i64, |acc, (&x, &c)| acc.checked_add(x.checked_mul(c)?))
+    }
+
     /// Check capacity bounds and conservation against the instance.
     pub fn is_feasible(&self, p: &McfProblem) -> bool {
         if self.x.len() != p.m() {

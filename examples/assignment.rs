@@ -26,7 +26,8 @@ fn main() {
     let g = DiGraph::from_edges(8, quals.clone());
 
     let mut tracker = Tracker::new();
-    let (size, matched) = bipartite_matching(&mut tracker, &g, 4, &SolverConfig::default());
+    let (size, matched) = bipartite_matching(&mut tracker, &g, 4, &SolverConfig::default())
+        .expect("valid bipartite instance");
 
     println!("maximum assignment covers {size} of 4 workers:");
     for &e in &matched {

@@ -8,7 +8,7 @@
 //! ```
 
 use pmcf_core::corollaries::negative_sssp;
-use pmcf_core::SolverConfig;
+use pmcf_core::{SolverConfig, SsspError};
 use pmcf_graph::DiGraph;
 use pmcf_pram::Tracker;
 
@@ -53,6 +53,10 @@ fn main() {
     w2.push(-14); // 8 + 7 − 2 − 14 = −1 < 0: free money
     let g2 = DiGraph::from_edges(5, edges2);
     let arb = negative_sssp(&mut tracker, &g2, &w2, 0, &SolverConfig::default());
-    assert!(arb.is_none(), "the arbitrage loop must be detected");
+    let Err(SsspError::NegativeCycle(cycle)) = arb else {
+        panic!("the arbitrage loop must be detected, got {arb:?}");
+    };
+    let gain: i64 = cycle.iter().map(|&e| w2[e]).sum();
     println!("\nwith a −14 CHF→USD leg the solver reports: arbitrage (negative cycle)");
+    println!("loop edges {cycle:?} net {gain} per round trip");
 }

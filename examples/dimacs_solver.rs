@@ -42,7 +42,7 @@ fn main() {
     eprintln!("instance: {} vertices, {} edges", problem.n(), problem.m());
     let mut t = Tracker::new();
     match solve_mcf(&mut t, &problem, &SolverConfig::default()) {
-        Some(sol) => {
+        Ok(sol) => {
             print!("{}", dimacs::write_solution(&problem, &sol.flow));
             eprintln!(
                 "solved: cost {}, {} IPM iterations, work {}, depth {}",
@@ -52,9 +52,13 @@ fn main() {
                 t.depth()
             );
         }
-        None => {
+        Err(pmcf_core::McfError::Infeasible) => {
             println!("s INFEASIBLE");
             std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("solve failed: {e}");
+            std::process::exit(3);
         }
     }
 }

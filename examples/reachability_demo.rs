@@ -30,7 +30,8 @@ fn main() {
     );
 
     let mut t_ipm = Tracker::new();
-    let ipm_mask = reachability(&mut t_ipm, &g, 0, &SolverConfig::default());
+    let ipm_mask =
+        reachability(&mut t_ipm, &g, 0, &SolverConfig::default()).expect("valid instance");
     println!(
         "IPM (flow):    {} reachable, work {}, depth {}",
         ipm_mask.iter().filter(|&&r| r).count(),

@@ -23,7 +23,7 @@ fn matching_equals_hopcroft_karp_across_instances() {
         let g = generators::random_bipartite(7, 9, 25, seed);
         let (want, _) = hopcroft_karp::max_matching(&g, 7);
         let mut t = Tracker::new();
-        let (got, _) = bipartite_matching(&mut t, &g, 7, &SolverConfig::default());
+        let (got, _) = bipartite_matching(&mut t, &g, 7, &SolverConfig::default()).unwrap();
         assert_eq!(got, want, "seed {seed}");
     }
 }
@@ -50,7 +50,7 @@ fn reachability_equals_bfs_on_hard_instances() {
     for (i, g) in cases.into_iter().enumerate() {
         let want = bfs::reachable_seq(&g, 0);
         let mut t = Tracker::new();
-        let got = reachability(&mut t, &g, 0, &SolverConfig::default());
+        let got = reachability(&mut t, &g, 0, &SolverConfig::default()).unwrap();
         assert_eq!(got, want, "case {i}");
     }
 }

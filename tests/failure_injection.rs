@@ -3,7 +3,7 @@
 //! never panic or return a wrong answer.
 
 use pmcf_baselines::ssp;
-use pmcf_core::{solve_mcf, SolverConfig};
+use pmcf_core::{solve_mcf, McfError, SolverConfig};
 use pmcf_graph::{generators, DiGraph, McfProblem};
 use pmcf_pram::Tracker;
 
@@ -12,15 +12,15 @@ fn check(p: &McfProblem, label: &str) {
     let mut t = Tracker::new();
     let got = solve_mcf(&mut t, p, &SolverConfig::default());
     match (want, got) {
-        (Some(w), Some(g)) => {
+        (Some(w), Ok(g)) => {
             assert!(g.flow.is_feasible(p), "{label}: infeasible output");
             assert_eq!(g.cost, w.cost(p), "{label}: wrong cost");
         }
-        (None, None) => {}
+        (None, Err(McfError::Infeasible)) => {}
         (w, g) => panic!(
-            "{label}: oracle feasible={} solver feasible={}",
+            "{label}: oracle feasible={} but solver said {:?}",
             w.is_some(),
-            g.is_some()
+            g.map(|s| s.cost)
         ),
     }
 }

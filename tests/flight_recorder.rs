@@ -14,7 +14,7 @@ use pmcf_pram::Tracker;
 fn record_solve(engine: &str, seed: u64) -> (Vec<pmcf_obs::Event>, u64) {
     pmcf_obs::install(FlightRecorder::new(pmcf_obs::recorder::DEFAULT_CAPACITY));
     let p = generators::random_mcf(10, 36, 4, 3, seed);
-    let ext = init::extend(&p);
+    let ext = init::extend(&p).unwrap();
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mu_end = init::final_mu(&ext.prob);
     let mut t = Tracker::profiled();
@@ -87,7 +87,7 @@ fn robust_solve_recording_passes_all_monitors() {
 fn recording_survives_jsonl_round_trip_with_same_verdicts() {
     pmcf_obs::install(FlightRecorder::new(8192));
     let p = generators::random_mcf(8, 24, 3, 3, 5);
-    let ext = init::extend(&p);
+    let ext = init::extend(&p).unwrap();
     let mu0 = init::initial_mu(&ext.prob, 0.25);
     let mut t = Tracker::new();
     let _ = pmcf_core::reference::path_follow(
