@@ -1,0 +1,91 @@
+//! A counting global allocator for the bench binaries.
+//!
+//! Wraps [`std::alloc::System`] and counts every allocation (and
+//! reallocation) with relaxed atomics — cheap enough to leave on for all
+//! benches, precise enough to assert *zero*: the solver bench measures
+//! the steady-state CG loop with [`measure_allocs`] and gates
+//! `allocs_per_iter == 0` against `results/baseline/solver.json`.
+//!
+//! The allocator is installed by linking this crate (the
+//! `#[global_allocator]` below), so every `pmcf-bench` binary counts
+//! automatically; library users of the solver stack are unaffected.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// [`System`] plus relaxed-atomic allocation counters.
+pub struct CountingAllocator;
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+/// Heap allocations observed so far in this process.
+pub fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Heap bytes requested so far in this process.
+pub fn alloc_bytes() -> u64 {
+    BYTES.load(Ordering::Relaxed)
+}
+
+/// Run `f` and return its result plus the number of heap allocations it
+/// performed. Single-threaded measurement only: concurrent allocations
+/// from other threads are attributed to `f`.
+pub fn measure_allocs<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = alloc_count();
+    let r = f();
+    (r, alloc_count() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_a_vec_allocation() {
+        let (v, allocs) = measure_allocs(|| vec![0u8; 4096]);
+        assert_eq!(v.len(), 4096);
+        assert!(allocs >= 1, "a fresh Vec must be counted");
+    }
+
+    #[test]
+    fn pure_arithmetic_is_allocation_free() {
+        let (sum, allocs) = measure_allocs(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(sum > 0);
+        assert_eq!(allocs, 0, "no heap traffic expected");
+    }
+}

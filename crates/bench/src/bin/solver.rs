@@ -5,9 +5,15 @@
 //! - `op=leverage` — a sketched leverage estimation (`r` independent CG
 //!   solves through `solve_batch`): wall clock (advisory), charged
 //!   work/depth, and total CG iterations.
+//! - `op=cg_steady` — repeated workspace-pooled solves against a fixed
+//!   diagonal after a warm-up solve, under the counting allocator:
+//!   `allocs_per_iter` is the gated metric and must stay exactly 0
+//!   (steady-state CG performs no heap allocation in the
+//!   matvec/vector-op path).
 //! - `op=ipm_cold` / `op=ipm_warm` — a full reference-IPM solve with
 //!   warm starts off / on; `cg_iterations` is the gated metric (the
-//!   reuse layer's whole point is to shrink it).
+//!   reuse layer's whole point is to shrink it), `wall_seconds` the
+//!   advisory wall-clock trend.
 //!
 //! Boolean invariants (a true→false flip fails the gate):
 //! - `warm_start_reduction_ok` — warm-started solve spends ≤ 0.8× the
@@ -22,7 +28,7 @@
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
 //! span-tree profile of the leverage run.
 
-use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, measure_allocs, Artifact, BenchArgs, Json};
 use pmcf_core::init;
 use pmcf_core::reference::{path_follow, PathFollowConfig};
 use pmcf_graph::generators;
@@ -87,6 +93,69 @@ fn main() {
         profile = Some((format!("leverage, n={lev_n}, m={lev_m}"), lev_t));
     }
 
+    // ---- steady-state CG: zero heap allocations once the pool is warm ----
+    // Same instance as the leverage run; fixed diagonal (pinned d_gen so
+    // the preconditioner caches), no warm-start guess so every solve runs
+    // the full CG loop. One warm-up solve populates the workspace, then
+    // the measured solves must not touch the allocator at all: scratch
+    // comes from the pool and the returned solution is handed back.
+    let steady_b: Vec<f64> = {
+        let mut b: Vec<f64> = (0..lev_n)
+            .map(|v| ((v * 31 + 3) % 17) as f64 - 8.0)
+            .collect();
+        b[0] = 0.0;
+        b
+    };
+    let steady_params = pmcf_linalg::solver::SolveParams {
+        d_gen: Some(1),
+        ..Default::default()
+    };
+    let steady_rounds = 16usize;
+    // warm-up: builds the preconditioner and fills every buffer class
+    {
+        let mut t = Tracker::new();
+        let (x, _) = solver.solve_with(&mut t, &d, &steady_b, &steady_params);
+        solver.workspace().give(x);
+    }
+    let mut steady_t = Tracker::new();
+    let steady_wall = Instant::now();
+    let ((), steady_allocs) = measure_allocs(|| {
+        for _ in 0..steady_rounds {
+            let (x, _) = solver.solve_with(&mut steady_t, &d, &steady_b, &steady_params);
+            solver.workspace().give(x);
+        }
+    });
+    let steady_wall = steady_wall.elapsed().as_secs_f64();
+    let steady_iters = {
+        let mut t = Tracker::new();
+        let (x, stats) = solver.solve_with(&mut t, &d, &steady_b, &steady_params);
+        solver.workspace().give(x);
+        stats.iterations as u64 * steady_rounds as u64
+    };
+    let allocs_per_iter = steady_allocs as f64 / steady_iters.max(1) as f64;
+    let zero_alloc = steady_allocs == 0;
+    mdln!(
+        args,
+        "| cg_steady | {lev_n} | {lev_m} | {steady_wall:.4} | {} | {} | {steady_iters} | 0 |",
+        steady_t.work(),
+        steady_t.depth(),
+    );
+    mdln!(
+        args,
+        "  (cg_steady: {steady_allocs} allocations over {steady_rounds} solves → {allocs_per_iter:.4} allocs/iter)"
+    );
+    artifact.row(vec![
+        ("op", Json::from("cg_steady")),
+        ("n", Json::from(lev_n)),
+        ("m", Json::from(lev_m)),
+        ("wall_seconds", Json::from(steady_wall)),
+        ("work", Json::from(steady_t.work())),
+        ("depth", Json::from(steady_t.depth())),
+        ("cg_iterations", Json::from(steady_iters)),
+        ("allocs", Json::from(steady_allocs)),
+        ("allocs_per_iter", Json::from(allocs_per_iter)),
+    ]);
+
     // ---- reference IPM, cold vs warm Newton solves ----
     let p = generators::random_mcf(32, 170, 4, 4, seed);
     let ext = init::extend(&p).expect("bench instance within magnitude bounds");
@@ -99,19 +168,20 @@ fn main() {
             adaptive_tol: warm,
             ..PathFollowConfig::default()
         };
+        let wall = Instant::now();
         let (_, stats) = path_follow(&mut t, &ext.prob, ext.x0.clone(), mu0, mu_end, &cfg);
-        (stats, t)
+        (stats, t, wall.elapsed().as_secs_f64())
     };
-    let (cold_stats, cold_t) = run_ipm(false);
-    let (warm_stats, warm_t) = run_ipm(true);
+    let (cold_stats, cold_t, cold_wall) = run_ipm(false);
+    let (warm_stats, warm_t, warm_wall) = run_ipm(true);
     let warm_hits = counter(&warm_t, "solver.warm_start_hits");
-    for (op, stats, t, hits) in [
-        ("ipm_cold", &cold_stats, &cold_t, 0u64),
-        ("ipm_warm", &warm_stats, &warm_t, warm_hits),
+    for (op, stats, t, wall, hits) in [
+        ("ipm_cold", &cold_stats, &cold_t, cold_wall, 0u64),
+        ("ipm_warm", &warm_stats, &warm_t, warm_wall, warm_hits),
     ] {
         mdln!(
             args,
-            "| {op} | {} | {} | - | {} | {} | {} | {hits} |",
+            "| {op} | {} | {} | {wall:.4} | {} | {} | {} | {hits} |",
             ext.prob.n(),
             ext.prob.m(),
             t.work(),
@@ -122,6 +192,7 @@ fn main() {
             ("op", Json::from(op)),
             ("n", Json::from(ext.prob.n())),
             ("m", Json::from(ext.prob.m())),
+            ("wall_seconds", Json::from(wall)),
             ("work", Json::from(t.work())),
             ("depth", Json::from(t.depth())),
             ("cg_iterations", Json::from(stats.cg_iterations)),
@@ -179,6 +250,7 @@ fn main() {
     artifact.set("warm_start_reduction_ok", Json::from(warm_ok));
     artifact.set("batch_matches_single", Json::from(batch_ok));
     artifact.set("parallel_cost_model_consistent", Json::from(cost_model_ok));
+    artifact.set("cg_steady_zero_alloc", Json::from(zero_alloc));
 
     if let Some((label, t)) = profile {
         artifact.attach_profile(&label, &t);

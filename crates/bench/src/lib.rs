@@ -8,9 +8,11 @@
 use pmcf_core::reference::PathFollowConfig;
 use pmcf_core::{Engine, SolverConfig};
 
+pub mod alloc_counter;
 pub mod artifact;
 pub mod gate;
 
+pub use alloc_counter::{alloc_bytes, alloc_count, measure_allocs};
 pub use artifact::{Artifact, BenchArgs, Json};
 
 /// The three solver rows of Table 1 (left).

@@ -21,7 +21,7 @@ use crate::barrier;
 use pmcf_graph::{incidence, McfProblem};
 use pmcf_linalg::leverage::estimate_leverage;
 use pmcf_linalg::solver::{LaplacianSolver, SolverOpts};
-use pmcf_pram::{Cost, Tracker};
+use pmcf_pram::{Cost, Tracker, Workspace};
 
 /// Safety factor declared in `solve.start` events for the
 /// `iteration-envelope` monitor: with μ shrinking by `1 − r/√Στ` and
@@ -243,6 +243,11 @@ pub fn path_follow_traced(
         };
     refresh_tau(t, &mut st, &mut stats, 0);
 
+    // One buffer arena for the whole solve: every Newton temporary and
+    // all CG scratch (threaded through `SolveParams::ws`) recycles here,
+    // so steady-state steps perform zero heap allocations in the
+    // matvec/vector-op path.
+    let ws = Workspace::new();
     // Previous Newton solution, carried across steps as a warm start.
     let mut prev_dy: Option<Vec<f64>> = None;
     let mut newton =
@@ -250,31 +255,37 @@ pub fn path_follow_traced(
             t.span("ipm/newton", |t| {
                 t.counter("ipm.newton_steps", 1);
                 // residuals
-                let ddx: Vec<f64> =
-                    st.x.iter()
-                        .zip(&cap)
-                        .map(|(&xi, &ui)| barrier::ddphi(xi, ui))
-                        .collect();
-                let r_d: Vec<f64> =
-                    st.x.iter()
-                        .zip(&cap)
-                        .zip(&st.s)
-                        .zip(&st.tau)
-                        .map(|(((&xi, &ui), &si), &ti)| si + st.mu * ti * barrier::dphi(xi, ui))
-                        .collect();
-                let atx = incidence::apply_at(t, &p.graph, &st.x);
-                let r_p: Vec<f64> = b.iter().zip(&atx).map(|(&bi, &ai)| bi - ai).collect();
+                let mut ddx = ws.take(t, m);
+                for (o, (&xi, &ui)) in ddx.iter_mut().zip(st.x.iter().zip(&cap)) {
+                    *o = barrier::ddphi(xi, ui);
+                }
+                let mut r_d = ws.take(t, m);
+                for (o, (((&xi, &ui), &si), &ti)) in r_d
+                    .iter_mut()
+                    .zip(st.x.iter().zip(&cap).zip(&st.s).zip(&st.tau))
+                {
+                    *o = si + st.mu * ti * barrier::dphi(xi, ui);
+                }
+                let mut r_p = ws.take(t, n);
+                incidence::apply_at_into(t, &p.graph, &st.x, &mut r_p);
+                for (o, &bi) in r_p.iter_mut().zip(&b) {
+                    *o = bi - *o;
+                }
                 // D = 1/(μ τ φ'')
-                let d: Vec<f64> = st
-                    .tau
-                    .iter()
-                    .zip(&ddx)
-                    .map(|(&ti, &pi)| 1.0 / (st.mu * ti * pi))
-                    .collect();
+                let mut d = ws.take(t, m);
+                for (o, (&ti, &pi)) in d.iter_mut().zip(st.tau.iter().zip(&ddx)) {
+                    *o = 1.0 / (st.mu * ti * pi);
+                }
                 // rhs = r_p + AᵀD r_d
-                let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
-                let at_dr = incidence::apply_at(t, &p.graph, &dr);
-                let mut rhs: Vec<f64> = r_p.iter().zip(&at_dr).map(|(&a, &c2)| a + c2).collect();
+                let mut dr = ws.take(t, m);
+                for (o, (&di, &ri)) in dr.iter_mut().zip(d.iter().zip(&r_d)) {
+                    *o = di * ri;
+                }
+                let mut rhs = ws.take(t, n);
+                incidence::apply_at_into(t, &p.graph, &dr, &mut rhs);
+                for (o, &a) in rhs.iter_mut().zip(&r_p) {
+                    *o += a;
+                }
                 rhs[0] = 0.0;
                 // Per-phase adaptive tolerance: far from centered (large
                 // ‖z‖_∞) a loose direction suffices — the damped line search
@@ -295,20 +306,16 @@ pub fn path_follow_traced(
                         None
                     },
                     d_gen: None,
+                    ws: Some(&ws),
                 };
                 let (dy, solve_stats) = solver.solve_with(t, &d, &rhs, &params);
                 stats.cg_iterations += solve_stats.iterations;
-                if cfg.warm_start {
-                    prev_dy = Some(dy.clone());
+                // δ_x = D(A δ_y − r_d); `dr` is dead, reuse it for A δ_y
+                incidence::apply_a_into(t, &p.graph, &dy, &mut dr);
+                let mut dx = ws.take(t, m);
+                for (o, ((&di, &ai), &ri)) in dx.iter_mut().zip(d.iter().zip(&dr).zip(&r_d)) {
+                    *o = di * (ai - ri);
                 }
-                // δ_x = D(A δ_y − r_d)
-                let ady = incidence::apply_a(t, &p.graph, &dy);
-                let dx: Vec<f64> = d
-                    .iter()
-                    .zip(&ady)
-                    .zip(&r_d)
-                    .map(|((&di, &ai), &ri)| di * (ai - ri))
-                    .collect();
                 t.charge(Cost::par_flat(m as u64 * 4));
                 // line search: stay strictly inside the box
                 let mut alpha = 1.0f64;
@@ -326,11 +333,25 @@ pub fn path_follow_traced(
                 for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
                     *yi += alpha * dyi;
                 }
-                let ay = incidence::apply_a(t, &p.graph, &st.y);
-                for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(&ay) {
+                // s = c − A y; reuse the dead m-length `dr` once more
+                incidence::apply_a_into(t, &p.graph, &st.y, &mut dr);
+                for ((si, &ci), &ayi) in st.s.iter_mut().zip(&cost).zip(dr.iter()) {
                     *si = ci - ayi;
                 }
                 stats.newton_steps += 1;
+                // recycle everything; `dy` either becomes the next warm
+                // start (displacing its predecessor into the pool) or
+                // goes straight back
+                if cfg.warm_start {
+                    if let Some(old) = prev_dy.replace(dy) {
+                        ws.give(old);
+                    }
+                } else {
+                    ws.give(dy);
+                }
+                for buf in [ddx, r_d, r_p, d, dr, rhs, dx] {
+                    ws.give(buf);
+                }
                 alpha
             })
         };

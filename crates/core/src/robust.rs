@@ -35,7 +35,7 @@ use pmcf_ds::primal::PrimalGradient;
 use pmcf_graph::{incidence, DiGraph, McfProblem};
 use pmcf_linalg::lewis::ipm_p;
 use pmcf_linalg::solver::{LaplacianSolver, RhsSpec, SolveParams, SolverOpts};
-use pmcf_pram::{Cost, Tracker};
+use pmcf_pram::{Cost, Tracker, Workspace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -233,6 +233,10 @@ pub fn path_follow(
     let mut stats = PathStats::default();
     emit_solve_start("robust", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
+    // One buffer arena for the whole solve: Newton temporaries, the
+    // per-step RHS copies, and all CG scratch (including the short-lived
+    // sparsifier solvers') recycle here.
+    let ws = Workspace::new();
     // dense recentering helper (shared with exactification); carries the
     // previous Newton solution across rounds as a CG warm start
     let mut recenter_warm: Option<Vec<f64>> = None;
@@ -262,6 +266,7 @@ pub fn path_follow(
                         stats,
                         cfg.warm_start,
                         &mut recenter_warm,
+                        &ws,
                     );
                 }
             })
@@ -398,9 +403,9 @@ pub fn path_follow(
                 let ug = pmcf_graph::UGraph::from_edges(n, h_edges.clone());
                 pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1
             };
-            let mut rhs_y = vbar.clone();
+            let mut rhs_y = ws.take_copy(t, &vbar);
             rhs_y[0] = 0.0;
-            let mut rhs_c = rs.infeas.clone();
+            let mut rhs_c = ws.take_copy(t, &rs.infeas);
             rhs_c[0] = 0.0;
             // Both right-hand sides share the step's preconditioner: solve
             // them as one batch (independent CG branches in the model).
@@ -423,6 +428,8 @@ pub fn path_follow(
                 },
             ];
             let mut solves = if sparsifier_ok {
+                // the sparsifier solver is short-lived; route its CG
+                // scratch through the long-lived arena
                 let hsolver = LaplacianSolver::new(
                     DiGraph::from_edges(n, h_edges),
                     0,
@@ -431,25 +438,26 @@ pub fn path_follow(
                         max_iter: 250,
                     },
                 );
-                hsolver.solve_batch(t, &h_weights, &specs, None)
+                hsolver.solve_batch_with(t, &h_weights, &specs, None, Some(&ws))
             } else {
                 // degenerate sample: fall back to the full matrix this step
                 t.counter("ipm.sparsifier_fallbacks", 1);
                 let d_full: Vec<f64> = (0..m).map(d_at).collect();
                 t.charge(Cost::par_flat(m as u64));
-                solver.solve_batch(t, &d_full, &specs, None)
+                solver.solve_batch_with(t, &d_full, &specs, None, Some(&ws))
             };
             stats.cg_iterations += solves[0].1.iterations + solves[1].1.iterations;
             let (dc, _) = solves.pop().expect("batch of two");
             let (dy, _) = solves.pop().expect("batch of two");
-            if cfg.warm_start {
-                prev_dy = Some(dy.clone());
-                prev_dc = Some(dc.clone());
-            }
+            ws.give(rhs_y);
+            ws.give(rhs_c);
             stats.newton_steps += 1;
 
             // combined potential for the sampled correction
-            let pot: Vec<f64> = dy.iter().zip(&dc).map(|(&a, &b2)| a + b2).collect();
+            let mut pot = ws.take(t, n);
+            for (o, (&a, &b2)) in pot.iter_mut().zip(dy.iter().zip(&dc)) {
+                *o = a + b2;
+            }
 
             // R-sampled sparse part of δ_x: −R T̄⁻¹Φ''⁻¹ A(δ_y+δ_c)
             let r_sample = if cfg.dense_sampling {
@@ -484,8 +492,27 @@ pub fn path_follow(
             }
             t.charge(Cost::par_flat((n + h_sparse.len()) as u64));
             // δ_s = −A δ_y (the dual slack moves opposite the potentials)
-            let neg_dy: Vec<f64> = dy.iter().map(|&v| -v).collect();
+            let mut neg_dy = ws.take(t, n);
+            for (o, &v) in neg_dy.iter_mut().zip(dy.iter()) {
+                *o = -v;
+            }
             let j_s = rs.dm.add(t, &neg_dy);
+            ws.give(neg_dy);
+            ws.give(pot);
+            // δ_y/δ_c either become the next step's warm starts
+            // (displacing their predecessors into the pool) or go
+            // straight back
+            if cfg.warm_start {
+                if let Some(old) = prev_dy.replace(dy) {
+                    ws.give(old);
+                }
+                if let Some(old) = prev_dc.replace(dc) {
+                    ws.give(old);
+                }
+            } else {
+                ws.give(dy);
+                ws.give(dc);
+            }
 
             // refresh per-coordinate state for everything that moved
             let mut dirty: Vec<usize> = j_x.into_iter().chain(j_s).chain(tau_updates).collect();
@@ -575,40 +602,48 @@ fn dense_newton(
     stats: &mut PathStats,
     warm_start: bool,
     warm: &mut Option<Vec<f64>>,
+    ws: &Workspace,
 ) {
     t.span("ipm/newton", |t| {
         t.counter("ipm.newton_steps", 1);
         let m = p.m();
-        let b: Vec<f64> = p.demand.iter().map(|&d| d as f64).collect();
-        let r_d: Vec<f64> = (0..m)
-            .map(|e| {
-                let (d1, _) = phi_terms(st.x[e], cap[e]);
-                st.s[e] + st.mu * st.tau[e] * d1
-            })
-            .collect();
-        let atx = incidence::apply_at(t, &p.graph, &st.x);
-        let d: Vec<f64> = (0..m)
-            .map(|e| {
-                let (_, d2) = phi_terms(st.x[e], cap[e]);
-                1.0 / (st.mu * st.tau[e] * d2)
-            })
-            .collect();
-        let dr: Vec<f64> = d.iter().zip(&r_d).map(|(&di, &ri)| di * ri).collect();
-        let at_dr = incidence::apply_at(t, &p.graph, &dr);
-        let mut rhs: Vec<f64> = (0..p.n()).map(|v| b[v] - atx[v] + at_dr[v]).collect();
+        let n = p.n();
+        let mut r_d = ws.take(t, m);
+        for (e, o) in r_d.iter_mut().enumerate() {
+            let (d1, _) = phi_terms(st.x[e], cap[e]);
+            *o = st.s[e] + st.mu * st.tau[e] * d1;
+        }
+        let mut atx = ws.take(t, n);
+        incidence::apply_at_into(t, &p.graph, &st.x, &mut atx);
+        let mut d = ws.take(t, m);
+        for (e, o) in d.iter_mut().enumerate() {
+            let (_, d2) = phi_terms(st.x[e], cap[e]);
+            *o = 1.0 / (st.mu * st.tau[e] * d2);
+        }
+        let mut dr = ws.take(t, m);
+        for (o, (&di, &ri)) in dr.iter_mut().zip(d.iter().zip(r_d.iter())) {
+            *o = di * ri;
+        }
+        let mut rhs = ws.take(t, n);
+        incidence::apply_at_into(t, &p.graph, &dr, &mut rhs);
+        for (v, o) in rhs.iter_mut().enumerate() {
+            *o += p.demand[v] as f64 - atx[v];
+        }
         rhs[0] = 0.0;
         let params = SolveParams {
             opts: None,
             guess: if warm_start { warm.as_deref() } else { None },
             d_gen: None,
+            ws: Some(ws),
         };
         let (dy, ss) = solver.solve_with(t, &d, &rhs, &params);
         stats.cg_iterations += ss.iterations;
-        if warm_start {
-            *warm = Some(dy.clone());
+        // δ_x = D(A δ_y − r_d); `dr` is dead, reuse it for A δ_y
+        incidence::apply_a_into(t, &p.graph, &dy, &mut dr);
+        let mut dx = ws.take(t, m);
+        for (e, o) in dx.iter_mut().enumerate() {
+            *o = d[e] * (dr[e] - r_d[e]);
         }
-        let ady = incidence::apply_a(t, &p.graph, &dy);
-        let dx: Vec<f64> = (0..m).map(|e| d[e] * (ady[e] - r_d[e])).collect();
         let mut alpha = 1.0f64;
         for (e, &dxe) in dx.iter().enumerate() {
             if dxe > 0.0 {
@@ -618,17 +653,28 @@ fn dense_newton(
             }
         }
         t.charge(Cost::par_flat(m as u64 * 4).seq(Cost::reduce(m as u64)));
-        for (xe, &dxe) in st.x.iter_mut().zip(&dx) {
+        for (xe, &dxe) in st.x.iter_mut().zip(dx.iter()) {
             *xe += alpha * dxe;
         }
         for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
             *yi += alpha * dyi;
         }
-        let ay = incidence::apply_a(t, &p.graph, &st.y);
-        for ((se, &ce), &aye) in st.s.iter_mut().zip(cost.iter()).zip(&ay) {
+        // s = c − A y; reuse the dead m-length `dr` once more
+        incidence::apply_a_into(t, &p.graph, &st.y, &mut dr);
+        for ((se, &ce), &aye) in st.s.iter_mut().zip(cost.iter()).zip(dr.iter()) {
             *se = ce - aye;
         }
         stats.newton_steps += 1;
+        if warm_start {
+            if let Some(old) = warm.replace(dy) {
+                ws.give(old);
+            }
+        } else {
+            ws.give(dy);
+        }
+        for buf in [r_d, atx, d, dr, rhs, dx] {
+            ws.give(buf);
+        }
     })
 }
 

@@ -97,6 +97,51 @@ proptest! {
     }
 
     #[test]
+    fn fused_laplacian_matches_unfused(edges in arb_edges(10, 50),
+                                       ground in 0usize..10,
+                                       seedd in 0u64..100) {
+        // The fused one-pass kernel is value-equal (to 1e-12) AND
+        // charge-equal to the unfused A/D/Aᵀ composition: swapping it
+        // into the CG matvec must change neither results nor the PRAM
+        // cost model's accounting.
+        let g = DiGraph::from_edges(10, edges);
+        let d: Vec<f64> = (0..g.m())
+            .map(|e| 0.25 + ((e as u64 * 48271 + seedd) % 97) as f64 / 24.0)
+            .collect();
+        let mut y: Vec<f64> = (0..g.n())
+            .map(|v| ((v as u64 * 69621 + seedd * 7) % 19) as f64 - 9.0)
+            .collect();
+        y[ground] = 0.0;
+        let mut t1 = Tracker::new();
+        let want = incidence::apply_laplacian(&mut t1, &g, &d, ground, &y);
+        let mut t2 = Tracker::new();
+        let got = incidence::apply_laplacian_fused(&mut t2, &g, &d, ground, &y);
+        for (v, (a, b)) in want.iter().zip(&got).enumerate() {
+            prop_assert!(
+                (a - b).abs() <= 1e-12 * (1.0 + a.abs()),
+                "vertex {}: unfused {} vs fused {}", v, a, b
+            );
+        }
+        prop_assert_eq!(t1.total(), t2.total(), "fused kernel must charge the unfused cost");
+    }
+
+    #[test]
+    fn fused_into_overwrites_dirty_buffer(edges in arb_edges(8, 40), seedd in 0u64..50) {
+        // the `_into` form must fully overwrite caller scratch — pooled
+        // buffers arrive dirty in the zero-allocation CG loop
+        let g = DiGraph::from_edges(8, edges);
+        let d: Vec<f64> = (0..g.m()).map(|e| 0.5 + ((e * 7) % 13) as f64 / 5.0).collect();
+        let mut y: Vec<f64> = (0..g.n())
+            .map(|v| ((v as u64 * 31 + seedd) % 11) as f64 - 5.0)
+            .collect();
+        y[0] = 0.0;
+        let want = incidence::apply_laplacian_fused(&mut Tracker::new(), &g, &d, 0, &y);
+        let mut out = vec![f64::NAN; g.n()];
+        incidence::apply_laplacian_fused_into(&mut Tracker::new(), &g, &d, 0, &y, &mut out);
+        prop_assert_eq!(out, want);
+    }
+
+    #[test]
     fn imbalance_of_conserving_flow_is_zero(n in 4usize..12, seed in 0u64..30) {
         // route along the generator's embedded witness: x = flow used to
         // define b, so imbalance must vanish

@@ -15,7 +15,7 @@
 //! `σ_e = ‖P e_e‖²` for the projection `P = √D A L⁻¹ Aᵀ √D`, estimated by
 //! `Σ_i (√d_e (A z_i)_e)²` where `L z_i = Aᵀ √D qᵢ`.
 
-use crate::dense;
+use crate::dense::DenseMat;
 use crate::sketch::JlSketch;
 use crate::solver::{LaplacianSolver, RhsSpec};
 use pmcf_graph::{incidence, DiGraph};
@@ -23,8 +23,12 @@ use pmcf_pram::{Cost, Tracker};
 
 /// Exact leverage scores via a dense inverse (test oracle; `O(n³)`).
 pub fn exact_leverage(g: &DiGraph, d: &[f64], ground: usize) -> Vec<f64> {
-    let l = incidence::dense_grounded_laplacian(g, d, ground);
-    let inv = dense::inverse(&l).expect("grounded Laplacian must be invertible");
+    let l = DenseMat::from_flat(
+        g.n(),
+        g.n(),
+        incidence::grounded_laplacian_flat(g, d, ground),
+    );
+    let inv = l.inverse().expect("grounded Laplacian must be invertible");
     g.edges()
         .iter()
         .enumerate()
@@ -39,7 +43,7 @@ pub fn exact_leverage(g: &DiGraph, d: &[f64], ground: usize) -> Vec<f64> {
                     if j == ground {
                         continue;
                     }
-                    quad += wi * wj * inv[i][j];
+                    quad += wi * wj * inv.get(i, j);
                 }
             }
             (d[e] * quad).clamp(0.0, 1.0)

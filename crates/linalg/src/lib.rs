@@ -23,4 +23,5 @@ pub mod sketch;
 pub mod solver;
 pub mod sparsifier;
 
+pub use dense::DenseMat;
 pub use solver::{LaplacianSolver, SolveStats, SolverOpts};

@@ -40,7 +40,7 @@
 //! summary event from the calling thread instead.
 
 use pmcf_graph::{incidence, DiGraph};
-use pmcf_pram::{primitives as pp, Cost, Tracker};
+use pmcf_pram::{primitives as pp, Cost, Tracker, Workspace};
 use std::sync::{Arc, Mutex};
 
 /// Options controlling a Laplacian solve.
@@ -99,6 +99,12 @@ pub struct SolveParams<'a> {
     /// that solve repeatedly against an unchanged `d` pass the same
     /// generation and skip the rebuild. `None` bypasses the cache.
     pub d_gen: Option<u64>,
+    /// Buffer pool to draw CG scratch vectors from; `None` uses the
+    /// solver's own arena. Callers running a whole IPM pass one
+    /// [`Workspace`] so every solve (and the returned solution vectors,
+    /// once handed back with [`Workspace::give`]) recycles through a
+    /// single pool.
+    pub ws: Option<&'a Workspace>,
 }
 
 /// One right-hand side of a batched solve.
@@ -121,6 +127,10 @@ pub struct LaplacianSolver {
     opts: SolverOpts,
     /// `(d_gen, minv)` of the most recently built keyed preconditioner.
     cache: Mutex<Option<(u64, Arc<Vec<f64>>)>>,
+    /// Fallback buffer pool for callers that don't supply
+    /// [`SolveParams::ws`]; shared across the fork-join branches of
+    /// [`LaplacianSolver::solve_batch`].
+    ws: Workspace,
 }
 
 impl LaplacianSolver {
@@ -134,7 +144,16 @@ impl LaplacianSolver {
             ground,
             opts,
             cache: Mutex::new(None),
+            ws: Workspace::new(),
         }
+    }
+
+    /// The solver's internal buffer pool (the arena used when a call
+    /// does not supply [`SolveParams::ws`]). Hand solution vectors back
+    /// with [`Workspace::give`] to keep steady-state solves
+    /// allocation-free.
+    pub fn workspace(&self) -> &Workspace {
+        &self.ws
     }
 
     /// The underlying graph.
@@ -212,8 +231,9 @@ impl LaplacianSolver {
     ) -> (Vec<f64>, SolveStats) {
         t.span("linalg/solve", |t| {
             let opts = params.opts.unwrap_or(self.opts);
+            let ws = params.ws.unwrap_or(&self.ws);
             let pc = self.precondition(t, d, params.d_gen);
-            let (x, stats) = self.cg(t, d, b, &pc, params.guess, &opts);
+            let (x, stats) = self.cg(t, d, b, &pc, params.guess, &opts, ws);
             self.record_solve(t, &stats);
             pmcf_obs::emit_with("solver.solve", || {
                 vec![
@@ -244,11 +264,30 @@ impl LaplacianSolver {
         rhss: &[RhsSpec<'_>],
         opts: Option<SolverOpts>,
     ) -> Vec<(Vec<f64>, SolveStats)> {
+        self.solve_batch_with(t, d, rhss, opts, None)
+    }
+
+    /// [`LaplacianSolver::solve_batch`] drawing scratch (and the returned
+    /// solution vectors) from a caller-supplied [`Workspace`] instead of
+    /// the solver's internal arena — the zero-allocation path for IPM
+    /// loops that batch-solve against short-lived sparsifier solvers.
+    pub fn solve_batch_with(
+        &self,
+        t: &mut Tracker,
+        d: &[f64],
+        rhss: &[RhsSpec<'_>],
+        opts: Option<SolverOpts>,
+        ws: Option<&Workspace>,
+    ) -> Vec<(Vec<f64>, SolveStats)> {
         t.span("linalg/solve-batch", |t| {
             let opts = opts.unwrap_or(self.opts);
+            let ws = ws.unwrap_or(&self.ws);
             let pc = self.precondition(t, d, None);
+            // All branches draw scratch from one shared arena — the pool
+            // is internally synchronized, so concurrent checkouts never
+            // alias and every branch's buffers recycle.
             let results = t.parallel(rhss.len(), |i, t| {
-                self.cg(t, d, rhss[i].b, &pc, rhss[i].guess, &opts)
+                self.cg(t, d, rhss[i].b, &pc, rhss[i].guess, &opts, ws)
             });
             let mut total_iters = 0u64;
             let mut warm_hits = 0u64;
@@ -288,6 +327,14 @@ impl LaplacianSolver {
     /// iteration overrun or numerical breakdown it is whichever iterate
     /// had the smallest relative residual, and `stats.rel_residual`
     /// always describes the returned vector.
+    ///
+    /// Every scratch vector (and the returned solution) is checked out
+    /// of `ws`, the matvec is the fused single-pass
+    /// [`incidence::apply_laplacian_fused_into`], and the vector updates
+    /// use the fused in-place primitives — once the pool is warm a whole
+    /// call performs **zero** heap allocations. Charged PRAM cost is
+    /// bit-identical to the original unfused composition.
+    #[allow(clippy::too_many_arguments)]
     fn cg(
         &self,
         t: &mut Tracker,
@@ -296,63 +343,69 @@ impl LaplacianSolver {
         pc: &Precond,
         guess: Option<&[f64]>,
         opts: &SolverOpts,
+        ws: &Workspace,
     ) -> (Vec<f64>, SolveStats) {
         let n = self.graph.n();
-        assert_eq!(d.len(), self.graph.m());
+        let g = &self.graph;
+        assert_eq!(d.len(), g.m());
         assert_eq!(b.len(), n);
         debug_assert!(d.iter().all(|&w| w > 0.0), "D must be positive");
         let minv: &[f64] = &pc.minv;
 
-        let mut bb = b.to_vec();
+        let mut bb = ws.take_copy(t, b);
         bb[self.ground] = 0.0;
         let bnorm = pp::par_dot(t, &bb, &bb).sqrt();
         if bnorm == 0.0 {
-            return (vec![0.0; n], SolveStats::default());
+            ws.give(bb);
+            return (ws.take(t, n), SolveStats::default());
         }
 
         let mut stats = SolveStats::default();
+        let mut x = ws.take(t, n);
+        let mut r = ws.take_copy(t, &bb);
+        let mut rel = 1.0;
         // Warm start: accept the guess only if it strictly beats x = 0.
-        let (mut x, mut r, mut rel) = match guess {
-            Some(g0) if g0.len() == n => {
-                let mut xg = g0.to_vec();
-                xg[self.ground] = 0.0;
-                let lx = incidence::apply_laplacian(t, &self.graph, d, self.ground, &xg);
-                // Optimal scaling: start from `c·x₀` with `c` minimizing
-                // `‖b − c·Lx₀‖₂`. The guess *direction* is what carries
-                // across Newton steps; its magnitude often does not
-                // (corrector directions shrink quadratically), and the
-                // scaled start is never worse than cold.
-                let num = pp::par_dot(t, &lx, &bb);
-                let den = pp::par_dot(t, &lx, &lx);
-                let c = if den > 0.0 && num.is_finite() {
-                    num / den
-                } else {
-                    0.0
-                };
-                let zero = vec![0.0; n];
-                pp::par_xpay(t, &zero, c, &mut xg);
-                let mut rg = bb.clone();
-                pp::par_axpy(t, -c, &lx, &mut rg);
-                let rnorm = pp::par_dot(t, &rg, &rg).sqrt();
-                if rnorm.is_finite() && rnorm < bnorm {
-                    stats.warm_start = true;
-                    (xg, rg, rnorm / bnorm)
-                } else {
-                    (vec![0.0; n], bb.clone(), 1.0)
-                }
+        if let Some(g0) = guess.filter(|g0| g0.len() == n) {
+            let mut xg = ws.take_copy(t, g0);
+            xg[self.ground] = 0.0;
+            let mut lx = ws.take(t, n);
+            incidence::apply_laplacian_fused_into(t, g, d, self.ground, &xg, &mut lx);
+            // Optimal scaling: start from `c·x₀` with `c` minimizing
+            // `‖b − c·Lx₀‖₂`. The guess *direction* is what carries
+            // across Newton steps; its magnitude often does not
+            // (corrector directions shrink quadratically), and the
+            // scaled start is never worse than cold.
+            let num = pp::par_dot(t, &lx, &bb);
+            let den = pp::par_dot(t, &lx, &lx);
+            let c = if den > 0.0 && num.is_finite() {
+                num / den
+            } else {
+                0.0
+            };
+            pp::par_scale(t, c, &mut xg);
+            // r currently holds b; fold in −c·Lx₀ and its norm in one pass.
+            let rnorm = pp::par_axpy_norm2(t, -c, &lx, &mut r).sqrt();
+            ws.give(lx);
+            if rnorm.is_finite() && rnorm < bnorm {
+                stats.warm_start = true;
+                rel = rnorm / bnorm;
+                ws.give(std::mem::replace(&mut x, xg));
+            } else {
+                ws.give(xg);
+                r.copy_from_slice(&bb);
             }
-            _ => (vec![0.0; n], bb.clone(), 1.0),
-        };
+        }
         stats.rel_residual = rel;
 
-        let mut z = pp::par_hadamard(t, &r, minv);
-        let mut p = z.clone();
-        let mut rz = pp::par_dot(t, &r, &z);
+        let mut z = ws.take(t, n);
+        let mut rz = pp::par_hadamard_dot(t, &r, minv, &mut z);
+        let mut p = ws.take_copy(t, &z);
+        let mut ap = ws.take(t, n);
         let mut best_rel = rel;
-        let mut best_x = x.clone();
+        let mut best_x = ws.take_copy(t, &x);
 
         for it in 0..opts.max_iter {
-            let ap = incidence::apply_laplacian(t, &self.graph, d, self.ground, &p);
+            incidence::apply_laplacian_fused_into(t, g, d, self.ground, &p, &mut ap);
             let pap = pp::par_dot(t, &p, &ap);
             if pap <= 0.0 || !pap.is_finite() {
                 // `stats.rel_residual` already holds the true residual of
@@ -362,21 +415,19 @@ impl LaplacianSolver {
             }
             let alpha = rz / pap;
             pp::par_axpy(t, alpha, &p, &mut x);
-            pp::par_axpy(t, -alpha, &ap, &mut r);
-            let rnorm = pp::par_dot(t, &r, &r).sqrt();
+            let rnorm = pp::par_axpy_norm2(t, -alpha, &ap, &mut r).sqrt();
             rel = rnorm / bnorm;
             stats.iterations = it + 1;
             stats.rel_residual = rel;
             if rel < best_rel {
                 best_rel = rel;
-                best_x.clone_from(&x);
+                best_x.copy_from_slice(&x);
                 t.charge_par_flat(n as u64);
             }
             if rel <= opts.tol {
                 break;
             }
-            z = pp::par_hadamard(t, &r, minv);
-            let rz_new = pp::par_dot(t, &r, &z);
+            let rz_new = pp::par_hadamard_dot(t, &r, minv, &mut z);
             let beta = rz_new / rz;
             rz = rz_new;
             pp::par_xpay(t, &z, beta, &mut p);
@@ -384,10 +435,13 @@ impl LaplacianSolver {
         // Non-monotone exit (overrun or breakdown): hand back the best
         // iterate seen, with its residual.
         if stats.rel_residual > best_rel {
-            x = best_x;
+            std::mem::swap(&mut x, &mut best_x);
             stats.rel_residual = best_rel;
         }
         x[self.ground] = 0.0;
+        for buf in [bb, r, z, p, ap, best_x] {
+            ws.give(buf);
+        }
         (x, stats)
     }
 }

@@ -27,9 +27,12 @@ pub mod cost;
 pub mod primitives;
 pub mod profile;
 pub mod tracker;
+pub mod workspace;
 
 pub use cost::Cost;
+pub use primitives::seq_cutoff;
 pub use tracker::{ParMode, SpanGuard, Tracker};
+pub use workspace::Workspace;
 
 /// `⌈log₂(n)⌉` for `n ≥ 1`; returns 0 for `n ≤ 1`.
 #[inline]

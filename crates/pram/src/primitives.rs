@@ -8,9 +8,29 @@
 
 use crate::{Cost, Tracker};
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
-/// Below this size rayon fork overhead dominates; run sequentially.
-const SEQ_CUTOFF: usize = 2048;
+/// Environment variable overriding the sequential-fallback threshold.
+pub const SEQ_CUTOFF_ENV: &str = "PMCF_SEQ_CUTOFF";
+
+/// Default sequential-fallback threshold (inputs below it skip the pool).
+pub const SEQ_CUTOFF_DEFAULT: usize = 2048;
+
+/// The workspace-wide sequential-fallback threshold: inputs shorter than
+/// this run sequentially because fork overhead would dominate (the
+/// charged model cost is unchanged either way). One tunable for every
+/// crate — `pmcf-graph`'s incidence kernels read it too — overridable
+/// with `PMCF_SEQ_CUTOFF=<n>` (read once, cached for the process).
+#[inline]
+pub fn seq_cutoff() -> usize {
+    static CUTOFF: OnceLock<usize> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var(SEQ_CUTOFF_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(SEQ_CUTOFF_DEFAULT)
+    })
+}
 
 /// Parallel map: `out[i] = f(&xs[i])`. Work `n`, depth `log n + 1`.
 pub fn par_map<T: Sync, U: Send>(
@@ -19,7 +39,7 @@ pub fn par_map<T: Sync, U: Send>(
     f: impl Fn(&T) -> U + Sync + Send,
 ) -> Vec<U> {
     t.charge_par_flat(xs.len() as u64);
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.iter().map(f).collect()
     } else {
         xs.par_iter().map(f).collect()
@@ -33,7 +53,7 @@ pub fn par_map_idx<T: Sync, U: Send>(
     f: impl Fn(usize, &T) -> U + Sync + Send,
 ) -> Vec<U> {
     t.charge_par_flat(xs.len() as u64);
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.iter().enumerate().map(|(i, x)| f(i, x)).collect()
     } else {
         xs.par_iter().enumerate().map(|(i, x)| f(i, x)).collect()
@@ -47,7 +67,7 @@ pub fn par_update<T: Send + Sync + Copy>(
     f: impl Fn(usize, T) -> T + Sync + Send,
 ) {
     t.charge_par_flat(xs.len() as u64);
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         for (i, x) in xs.iter_mut().enumerate() {
             *x = f(i, *x);
         }
@@ -67,7 +87,7 @@ pub fn par_reduce<T: Sync, U: Send + Sync + Copy>(
     combine: impl Fn(U, U) -> U + Sync + Send,
 ) -> U {
     t.charge(Cost::reduce(xs.len() as u64));
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.iter().map(map).fold(identity, &combine)
     } else {
         xs.par_iter().map(map).reduce(|| identity, &combine)
@@ -90,7 +110,7 @@ pub fn par_max(t: &mut Tracker, xs: &[f64]) -> f64 {
 /// `prefix[i] = Σ_{j<i} xs[j]`. Work `2n`, depth `2 log n + 1`.
 pub fn par_exclusive_scan(t: &mut Tracker, xs: &[u64]) -> (Vec<u64>, u64) {
     t.charge(Cost::scan(xs.len() as u64));
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         let mut out = Vec::with_capacity(xs.len());
         let mut acc = 0u64;
         for &x in xs {
@@ -132,7 +152,7 @@ pub fn par_filter<T: Sync + Send + Clone>(
 ) -> Vec<T> {
     // flag pass + scan + scatter
     t.charge(Cost::par_flat(xs.len() as u64).seq(Cost::scan(xs.len() as u64)));
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.iter().filter(|x| keep(x)).cloned().collect()
     } else {
         xs.par_iter().filter(|x| keep(x)).cloned().collect()
@@ -142,7 +162,7 @@ pub fn par_filter<T: Sync + Send + Clone>(
 /// Parallel sort (unstable). Work `n log n`, depth `log² n`.
 pub fn par_sort<T: Send + Ord>(t: &mut Tracker, xs: &mut [T]) {
     t.charge(Cost::sort(xs.len() as u64));
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.sort_unstable();
     } else {
         xs.par_sort_unstable();
@@ -156,7 +176,7 @@ pub fn par_sort_by_key<T: Send, K: Ord>(
     key: impl Fn(&T) -> K + Sync + Send,
 ) {
     t.charge(Cost::sort(xs.len() as u64));
-    if xs.len() < SEQ_CUTOFF {
+    if xs.len() < seq_cutoff() {
         xs.sort_unstable_by_key(key);
     } else {
         xs.par_sort_unstable_by_key(key);
@@ -167,7 +187,7 @@ pub fn par_sort_by_key<T: Send, K: Ord>(
 pub fn par_dot(t: &mut Tracker, a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
     t.charge(Cost::par_flat(a.len() as u64).par(Cost::reduce(a.len() as u64)));
-    if a.len() < SEQ_CUTOFF {
+    if a.len() < seq_cutoff() {
         a.iter().zip(b).map(|(x, y)| x * y).sum()
     } else {
         a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum()
@@ -182,7 +202,7 @@ pub fn par_tabulate<U: Send>(
     f: impl Fn(usize) -> U + Sync + Send,
 ) -> Vec<U> {
     t.charge_par_flat(n as u64);
-    if n < SEQ_CUTOFF {
+    if n < seq_cutoff() {
         (0..n).map(f).collect()
     } else {
         (0..n).into_par_iter().map(f).collect()
@@ -194,7 +214,7 @@ pub fn par_tabulate<U: Send>(
 pub fn par_hadamard(t: &mut Tracker, a: &[f64], b: &[f64]) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "hadamard of mismatched lengths");
     t.charge_par_flat(a.len() as u64);
-    if a.len() < SEQ_CUTOFF {
+    if a.len() < seq_cutoff() {
         a.iter().zip(b).map(|(x, y)| x * y).collect()
     } else {
         a.par_iter()
@@ -209,7 +229,7 @@ pub fn par_hadamard(t: &mut Tracker, a: &[f64], b: &[f64]) -> Vec<f64> {
 pub fn par_xpay(t: &mut Tracker, x: &[f64], alpha: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpay of mismatched lengths");
     t.charge_par_flat(x.len() as u64);
-    if x.len() < SEQ_CUTOFF {
+    if x.len() < seq_cutoff() {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi = xi + alpha * *yi;
         }
@@ -224,7 +244,7 @@ pub fn par_xpay(t: &mut Tracker, x: &[f64], alpha: f64, y: &mut [f64]) {
 pub fn par_axpy(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
     t.charge_par_flat(x.len() as u64);
-    if x.len() < SEQ_CUTOFF {
+    if x.len() < seq_cutoff() {
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
         }
@@ -232,6 +252,131 @@ pub fn par_axpy(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) {
         y.par_iter_mut()
             .zip(x.par_iter())
             .for_each(|(yi, xi)| *yi += alpha * xi);
+    }
+}
+
+/// [`par_map`] writing into a caller buffer: `out[i] = f(&xs[i])`.
+/// Identical charged cost; no allocation.
+pub fn par_map_into<T: Sync, U: Send>(
+    t: &mut Tracker,
+    xs: &[T],
+    out: &mut [U],
+    f: impl Fn(&T) -> U + Sync + Send,
+) {
+    assert_eq!(xs.len(), out.len(), "map_into of mismatched lengths");
+    t.charge_par_flat(xs.len() as u64);
+    if xs.len() < seq_cutoff() {
+        for (o, x) in out.iter_mut().zip(xs) {
+            *o = f(x);
+        }
+    } else {
+        out.par_iter_mut()
+            .zip(xs.par_iter())
+            .for_each(|(o, x)| *o = f(x));
+    }
+}
+
+/// [`par_tabulate`] writing into a caller buffer: `out[i] = f(i)`.
+/// Identical charged cost; no allocation.
+pub fn par_tabulate_into<U: Send>(
+    t: &mut Tracker,
+    out: &mut [U],
+    f: impl Fn(usize) -> U + Sync + Send,
+) {
+    t.charge_par_flat(out.len() as u64);
+    if out.len() < seq_cutoff() {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+    } else {
+        out.par_iter_mut().enumerate().for_each(|(i, o)| *o = f(i));
+    }
+}
+
+/// `out ← a ∘ b` elementwise, into a caller buffer. Identical charged
+/// cost to [`par_hadamard`]; no allocation.
+pub fn par_hadamard_into(t: &mut Tracker, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), b.len(), "hadamard of mismatched lengths");
+    assert_eq!(a.len(), out.len(), "hadamard_into output length");
+    t.charge_par_flat(a.len() as u64);
+    if a.len() < seq_cutoff() {
+        for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+        }
+    } else {
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .zip(b.par_iter())
+            .for_each(|((o, x), y)| *o = x * y);
+    }
+}
+
+/// `y ← alpha * y`, elementwise in place. Work `n`, depth `log n + 1`.
+pub fn par_scale(t: &mut Tracker, alpha: f64, y: &mut [f64]) {
+    t.charge_par_flat(y.len() as u64);
+    if y.len() < seq_cutoff() {
+        for yi in y.iter_mut() {
+            *yi *= alpha;
+        }
+    } else {
+        y.par_iter_mut().for_each(|yi| *yi *= alpha);
+    }
+}
+
+/// Fused CG residual update: `y ← y + alpha·x`, returning `‖y‖²` of the
+/// updated vector in the same pass (the `r ← r − α·Ap; ‖r‖²` step).
+///
+/// Charges exactly the sequential composition of [`par_axpy`] and
+/// [`par_dot`] — fusing removes a memory pass and an allocation, not
+/// model cost.
+pub fn par_axpy_norm2(t: &mut Tracker, alpha: f64, x: &[f64], y: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    let n = y.len() as u64;
+    t.charge_par_flat(n);
+    t.charge(Cost::par_flat(n).par(Cost::reduce(n)));
+    if y.len() < seq_cutoff() {
+        let mut acc = 0.0;
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+            acc += *yi * *yi;
+        }
+        acc
+    } else {
+        y.par_iter_mut()
+            .zip(x.par_iter())
+            .map(|(yi, xi)| {
+                *yi += alpha * xi;
+                *yi * *yi
+            })
+            .sum()
+    }
+}
+
+/// Fused preconditioner apply: `out ← a ∘ b` and `Σ aᵢ·outᵢ` in one pass
+/// (the CG `z = M⁻¹r; ⟨r, z⟩` pair). Charges the sequential composition
+/// of [`par_hadamard`] and [`par_dot`].
+pub fn par_hadamard_dot(t: &mut Tracker, a: &[f64], b: &[f64], out: &mut [f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "hadamard of mismatched lengths");
+    assert_eq!(a.len(), out.len(), "hadamard_dot output length");
+    let n = a.len() as u64;
+    t.charge_par_flat(n);
+    t.charge(Cost::par_flat(n).par(Cost::reduce(n)));
+    if a.len() < seq_cutoff() {
+        let mut acc = 0.0;
+        for ((o, x), y) in out.iter_mut().zip(a).zip(b) {
+            *o = x * y;
+            acc += x * *o;
+        }
+        acc
+    } else {
+        out.par_iter_mut()
+            .zip(a.par_iter())
+            .zip(b.par_iter())
+            .map(|((o, x), y)| {
+                *o = x * y;
+                x * *o
+            })
+            .sum()
     }
 }
 
@@ -329,6 +474,74 @@ mod tests {
         let mut xs = vec![1.0f64, 2.0, 3.0];
         par_update(&mut t, &mut xs, |i, x| x + i as f64);
         assert_eq!(xs, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_counterparts() {
+        for n in [5usize, 5000] {
+            let a: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64).collect();
+            let mut t1 = Tracker::new();
+            let mut t2 = Tracker::new();
+            // map
+            let want = par_map(&mut t1, &a, |x| x * 2.0 + 1.0);
+            let mut got = vec![0.0; n];
+            par_map_into(&mut t2, &a, &mut got, |x| x * 2.0 + 1.0);
+            assert_eq!(got, want, "n={n}");
+            // tabulate
+            let want = par_tabulate(&mut t1, n, |i| i as f64 * 3.0);
+            par_tabulate_into(&mut t2, &mut got, |i| i as f64 * 3.0);
+            assert_eq!(got, want, "n={n}");
+            // hadamard
+            let want = par_hadamard(&mut t1, &a, &b);
+            par_hadamard_into(&mut t2, &a, &b, &mut got);
+            assert_eq!(got, want, "n={n}");
+            // identical charged costs across the whole sequence
+            assert_eq!(t1.total(), t2.total(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_axpy_norm2_matches_unfused() {
+        for n in [7usize, 4096] {
+            let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+            let mut y1: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+            let mut y2 = y1.clone();
+            let mut t1 = Tracker::new();
+            let mut t2 = Tracker::new();
+            par_axpy(&mut t1, 0.25, &x, &mut y1);
+            let want = par_dot(&mut t1, &y1, &y1);
+            let got = par_axpy_norm2(&mut t2, 0.25, &x, &mut y2);
+            assert_eq!(y1, y2, "n={n}");
+            assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()), "n={n}");
+            assert_eq!(t1.total(), t2.total(), "fused cost must match, n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_hadamard_dot_matches_unfused() {
+        for n in [9usize, 4096] {
+            let a: Vec<f64> = (0..n).map(|i| (i % 17) as f64 - 8.0).collect();
+            let b: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + (i % 7) as f64)).collect();
+            let mut t1 = Tracker::new();
+            let mut t2 = Tracker::new();
+            let z1 = par_hadamard(&mut t1, &a, &b);
+            let want = par_dot(&mut t1, &a, &z1);
+            let mut z2 = vec![0.0; n];
+            let got = par_hadamard_dot(&mut t2, &a, &b, &mut z2);
+            assert_eq!(z1, z2, "n={n}");
+            assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()), "n={n}");
+            assert_eq!(t1.total(), t2.total(), "fused cost must match, n={n}");
+        }
+    }
+
+    #[test]
+    fn par_scale_scales_in_place() {
+        let mut t = Tracker::new();
+        let mut y = vec![1.0, -2.0, 3.0];
+        par_scale(&mut t, -0.5, &mut y);
+        assert_eq!(y, vec![-0.5, 1.0, -1.5]);
+        assert_eq!(t.work(), 3);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! span profiler's reconciliation invariants.
 
 use pmcf_pram::profile::{Histogram, SpanReport};
-use pmcf_pram::{cost::par_all, primitives as pp, Cost, ParMode, Tracker};
+use pmcf_pram::{cost::par_all, primitives as pp, Cost, ParMode, Tracker, Workspace};
 use proptest::prelude::*;
 
 /// One instruction of a random profiling program: `(kind, w, d)`.
@@ -303,6 +303,64 @@ proptest! {
         );
         prop_assert_eq!(b.work(), a.work());
         prop_assert_eq!(b.depth(), a.depth());
+    }
+
+    #[test]
+    fn workspace_roundtrips_under_arbitrary_interleavings(
+        ops in prop::collection::vec((0u8..3, 1usize..96), 1..80)
+    ) {
+        // Arbitrary interleavings of take / take_copy / give: every
+        // checkout has the requested length and contents (zeroed, or a
+        // copy of the source); concurrently-live checkouts never alias
+        // (each is stamped with a unique sentinel that must survive all
+        // later checkouts); and buffers are conserved — every fresh
+        // allocation is either still live or parked in the pool.
+        let ws = Workspace::new();
+        let mut t = Tracker::new();
+        let mut live: Vec<(Vec<f64>, f64)> = Vec::new();
+        let mut next_sentinel = 1.0f64;
+        let mut takes = 0u64;
+        for &(kind, len) in &ops {
+            match kind {
+                0 => {
+                    let buf = ws.take(&mut t, len);
+                    prop_assert_eq!(buf.len(), len);
+                    prop_assert!(buf.iter().all(|&x| x == 0.0), "take must zero");
+                    let mut buf = buf;
+                    buf.fill(next_sentinel);
+                    live.push((buf, next_sentinel));
+                    next_sentinel += 1.0;
+                    takes += 1;
+                }
+                1 => {
+                    let src: Vec<f64> = (0..len).map(|i| i as f64 - 0.5).collect();
+                    let mut buf = ws.take_copy(&mut t, &src);
+                    prop_assert_eq!(&buf, &src, "take_copy must equal its source");
+                    buf.fill(next_sentinel);
+                    live.push((buf, next_sentinel));
+                    next_sentinel += 1.0;
+                    takes += 1;
+                }
+                _ if !live.is_empty() => {
+                    let (buf, sentinel) = live.remove(len % live.len());
+                    prop_assert!(
+                        buf.iter().all(|&x| x == sentinel),
+                        "buffer mutated while checked out (aliasing)"
+                    );
+                    ws.give(buf);
+                }
+                _ => {}
+            }
+        }
+        for (buf, sentinel) in &live {
+            prop_assert!(buf.iter().all(|&x| x == *sentinel), "live buffer corrupted");
+        }
+        prop_assert_eq!(ws.fresh() + ws.reused(), takes, "every take is fresh xor reused");
+        prop_assert_eq!(
+            ws.fresh() as usize,
+            live.len() + ws.pooled(),
+            "allocations must be conserved: live + pooled = fresh"
+        );
     }
 
     #[test]
