@@ -9,7 +9,12 @@
 //!
 //! Flags: `[max_n] --seed <u64> --json <path>`. With `PMCF_PROFILE=1`
 //! the robust engine's largest solve is span-profiled; the phase tree is
-//! printed and embedded in the artifact. At workstation scale the solve's
+//! printed and embedded in the artifact. With `PMCF_CRITPATH=1` every
+//! engine's largest solve additionally reports its critical path: the
+//! per-span attribution of the depth total, printed as a top-K table and
+//! embedded as `pmcf.critpath/v1` reports under the `critpath` key. With
+//! `PMCF_TRACE=1` (or `=<path>`) the run writes a Perfetto-loadable
+//! Chrome trace of the thread pool. At workstation scale the solve's
 //! epoch rebuilds (every `√n` iterations) outpace the 4× weight-class
 //! drift a `HeavyHitter` class move needs, so the solve alone never
 //! reaches the decremental expander path — the profiled run therefore
@@ -26,10 +31,13 @@ use pmcf_pram::profile::tracker_from_env;
 fn main() {
     let args = BenchArgs::parse();
     pmcf_obs::init_from_env();
+    pmcf_obs::trace_init_from_env();
     let max_n = args.max_size_or(144);
     let seed = args.seed_or(42);
     let mut artifact = Artifact::for_run("table1_mcf", seed, &args);
     let mut profile = None;
+    // per-engine critical-path report at the largest instance solved
+    let mut critpaths: Vec<(String, pmcf_pram::CritPathReport)> = Vec::new();
 
     mdln!(
         args,
@@ -41,6 +49,7 @@ fn main() {
     );
     mdln!(args, "|---|---|---|---|---|---|---|");
     let mut series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    let mut depth_series: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for &n in &[36usize, 64, 100, 144, 196, 256] {
         if n > max_n {
             break;
@@ -93,6 +102,18 @@ fn main() {
                 .find(|(s, _)| s == name)
                 .map(|(_, v)| v.push((n as f64, work as f64)))
                 .unwrap_or_else(|| series.push((name.to_string(), vec![(n as f64, work as f64)])));
+            depth_series
+                .iter_mut()
+                .find(|(s, _)| s == name)
+                .map(|(_, v)| v.push((n as f64, depth as f64)))
+                .unwrap_or_else(|| {
+                    depth_series.push((name.to_string(), vec![(n as f64, depth as f64)]))
+                });
+            // each engine's largest solve supplies its critical path
+            if let Some(rep) = t.critpath_report() {
+                critpaths.retain(|(s, _)| s != name);
+                critpaths.push((name.to_string(), rep));
+            }
             // keep the largest robust solve's tracker for the profile
             if cfg.engine == pmcf_core::Engine::Robust && t.is_profiled() {
                 profile = Some((format!("{name}, n={n}, m={m}"), t));
@@ -156,6 +177,39 @@ fn main() {
         "\nPaper: robust = Õ(m + n^1.5) = Õ(n^1.5) here; dense = Õ(m√n) = Õ(n^2)."
     );
 
+    mdln!(
+        args,
+        "\n### Fitted depth exponents (depth ~ n^a at m = n^1.5)\n"
+    );
+    let mut dexps: Vec<(String, Json)> = Vec::new();
+    for (name, pts) in &depth_series {
+        if pts.len() >= 3 {
+            let a = fit_exponent(pts);
+            mdln!(args, "- {name}: a ≈ {a:.2}");
+            dexps.push((name.clone(), Json::F64(a)));
+        }
+    }
+    artifact.set("depth_exponents", Json::Obj(dexps));
+    mdln!(
+        args,
+        "\nPaper: the parallel IPMs run in Õ(√n) depth per iteration over \
+         Õ(√n) iterations — charged depth should grow ~ n, far below work."
+    );
+
+    if !critpaths.is_empty() {
+        mdln!(
+            args,
+            "\n## Critical-path depth attribution (largest solve)\n"
+        );
+        let mut cp: Vec<(String, Json)> = Vec::new();
+        for (name, rep) in &critpaths {
+            mdln!(args, "### {name}\n");
+            mdln!(args, "{}", rep.to_markdown(10));
+            cp.push((name.clone(), Json::Raw(rep.to_json())));
+        }
+        artifact.set("critpath", Json::Obj(cp));
+    }
+
     if let Some((label, mut t)) = profile {
         // maintenance drill: exercise the decremental expander path
         // (delete → prune → trim → unit-flow) that the solve's epochs
@@ -173,5 +227,6 @@ fn main() {
         }
     }
     artifact.emit(&args);
+    pmcf_obs::trace_finish();
     pmcf_obs::finish();
 }

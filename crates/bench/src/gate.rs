@@ -316,12 +316,31 @@ fn judge_metric(
     true
 }
 
+/// Does this value carry depth or exponent measurements? Used to decide
+/// whether a candidate-only row/metric deserves an advisory finding: a
+/// new depth or exponent series is exactly the kind of coverage that
+/// should get pinned into the baseline, so the gate says so (as a
+/// warning — a freshly-added measurement cannot regress anything).
+fn carries_depth_or_exponent(name: &str, v: &JsonValue) -> bool {
+    match v {
+        JsonValue::Obj(pairs) => pairs
+            .iter()
+            .any(|(k, pv)| carries_depth_or_exponent(&format!("{name}.{k}"), pv)),
+        JsonValue::Int(_) | JsonValue::UInt(_) | JsonValue::Float(_) => {
+            matches!(classify(name), MetricClass::Depth | MetricClass::Exponent)
+        }
+        _ => false,
+    }
+}
+
 /// Diff `candidate` against `baseline` under `cfg`.
 ///
 /// Rows are matched by [`row_key`]; a baseline row with no candidate
 /// counterpart is itself a failure (coverage must not silently shrink).
-/// Extra candidate rows are allowed. Returns `Err` when the two
-/// artifacts are not the same bench.
+/// Extra candidate rows are allowed; when such a row (or a candidate-only
+/// top-level metric) carries depth or exponent measurements it earns an
+/// advisory finding asking for a baseline pin, never a failure. Returns
+/// `Err` when the two artifacts are not the same bench.
 pub fn gate(
     baseline: &JsonValue,
     candidate: &JsonValue,
@@ -380,6 +399,29 @@ pub fn gate(
         }
     }
 
+    // candidate-only rows: never a failure, but a new depth/exponent
+    // series is coverage worth pinning — surface it as an advisory
+    for crow in cand_rows {
+        let key = row_key(crow);
+        if base_rows.iter().any(|r| row_key(r) == key) {
+            continue;
+        }
+        let depthish = crow
+            .as_obj()
+            .map(|obj| obj.iter().any(|(k, v)| carries_depth_or_exponent(k, v)))
+            .unwrap_or(false);
+        if depthish {
+            findings.push(Finding {
+                row: key,
+                metric: "<row>".to_string(),
+                baseline: 0.0,
+                candidate: 1.0,
+                severity: Severity::Warn,
+                detail: "new depth/exponent row, advisory — pin it into the baseline".to_string(),
+            });
+        }
+    }
+
     // top-level extras (fitted exponents, sweep metadata) — everything
     // except the structural keys
     if let Some(obj) = baseline.as_obj() {
@@ -394,6 +436,30 @@ pub fn gate(
                 if judge_metric("<top-level>", name, bval, cval, cfg, &mut findings) {
                     metrics_compared += 1;
                 }
+            }
+        }
+    }
+
+    // candidate-only top-level depth/exponent metrics: same advisory
+    if let Some(obj) = candidate.as_obj() {
+        for (name, cval) in obj {
+            if matches!(
+                name.as_str(),
+                "schema" | "bench" | "seed" | "rows" | "profile"
+            ) || baseline.get(name).is_some()
+            {
+                continue;
+            }
+            if carries_depth_or_exponent(name, cval) {
+                findings.push(Finding {
+                    row: "<top-level>".to_string(),
+                    metric: name.to_string(),
+                    baseline: 0.0,
+                    candidate: cval.as_f64().unwrap_or(1.0),
+                    severity: Severity::Warn,
+                    detail: "new depth/exponent metric, advisory — pin it into the baseline"
+                        .to_string(),
+                });
             }
         }
     }
@@ -560,6 +626,61 @@ mod tests {
         assert!(r
             .failures()
             .any(|f| f.metric == "work" && f.row.contains("batch=256")));
+    }
+
+    #[test]
+    fn new_depth_row_is_advisory_not_failure() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        // candidate grows a new-keyed row carrying a depth metric
+        let cand = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":1.5,"rows":[
+                {"solver":"ref","n":16,"m":64,"work":1000,"depth":50,"wall_seconds":0.1,"feasible":true},
+                {"section":"critpath","solver":"robust","n":16,"total_depth":4200}]}"#,
+        )
+        .unwrap();
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.to_markdown());
+        assert!(r.findings.iter().any(|f| f.severity == Severity::Warn
+            && f.metric == "<row>"
+            && f.detail.contains("advisory")),);
+        // a candidate-only row with no depth/exponent content stays silent
+        let quiet = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":1.5,"rows":[
+                {"solver":"ref","n":16,"m":64,"work":1000,"depth":50,"wall_seconds":0.1,"feasible":true},
+                {"section":"extra","solver":"robust","n":16,"work":7}]}"#,
+        )
+        .unwrap();
+        let r = gate(&base, &quiet, &GateConfig::default()).unwrap();
+        assert!(r.passed());
+        assert!(r.findings.is_empty(), "{}", r.to_markdown());
+    }
+
+    #[test]
+    fn new_top_level_depth_exponents_are_advisory() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let cand = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":1.5,
+                "depth_exponents":{"robust":0.62},"rows":[
+                {"solver":"ref","n":16,"m":64,"work":1000,"depth":50,"wall_seconds":0.1,"feasible":true}]}"#,
+        )
+        .unwrap();
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(r.passed(), "{}", r.to_markdown());
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Warn && f.metric == "depth_exponents"));
+        // once pinned, the same metric gates like any exponent
+        let pinned = cand.clone();
+        let drifted = parse(
+            r#"{"schema":"pmcf.bench/v1","bench":"demo","seed":42,"work_exponent":1.5,
+                "depth_exponents":{"robust":1.12},"rows":[
+                {"solver":"ref","n":16,"m":64,"work":1000,"depth":50,"wall_seconds":0.1,"feasible":true}]}"#,
+        )
+        .unwrap();
+        let r = gate(&pinned, &drifted, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert!(r.failures().any(|f| f.metric == "depth_exponents.robust"));
     }
 
     #[test]

@@ -224,6 +224,7 @@ pub fn path_follow_traced(
     let refresh_tau =
         |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, round: usize| {
             t.span("ipm/tau-refresh", |t| {
+                let _trace = pmcf_obs::trace_scope("ipm/tau-refresh");
                 t.counter("ipm.tau_refreshes", 1);
                 // τ = σ(Φ''^{-1/2} A) + n/m  (leverage-score weights; the ℓ_p
                 // Lewis refinement changes polylog factors only — DESIGN.md §2)
@@ -253,6 +254,7 @@ pub fn path_follow_traced(
     let mut newton =
         |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, worst: f64| -> f64 {
             t.span("ipm/newton", |t| {
+                let _trace = pmcf_obs::trace_scope("ipm/newton");
                 t.counter("ipm.newton_steps", 1);
                 // residuals
                 let mut ddx = ws.take(t, m);
@@ -357,6 +359,7 @@ pub fn path_follow_traced(
         };
 
     t.span("ipm/loop", |t| {
+        let _trace = pmcf_obs::trace_scope("ipm/loop");
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
             stats.iterations += 1;
             t.counter("ipm.iterations", 1);
@@ -412,6 +415,7 @@ pub fn path_follow_traced(
     });
     // final polish at μ_end
     t.span("ipm/polish", |t| {
+        let _trace = pmcf_obs::trace_scope("ipm/polish");
         for _ in 0..cfg.max_correctors {
             let (_, worst) = centrality(&st, &cap);
             if worst <= cfg.center_tol {

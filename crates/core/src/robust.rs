@@ -87,6 +87,7 @@ fn build_structures(
     seed: u64,
 ) -> RobustState {
     t.span("ipm/build-structures", |t| {
+        let _trace = pmcf_obs::trace_scope("ipm/build-structures");
         t.counter("ipm.structure_rebuilds", 1);
         build_structures_inner(t, p, cap, x, s, mu, solver, tau_anchor, seed)
     })
@@ -243,6 +244,7 @@ pub fn path_follow(
     let mut recenter =
         |t: &mut Tracker, st: &mut CentralPathState, stats: &mut PathStats, rounds: usize| {
             t.span("ipm/recenter", |t| {
+                let _trace = pmcf_obs::trace_scope("ipm/recenter");
                 t.counter("ipm.recenterings", 1);
                 for _ in 0..rounds {
                     let (_, worst) = centrality(st, &cap);
@@ -307,6 +309,7 @@ pub fn path_follow(
     let mut prev_dc: Option<Vec<f64>> = None;
 
     t.span("ipm/loop", |t| {
+        let _trace = pmcf_obs::trace_scope("ipm/loop");
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
             stats.iterations += 1;
             t.counter("ipm.iterations", 1);
@@ -314,6 +317,7 @@ pub fn path_follow(
             // ---- epoch boundary: exactify, recenter, rebuild structures ----
             if stats.iterations % epoch == 0 {
                 t.span("ipm/epoch", |t| {
+                    let _trace = pmcf_obs::trace_scope("ipm/epoch");
                     t.counter("ipm.epochs", 1);
                     pmcf_obs::emit_with("ipm.epoch", || {
                         vec![
@@ -605,6 +609,7 @@ fn dense_newton(
     ws: &Workspace,
 ) {
     t.span("ipm/newton", |t| {
+        let _trace = pmcf_obs::trace_scope("ipm/newton");
         t.counter("ipm.newton_steps", 1);
         let m = p.m();
         let n = p.n();

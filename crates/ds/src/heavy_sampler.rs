@@ -111,7 +111,9 @@ impl HeavySampler {
             while chosen.len() < cnt {
                 chosen.insert(self.rng.gen_range(0..self.m));
             }
-            i_w.extend(chosen);
+            let mut picks: Vec<usize> = chosen.into_iter().collect();
+            picks.sort_unstable();
+            i_w.extend(picks);
         }
         t.charge(Cost::par_flat((i_w.len() + 1) as u64));
 

@@ -9,7 +9,7 @@
 use pmcf_pram::{Cost, Tracker};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Bucketed proportional sampler over `m` weights.
 pub struct TauSampler {
@@ -20,7 +20,7 @@ pub struct TauSampler {
     bucket_of: Vec<i32>,
     /// Members per bucket, with `pos[i]` = index's position for O(1)
     /// swap-removal.
-    buckets: HashMap<i32, Vec<usize>>,
+    buckets: BTreeMap<i32, Vec<usize>>,
     pos: Vec<usize>,
     /// Maintained `‖τ‖₁`.
     sum: f64,
@@ -37,7 +37,7 @@ impl TauSampler {
     /// dimension from the theorem statement (`P ≥ K·n·τ_i/‖τ‖₁`).
     pub fn initialize(t: &mut Tracker, n: usize, tau: Vec<f64>, seed: u64) -> Self {
         let m = tau.len();
-        let mut buckets: HashMap<i32, Vec<usize>> = HashMap::new();
+        let mut buckets: BTreeMap<i32, Vec<usize>> = BTreeMap::new();
         let mut bucket_of = vec![0i32; m];
         let mut pos = vec![0usize; m];
         let mut sum = 0.0;
@@ -145,7 +145,9 @@ impl TauSampler {
                     chosen.insert(self.rng.gen_range(0..list.len()));
                     touched += 1;
                 }
-                out.extend(chosen.into_iter().map(|j| list[j]));
+                let mut picks: Vec<usize> = chosen.into_iter().map(|j| list[j]).collect();
+                picks.sort_unstable();
+                out.extend(picks);
             }
             t.charge(Cost::new(
                 touched.max(1) + self.buckets.len() as u64,

@@ -22,7 +22,7 @@ use crate::pruning::BoostedPruner;
 use crate::static_decomp::{edge_decompose, ExpanderPart};
 use pmcf_graph::{UGraph, Vertex};
 use pmcf_pram::{Cost, Tracker};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Largest part the flight-recorder spot-check will certify exactly —
 /// `find_sparse_cut` is an `O(|part|²)`-ish diagnostic, so certification
@@ -174,6 +174,23 @@ impl DynamicExpanderDecomposition {
         }
     }
 
+    /// Return the structure to its freshly-constructed state — no alive
+    /// edges, empty buckets, key counter at zero — while keeping the
+    /// top-level containers (bucket vector, registry/endpoint tables)
+    /// allocated for reuse. After `reset(seed)` the structure behaves
+    /// identically to `new(n, phi, seed)`.
+    pub fn reset(&mut self, seed: u64) {
+        self.seed = seed;
+        for b in &mut self.buckets {
+            b.parts.clear();
+            b.alive = 0;
+        }
+        self.registry.clear();
+        self.endpoints.clear();
+        self.next_key = 0;
+        self.rebuilds = 0;
+    }
+
     /// Number of alive edges.
     pub fn edge_count(&self) -> usize {
         self.registry.len()
@@ -222,7 +239,7 @@ impl DynamicExpanderDecomposition {
                 ]
             });
             // Group the deletions per (bucket, part).
-            let mut per_part: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+            let mut per_part: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
             for &k in keys {
                 if let Some(&(b, p, e)) = self.registry.get(&k) {
                     per_part.entry((b, p)).or_default().push(e);
@@ -615,5 +632,29 @@ mod tests {
             total_work < one_shot * 32,
             "incremental {total_work} vs one-shot {one_shot}"
         );
+    }
+
+    #[test]
+    fn reset_behaves_like_new() {
+        let g = pmcf_graph::generators::gnm_ugraph(48, 256, 23);
+        let mut t = Tracker::new();
+        // churn a structure, then reset it with a new seed
+        let mut reused = DynamicExpanderDecomposition::new(48, 0.1, 5);
+        let keys = reused.insert_edges(&mut t, &g.edges()[..200]);
+        reused.delete_edges(&mut t, &keys[..64]);
+        reused.reset(9);
+        let mut fresh = DynamicExpanderDecomposition::new(48, 0.1, 9);
+        // identical insert sequences must yield identical keys, parts,
+        // and charged costs from here on
+        let (mut ta, mut tb) = (Tracker::new(), Tracker::new());
+        let ka = reused.insert_edges(&mut ta, g.edges());
+        let kb = fresh.insert_edges(&mut tb, g.edges());
+        assert_eq!(ka, kb);
+        reused.delete_edges(&mut ta, &ka[..32]);
+        fresh.delete_edges(&mut tb, &kb[..32]);
+        assert_eq!(reused.parts(), fresh.parts());
+        assert_eq!(reused.edge_count(), fresh.edge_count());
+        assert_eq!(ta.work(), tb.work());
+        assert_eq!(ta.depth(), tb.depth());
     }
 }

@@ -16,7 +16,7 @@ use crate::pruning::BoostedPruner;
 use crate::static_decomp::vertex_decompose;
 use pmcf_graph::{UGraph, Vertex};
 use pmcf_pram::{Cost, Tracker};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Stable edge handle.
 pub type EdgeKey = u64;
@@ -119,7 +119,7 @@ impl DynamicVertexDecomposition {
     /// Delete edges by key; intra-cluster deletions go through the
     /// cluster's pruner, pruned vertices split off as singletons.
     pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
-        let mut per_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut per_cluster: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for &k in keys {
             let Some(loc) = self.location.remove(&k) else {
                 continue;
@@ -174,8 +174,9 @@ impl DynamicVertexDecomposition {
     fn recluster(&mut self, t: &mut Tracker) {
         self.churn = 0;
         self.seed = self.seed.wrapping_add(0x9e3779b97f4a7c15);
-        let all: Vec<(EdgeKey, (Vertex, Vertex))> =
+        let mut all: Vec<(EdgeKey, (Vertex, Vertex))> =
             self.endpoints.iter().map(|(&k, &e)| (k, e)).collect();
+        all.sort_unstable_by_key(|&(k, _)| k);
         let host = UGraph::from_edges(self.n, all.iter().map(|&(_, e)| e).collect());
         let parts = vertex_decompose(t, &host, self.phi, self.seed);
         self.clusters.clear();
@@ -193,7 +194,7 @@ impl DynamicVertexDecomposition {
         }
         // assign edges: intra-cluster edges get local ids + a pruner
         self.crossing = 0;
-        let mut per_cluster: HashMap<usize, Vec<(EdgeKey, Vertex, Vertex)>> = HashMap::new();
+        let mut per_cluster: BTreeMap<usize, Vec<(EdgeKey, Vertex, Vertex)>> = BTreeMap::new();
         for &(k, (u, v)) in &all {
             if self.cluster_of[u] == self.cluster_of[v] {
                 per_cluster

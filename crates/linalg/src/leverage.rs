@@ -66,6 +66,7 @@ pub fn estimate_leverage(
     let (n, m) = (g.n(), g.m());
     assert_eq!(d.len(), m);
     t.span("linalg/leverage", |t| {
+        let _trace = pmcf_obs::trace_scope("linalg/leverage");
         t.counter("leverage.estimates", 1);
         // Hard cap: barrier/sampling weights tolerate constant-factor error,
         // and each sketch row costs a full Laplacian solve.

@@ -230,6 +230,7 @@ impl LaplacianSolver {
         params: &SolveParams<'_>,
     ) -> (Vec<f64>, SolveStats) {
         t.span("linalg/solve", |t| {
+            let _trace = pmcf_obs::trace_scope("linalg/solve");
             let opts = params.opts.unwrap_or(self.opts);
             let ws = params.ws.unwrap_or(&self.ws);
             let pc = self.precondition(t, d, params.d_gen);
@@ -280,6 +281,7 @@ impl LaplacianSolver {
         ws: Option<&Workspace>,
     ) -> Vec<(Vec<f64>, SolveStats)> {
         t.span("linalg/solve-batch", |t| {
+            let _trace = pmcf_obs::trace_scope("linalg/solve-batch");
             let opts = opts.unwrap_or(self.opts);
             let ws = ws.unwrap_or(&self.ws);
             let pc = self.precondition(t, d, None);

@@ -13,9 +13,13 @@
 //!    event stream flagging violations of the guarantees the paper
 //!    proves: μ-monotonicity, centrality bounds, certified conductance,
 //!    tracker reconciliation, and the `√n·polylog` iteration envelope.
+//! 4. **Trace exporter** ([`tracevent`]) — `PMCF_TRACE=1` turns the
+//!    thread pool's wall-clock telemetry plus [`trace_scope`]
+//!    annotations into a Perfetto-loadable Chrome trace-event file.
 //!
-//! The crate depends only on `pmcf-pram` (for JSON string escaping), so
-//! every other crate in the workspace can emit events without cycles.
+//! The crate depends only on `pmcf-pram` (JSON string escaping) and the
+//! in-tree `rayon` shim (pool telemetry), both of which sit below every
+//! solver crate, so the whole workspace can emit events without cycles.
 
 #![warn(missing_docs)]
 
@@ -23,10 +27,15 @@ pub mod event;
 pub mod json;
 pub mod monitor;
 pub mod recorder;
+pub mod tracevent;
 
 pub use event::{Event, Value, SCHEMA};
 pub use monitor::{all_ok, run_monitors, Verdict};
 pub use recorder::{
     emit, emit_with, finish, init_from_env, install, recording, uninstall, with_recorder,
     FlightRecorder,
+};
+pub use tracevent::{
+    trace_finish, trace_init_from_env, trace_scope, tracing_active, TraceScope, TRACE_ENV,
+    TRACE_SCHEMA,
 };

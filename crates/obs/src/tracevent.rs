@@ -1,0 +1,386 @@
+//! Chrome trace-event exporter (`PMCF_TRACE`).
+//!
+//! Turns the rayon shim's wall-clock pool telemetry — per-thread busy
+//! slices, fork/join/steal counters — plus named annotation spans from
+//! the solver layers into a single Chrome trace-event JSON file that
+//! loads directly in Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+//!
+//! Set `PMCF_TRACE=1` (default path `pmcf-trace.json`) or
+//! `PMCF_TRACE=<path>` before running an instrumented binary. The bench
+//! bins call [`trace_init_from_env`] at startup and [`trace_finish`] on
+//! exit; library code marks interesting regions with [`trace_scope`],
+//! which is a no-op (one relaxed atomic load) unless tracing is active.
+//!
+//! Annotations and pool slices share a timeline: both are timestamped
+//! via [`rayon::telemetry::now_ns`] against the same process-global
+//! epoch, and annotations recorded on a pool worker carry that worker's
+//! dense thread id, so a `solve/newton` span drawn on thread 3 sits
+//! directly above the `worker` slices thread 3 executed inside it.
+//!
+//! The file is the standard trace-event "JSON object format":
+//!
+//! ```json
+//! {"traceEvents": [
+//!    {"ph":"M","name":"thread_name", ...},
+//!    {"ph":"X","name":"worker","ts":12.5,"dur":3.0,"pid":1,"tid":2}
+//!  ],
+//!  "displayTimeUnit": "ms",
+//!  "otherData": {"schema":"pmcf.trace/v1", "joins":…, "steals":…,
+//!                "imbalance_ratio":…}}
+//! ```
+//!
+//! `ts`/`dur` are microseconds (fractional — nanosecond precision is
+//! preserved). `otherData.schema` marks the file as ours for the CI
+//! smoke check; Perfetto ignores unknown keys.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use pmcf_pram::profile::json_string;
+use rayon::telemetry::{self, PoolTelemetry};
+
+/// Environment variable that switches the trace exporter on.
+pub const TRACE_ENV: &str = "PMCF_TRACE";
+/// Path written when `PMCF_TRACE` is merely truthy rather than a path.
+pub const DEFAULT_TRACE_PATH: &str = "pmcf-trace.json";
+/// Schema tag stored under `otherData.schema`.
+pub const TRACE_SCHEMA: &str = "pmcf.trace/v1";
+/// Maximum annotation spans retained per trace (overflow is counted).
+pub const ANNOTATION_CAP: usize = 1 << 16;
+
+static ANNOTATING: AtomicBool = AtomicBool::new(false);
+
+/// One named span recorded by [`trace_scope`].
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// Span name, e.g. `"ipm/newton"`.
+    pub name: String,
+    /// Dense thread id from [`rayon::telemetry::current_tid`].
+    pub tid: usize,
+    /// Start, nanoseconds since the shared telemetry epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the shared telemetry epoch.
+    pub end_ns: u64,
+}
+
+#[derive(Default)]
+struct AnnotationStore {
+    spans: Vec<Annotation>,
+    dropped: u64,
+    /// Output path captured by [`trace_init_from_env`].
+    path: Option<String>,
+}
+
+static ANNOTATIONS: Mutex<AnnotationStore> = Mutex::new(AnnotationStore {
+    spans: Vec::new(),
+    dropped: 0,
+    path: None,
+});
+
+fn annotations() -> std::sync::MutexGuard<'static, AnnotationStore> {
+    ANNOTATIONS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Resolve `PMCF_TRACE` to an output path: unset/`0`/`false`/`off` →
+/// `None`; `1`/`true`/`on` → [`DEFAULT_TRACE_PATH`]; anything else is
+/// taken as the path itself.
+pub fn trace_path_from_env() -> Option<String> {
+    let raw = std::env::var(TRACE_ENV).ok()?;
+    let v = raw.trim();
+    match v.to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "off" => None,
+        "1" | "true" | "on" => Some(DEFAULT_TRACE_PATH.to_string()),
+        _ => Some(v.to_string()),
+    }
+}
+
+/// Whether annotation recording is currently active.
+#[inline]
+pub fn tracing_active() -> bool {
+    ANNOTATING.load(Ordering::Relaxed)
+}
+
+/// RAII guard returned by [`trace_scope`]; records the span on drop.
+pub struct TraceScope {
+    name: Option<String>,
+    start_ns: u64,
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let end_ns = telemetry::now_ns();
+        let tid = telemetry::current_tid();
+        let mut st = annotations();
+        if st.spans.len() < ANNOTATION_CAP {
+            st.spans.push(Annotation {
+                name,
+                tid,
+                start_ns: self.start_ns,
+                end_ns,
+            });
+        } else {
+            st.dropped += 1;
+        }
+    }
+}
+
+/// Mark a named region for the trace timeline. Free when tracing is
+/// off; the returned guard records `[enter, drop]` when it is on.
+#[inline]
+pub fn trace_scope(name: &str) -> TraceScope {
+    if !tracing_active() {
+        return TraceScope {
+            name: None,
+            start_ns: 0,
+        };
+    }
+    TraceScope {
+        name: Some(name.to_string()),
+        start_ns: telemetry::now_ns(),
+    }
+}
+
+/// Start tracing manually (used by tests; binaries use
+/// [`trace_init_from_env`]). Clears previous annotations and resets the
+/// pool's slice buffer so the trace covers exactly one run.
+pub fn trace_start(path: Option<String>) {
+    telemetry::reset();
+    telemetry::set_recording(true);
+    let mut st = annotations();
+    st.spans.clear();
+    st.dropped = 0;
+    st.path = path;
+    drop(st);
+    ANNOTATING.store(true, Ordering::Relaxed);
+}
+
+/// Start tracing if `PMCF_TRACE` requests it; returns whether tracing
+/// is now active.
+pub fn trace_init_from_env() -> bool {
+    match trace_path_from_env() {
+        Some(path) => {
+            trace_start(Some(path));
+            true
+        }
+        None => false,
+    }
+}
+
+/// Stop tracing, render the trace, and write it to the path captured at
+/// init (if any). Returns the rendered JSON when tracing was active.
+pub fn trace_finish() -> Option<String> {
+    if !tracing_active() {
+        return None;
+    }
+    ANNOTATING.store(false, Ordering::Relaxed);
+    telemetry::set_recording(false);
+    let pool = telemetry::snapshot();
+    let mut st = annotations();
+    let spans = std::mem::take(&mut st.spans);
+    let dropped = st.dropped;
+    let path = st.path.take();
+    drop(st);
+    let json = render_trace(&pool, &spans, dropped);
+    if let Some(path) = path {
+        match std::fs::write(&path, &json) {
+            Ok(()) => eprintln!(
+                "[pmcf-obs] wrote trace: {} ({} pool slices, {} annotations)",
+                path,
+                pool.slices.len(),
+                spans.len()
+            ),
+            Err(e) => eprintln!("[pmcf-obs] failed to write trace {path}: {e}"),
+        }
+    }
+    Some(json)
+}
+
+fn push_us(out: &mut String, ns: u64) {
+    // µs with nanosecond precision; trims to integer when exact.
+    if ns.is_multiple_of(1_000) {
+        out.push_str(&(ns / 1_000).to_string());
+    } else {
+        out.push_str(&format!("{:.3}", ns as f64 / 1_000.0));
+    }
+}
+
+fn push_complete_event(out: &mut String, name: &str, tid: usize, start_ns: u64, end_ns: u64) {
+    out.push_str("{\"name\":");
+    out.push_str(&json_string(name));
+    out.push_str(",\"ph\":\"X\",\"ts\":");
+    push_us(out, start_ns);
+    out.push_str(",\"dur\":");
+    push_us(out, end_ns.saturating_sub(start_ns));
+    out.push_str(",\"pid\":1,\"tid\":");
+    out.push_str(&tid.to_string());
+    out.push('}');
+}
+
+/// Render pool telemetry plus annotation spans as a Chrome trace-event
+/// JSON document (see module docs for the layout).
+pub fn render_trace(pool: &PoolTelemetry, spans: &[Annotation], dropped_spans: u64) -> String {
+    let mut out = String::with_capacity(256 + 96 * (pool.slices.len() + spans.len()));
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+    // Thread-name metadata: give every dense tid a readable lane label.
+    let lanes = pool
+        .thread_names
+        .len()
+        .max(spans.iter().map(|s| s.tid + 1).max().unwrap_or(0));
+    for tid in 0..lanes {
+        let label = match pool.thread_names.get(tid).and_then(|n| n.as_deref()) {
+            Some(name) => name.to_string(),
+            None if tid == 0 => "main".to_string(),
+            None => format!("thread-{tid}"),
+        };
+        sep(&mut out);
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        out.push_str(&tid.to_string());
+        out.push_str(",\"args\":{\"name\":");
+        out.push_str(&json_string(&label));
+        out.push_str("}}");
+    }
+    for a in spans {
+        sep(&mut out);
+        push_complete_event(&mut out, &a.name, a.tid, a.start_ns, a.end_ns);
+    }
+    for s in &pool.slices {
+        sep(&mut out);
+        push_complete_event(&mut out, s.kind.label(), s.tid, s.start_ns, s.end_ns);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\",\"otherData\":{");
+    out.push_str(&format!(
+        "\"schema\":{},\"threads\":{},\"joins\":{},\"batches\":{},\"jobs_queued\":{},\
+         \"jobs_inline\":{},\"steals\":{},\"pool_slices\":{},\"dropped_slices\":{},\
+         \"annotations\":{},\"dropped_annotations\":{},\"total_busy_ns\":{},\
+         \"imbalance_ratio\":{:.4}",
+        json_string(TRACE_SCHEMA),
+        pool.threads,
+        pool.joins,
+        pool.batches,
+        pool.jobs_queued,
+        pool.jobs_inline,
+        pool.steals,
+        pool.slices.len(),
+        pool.dropped_slices,
+        spans.len(),
+        dropped_spans,
+        pool.total_busy_ns(),
+        pool.imbalance_ratio(),
+    ));
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, JsonValue};
+
+    /// Tracing state is process-global; serialize tests that flip it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn scope_is_noop_when_inactive() {
+        let _g = lock();
+        ANNOTATING.store(false, Ordering::Relaxed);
+        let before = annotations().spans.len();
+        drop(trace_scope("ignored"));
+        assert_eq!(annotations().spans.len(), before);
+    }
+
+    #[test]
+    fn trace_round_trips_through_json_reader() {
+        let _g = lock();
+        trace_start(None);
+        {
+            let _outer = trace_scope("ipm/loop");
+            let _inner = trace_scope("ipm/newton");
+        }
+        rayon::join(|| (), || ());
+        let json = trace_finish().expect("tracing was active");
+        let v = json::parse(&json).expect("exporter must emit valid JSON");
+        assert_eq!(
+            v.get("otherData").unwrap().get("schema").unwrap().as_str(),
+            Some(TRACE_SCHEMA)
+        );
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let mut metadata = 0;
+        let mut complete = 0;
+        let mut names = Vec::new();
+        for e in events {
+            match e.get("ph").and_then(JsonValue::as_str) {
+                Some("M") => {
+                    metadata += 1;
+                    assert_eq!(
+                        e.get("name").and_then(JsonValue::as_str),
+                        Some("thread_name")
+                    );
+                }
+                Some("X") => {
+                    complete += 1;
+                    assert!(e.get("ts").unwrap().as_f64().is_some());
+                    assert!(e.get("dur").unwrap().as_f64().unwrap() >= 0.0);
+                    assert!(e.get("tid").unwrap().as_f64().is_some());
+                    names.push(e.get("name").unwrap().as_str().unwrap().to_string());
+                }
+                other => panic!("unexpected ph {other:?}"),
+            }
+        }
+        assert!(metadata >= 1, "every lane needs a thread_name event");
+        assert!(complete >= 2);
+        assert!(names.iter().any(|n| n == "ipm/loop"));
+        assert!(names.iter().any(|n| n == "ipm/newton"));
+        let other = v.get("otherData").unwrap();
+        assert!(other.get("joins").unwrap().as_f64().unwrap() >= 1.0);
+        assert_eq!(
+            other.get("annotations").unwrap().as_f64(),
+            Some(names.iter().filter(|n| n.starts_with("ipm/")).count() as f64)
+        );
+    }
+
+    #[test]
+    fn env_value_parsing() {
+        // trace_path_from_env reads the real environment, so test the
+        // mapping through a copy of its match logic via trace_start paths.
+        for (val, want) in [
+            ("1", Some(DEFAULT_TRACE_PATH.to_string())),
+            ("true", Some(DEFAULT_TRACE_PATH.to_string())),
+            ("on", Some(DEFAULT_TRACE_PATH.to_string())),
+            ("0", None),
+            ("false", None),
+            ("off", None),
+            ("", None),
+            ("out/custom.json", Some("out/custom.json".to_string())),
+        ] {
+            let got = match val.trim().to_ascii_lowercase().as_str() {
+                "" | "0" | "false" | "off" => None,
+                "1" | "true" | "on" => Some(DEFAULT_TRACE_PATH.to_string()),
+                _ => Some(val.trim().to_string()),
+            };
+            assert_eq!(got, want, "value {val:?}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let mut s = String::new();
+        push_us(&mut s, 2_000);
+        assert_eq!(s, "2");
+        s.clear();
+        push_us(&mut s, 1_500);
+        assert_eq!(s, "1.500");
+    }
+}

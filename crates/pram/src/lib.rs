@@ -24,12 +24,14 @@
 //! (`n`/`log n`, `n`/`log n`, `n log n`/`log² n`).
 
 pub mod cost;
+pub mod critpath;
 pub mod primitives;
 pub mod profile;
 pub mod tracker;
 pub mod workspace;
 
 pub use cost::Cost;
+pub use critpath::{CritPathEntry, CritPathReport};
 pub use primitives::seq_cutoff;
 pub use tracker::{ParMode, SpanGuard, Tracker};
 pub use workspace::Workspace;

@@ -49,12 +49,19 @@ pub const PROFILE_ENV: &str = "PMCF_PROFILE";
 pub const SCHEMA: &str = "pmcf.profile/v1";
 
 /// `Tracker::profiled()` if `PMCF_PROFILE=1` in the environment, else a
-/// plain (profiler-free) tracker.
+/// plain (profiler-free) tracker. Independently, `PMCF_CRITPATH=1`
+/// attaches a critical-path depth ledger (see [`crate::critpath`]) —
+/// the two gates compose.
 pub fn tracker_from_env() -> crate::Tracker {
-    if profiling_requested() {
+    let t = if profiling_requested() {
         crate::Tracker::profiled()
     } else {
         crate::Tracker::new()
+    };
+    if crate::critpath::critpath_requested() {
+        t.with_critpath()
+    } else {
+        t
     }
 }
 

@@ -6,6 +6,7 @@
 //! [`Tracker::join`] / [`Tracker::parallel`], which compose the branch
 //! costs with `par` before charging them.
 
+use crate::critpath::{CritPathReport, DepthLedger};
 use crate::profile::{ProfileReport, Profiler, SpanStart};
 use crate::Cost;
 
@@ -46,6 +47,9 @@ pub struct Tracker {
     /// Attached span/metrics profiler; `None` (the default) makes every
     /// span and metric call a free pass-through.
     profiler: Option<Profiler>,
+    /// Attached critical-path depth ledger (see [`crate::critpath`]);
+    /// `None` (the default) costs nothing.
+    ledger: Option<Box<DepthLedger>>,
 }
 
 impl Tracker {
@@ -60,6 +64,7 @@ impl Tracker {
             total: Cost::ZERO,
             disabled: true,
             profiler: None,
+            ledger: None,
         }
     }
 
@@ -69,12 +74,33 @@ impl Tracker {
             total: Cost::ZERO,
             disabled: false,
             profiler: Some(Profiler::default()),
+            ledger: None,
         }
+    }
+
+    /// Attach a critical-path depth ledger (see [`crate::critpath`]):
+    /// every subsequent charge attributes its depth to the open span
+    /// path, and every join records which branch won the depth max.
+    /// Composable with [`Tracker::profiled`].
+    pub fn with_critpath(mut self) -> Self {
+        self.ledger = Some(Box::default());
+        self
     }
 
     /// Whether a profiler is attached (spans and metrics are recorded).
     pub fn is_profiled(&self) -> bool {
         self.profiler.is_some()
+    }
+
+    /// Whether a critical-path depth ledger is attached.
+    pub fn is_critpath(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// Snapshot the critical-path attribution (the per-span-path depth
+    /// ledger against the current total depth). `None` without a ledger.
+    pub fn critpath_report(&self) -> Option<CritPathReport> {
+        self.ledger.as_ref().map(|l| l.report(self.total.depth))
     }
 
     /// Run `f` inside a named span. With a profiler attached, the span
@@ -122,10 +148,17 @@ impl Tracker {
         } else {
             None
         };
+        let ledger_open = if let Some(l) = &mut self.ledger {
+            l.push(name);
+            true
+        } else {
+            false
+        };
         SpanGuard {
             tracker: self,
             profiler,
             start,
+            ledger_open,
         }
     }
 
@@ -173,9 +206,13 @@ impl Tracker {
         self.total.depth
     }
 
-    /// Reset to zero (keeps the enabled/disabled flag).
+    /// Reset to zero (keeps the enabled/disabled flag and any attached
+    /// ledger, whose attribution is cleared alongside the totals).
     pub fn reset(&mut self) {
         self.total = Cost::ZERO;
+        if let Some(l) = &mut self.ledger {
+            l.clear();
+        }
     }
 
     /// Charge a cost in sequence with everything charged so far.
@@ -183,6 +220,9 @@ impl Tracker {
     pub fn charge(&mut self, c: Cost) {
         if !self.disabled {
             self.total += c;
+            if let Some(l) = &mut self.ledger {
+                l.charge(c.depth);
+            }
         }
     }
 
@@ -213,7 +253,7 @@ impl Tracker {
         let mut tb = self.fork();
         let a = f(&mut ta);
         let b = g(&mut tb);
-        self.charge_branches([ta.total, tb.total]);
+        self.merge_branches(vec![ta, tb], false);
         (a, b)
     }
 
@@ -242,7 +282,7 @@ impl Tracker {
         let mut ta = self.fork_detached();
         let mut tb = self.fork_detached();
         let (a, b) = rayon::join(|| f(&mut ta), || g(&mut tb));
-        self.merge_branches(vec![ta, tb]);
+        self.merge_branches(vec![ta, tb], true);
         (a, b)
     }
 
@@ -284,13 +324,13 @@ impl Tracker {
         match mode {
             ParMode::Sequential => {
                 let mut outs = Vec::with_capacity(k);
-                let mut branch_costs = Vec::with_capacity(k);
+                let mut branches = Vec::with_capacity(k);
                 for i in 0..k {
                     let mut t = self.fork();
                     outs.push(f(i, &mut t));
-                    branch_costs.push(t.total);
+                    branches.push(t);
                 }
-                self.charge_branches(branch_costs);
+                self.merge_branches(branches, false);
                 outs
             }
             ParMode::Forked => {
@@ -304,7 +344,7 @@ impl Tracker {
                         .map(|(i, bt)| f(i, bt))
                         .collect()
                 };
-                self.merge_branches(branches);
+                self.merge_branches(branches, true);
                 outs
             }
         }
@@ -325,6 +365,10 @@ impl Tracker {
             // Branches share the profiler, so spans opened inside a
             // branch nest under the span that was open at the fork.
             profiler: self.profiler.clone(),
+            // The ledger is never shared: each branch attributes depth
+            // to paths relative to the fork, and only the winner's
+            // entries survive the merge.
+            ledger: self.ledger.as_ref().map(|_| Box::default()),
         }
     }
 
@@ -338,29 +382,42 @@ impl Tracker {
             total: Cost::ZERO,
             disabled: self.disabled,
             profiler: self.profiler.as_ref().map(|_| Profiler::default()),
+            ledger: self.ledger.as_ref().map(|_| Box::default()),
         }
     }
 
-    /// Par-compose and charge the branch costs, and graft each branch's
-    /// profiler output (spans under the currently open span, metrics into
-    /// the registry) in branch order.
-    fn merge_branches(&mut self, branches: Vec<Tracker>) {
-        if let Some(p) = &self.profiler {
-            for b in &branches {
-                if let Some(bp) = &b.profiler {
-                    p.absorb_branch(bp);
+    /// Join point: par-compose and charge the branch costs; when
+    /// `detached`, graft each branch's profiler output (spans under the
+    /// currently open span, metrics into the registry) in branch order
+    /// (same-thread forks already share the profiler). With a ledger
+    /// attached, record which branch won the depth max: the winner's
+    /// attribution is grafted under the open span path, losing branches'
+    /// attributions are dropped — exactly mirroring how only the max
+    /// branch depth reaches this tracker's total.
+    fn merge_branches(&mut self, mut branches: Vec<Tracker>, detached: bool) {
+        if detached {
+            if let Some(p) = &self.profiler {
+                for b in &branches {
+                    if let Some(bp) = &b.profiler {
+                        p.absorb_branch(bp);
+                    }
                 }
             }
         }
-        let costs: Vec<Cost> = branches.iter().map(|b| b.total).collect();
-        self.charge_branches(costs);
-    }
-
-    fn charge_branches(&mut self, costs: impl IntoIterator<Item = Cost>) {
         if self.disabled {
             return;
         }
-        let combined = costs.into_iter().fold(Cost::ZERO, Cost::par);
+        if let Some(ledger) = &mut self.ledger {
+            let max = branches.iter().map(|b| b.total.depth).max().unwrap_or(0);
+            // First branch attaining the max: deterministic in branch
+            // order, so Sequential and Forked execution agree.
+            if let Some(w) = branches.iter().position(|b| b.total.depth == max) {
+                if let Some(wl) = branches[w].ledger.take() {
+                    ledger.absorb_winner(*wl);
+                }
+            }
+        }
+        let combined = branches.iter().map(|b| b.total).fold(Cost::ZERO, Cost::par);
         // Fork/join overhead of spawning the branches is already reflected
         // in each branch's own accounting; charge the combined cost
         // sequentially after whatever preceded it.
@@ -388,6 +445,9 @@ pub struct SpanGuard<'a> {
     tracker: &'a mut Tracker,
     profiler: Option<Profiler>,
     start: Option<SpanStart>,
+    /// Whether this guard pushed a segment onto the tracker's depth
+    /// ledger path (popped again on drop).
+    ledger_open: bool,
 }
 
 impl SpanGuard<'_> {
@@ -410,6 +470,11 @@ impl std::ops::DerefMut for SpanGuard<'_> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
+        if self.ledger_open {
+            if let Some(l) = &mut self.tracker.ledger {
+                l.pop();
+            }
+        }
         if let (Some(p), Some(start)) = (self.profiler.take(), self.start.take()) {
             // saturating: a panic can interleave guard teardown with
             // tracker resets, and drop must never panic itself

@@ -364,6 +364,109 @@ proptest! {
     }
 
     #[test]
+    fn critpath_attribution_is_exact(
+        ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..40)
+    ) {
+        // every unit of tracker depth lands in exactly one ledger entry,
+        // for arbitrary charge/span programs
+        let mut t = Tracker::new().with_critpath();
+        run_ops(&mut t, &ops, 0);
+        let rep = t.critpath_report().expect("critpath tracker reports");
+        prop_assert_eq!(rep.total_depth, t.depth());
+        prop_assert!(
+            rep.is_exact(),
+            "attributed {} != total {}",
+            rep.attributed_depth,
+            rep.total_depth
+        );
+        let sum: u64 = rep.entries.iter().map(|e| e.depth).sum();
+        prop_assert_eq!(sum, t.depth());
+    }
+
+    #[test]
+    fn critpath_exact_and_identical_across_par_modes(
+        branch_ops in prop::collection::vec(
+            prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..12),
+            0..5,
+        )
+    ) {
+        // the ledger is part of the deterministic accounting: Sequential
+        // and Forked execution of the same branches must attribute the
+        // same depth to the same span paths, exactly
+        let run = |mode: ParMode| {
+            let mut t = Tracker::new().with_critpath();
+            t.charge(Cost::new(3, 2));
+            t.span("outer", |t| {
+                t.charge(Cost::new(1, 1));
+                t.parallel_in(mode, branch_ops.len(), |i, t| run_branch(t, &branch_ops[i]));
+            });
+            t
+        };
+        let seq = run(ParMode::Sequential);
+        let par = run(ParMode::Forked);
+        let rs = seq.critpath_report().expect("critpath");
+        let rp = par.critpath_report().expect("critpath");
+        for (rep, t, label) in [(&rs, &seq, "seq"), (&rp, &par, "forked")] {
+            prop_assert_eq!(rep.total_depth, t.depth(), "{}: total", label);
+            prop_assert!(rep.is_exact(), "{}: attributed != total", label);
+            let sum: u64 = rep.entries.iter().map(|e| e.depth).sum();
+            prop_assert_eq!(sum, t.depth(), "{}: entry sum", label);
+        }
+        prop_assert_eq!(&rs.entries, &rp.entries);
+        prop_assert_eq!(rs.joins, rp.joins);
+    }
+
+    #[test]
+    fn critpath_exact_under_nested_par_join(
+        w in 1u64..100,
+        d1 in 0u64..60, d2 in 0u64..60, d3 in 0u64..60,
+    ) {
+        // nested real fork-join through the pool vs the same program via
+        // sequential join: exact both ways, identical attribution
+        let run = |forked: bool| {
+            let mut t = Tracker::new().with_critpath();
+            t.span("root", |t| {
+                let inner = |t: &mut Tracker| {
+                    t.span("l", |t| {
+                        if forked {
+                            t.par_join(
+                                |t| t.span("ll", |t| t.charge(Cost::new(w, d1))),
+                                |t| t.span("lr", |t| t.charge(Cost::new(w, d2))),
+                            );
+                        } else {
+                            t.join(
+                                |t| t.span("ll", |t| t.charge(Cost::new(w, d1))),
+                                |t| t.span("lr", |t| t.charge(Cost::new(w, d2))),
+                            );
+                        }
+                    })
+                };
+                let outer_r = |t: &mut Tracker| t.span("r", |t| t.charge(Cost::new(w, d3)));
+                if forked {
+                    t.par_join(inner, outer_r);
+                } else {
+                    t.join(inner, outer_r);
+                }
+            });
+            t
+        };
+        let seq = run(false);
+        let par = run(true);
+        prop_assert_eq!(par.depth(), seq.depth());
+        let rs = seq.critpath_report().expect("critpath");
+        let rp = par.critpath_report().expect("critpath");
+        prop_assert!(rs.is_exact() && rp.is_exact());
+        prop_assert_eq!(rs.total_depth, seq.depth());
+        prop_assert_eq!(&rs.entries, &rp.entries);
+        // `joins` counts merge points *on the critical path* — the inner
+        // join is only witnessed when the left branch wins the outer max
+        // (ties go to the first branch)
+        let expect_joins = if d1.max(d2) >= d3 { 2 } else { 1 };
+        prop_assert_eq!(rs.joins, expect_joins);
+        prop_assert_eq!(rp.joins, expect_joins);
+    }
+
+    #[test]
     fn span_json_stays_balanced(
         ops in prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..30)
     ) {

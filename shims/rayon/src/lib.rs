@@ -31,6 +31,8 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
+pub mod telemetry;
+
 /// Environment variable controlling the pool size, read once at first use.
 pub const NUM_THREADS_ENV: &str = "RAYON_NUM_THREADS";
 
@@ -118,7 +120,10 @@ impl Latch {
                 return;
             }
             if let Some(job) = inj.try_pop() {
-                job();
+                // A blocked thread running someone else's queued job is
+                // this pool's analogue of a work steal.
+                telemetry::count_steal();
+                telemetry::timed(telemetry::SliceKind::Steal, job);
                 continue;
             }
             let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -202,7 +207,7 @@ fn worker_loop(inj: &Injector) {
         };
         // Jobs are pre-wrapped in catch_unwind by `run_batch`, so a panic
         // inside user code never unwinds the worker.
-        job();
+        telemetry::timed(telemetry::SliceKind::Worker, job);
     }
 }
 
@@ -254,13 +259,14 @@ fn run_batch(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) }
         })
         .collect();
+    telemetry::count_batch(queued.len() as u64);
     p.injector.push_all(queued);
     {
         let _guard = BatchGuard {
             latch: &latch,
             injector: &p.injector,
         };
-        inline();
+        telemetry::timed(telemetry::SliceKind::Inline, inline);
         // Guard drop waits for the queued jobs (also on panic).
     }
     if let Some(payload) = latch.take_panic() {
@@ -277,6 +283,7 @@ where
     RA: Send,
     RB: Send,
 {
+    telemetry::count_join();
     if pool().threads <= 1 {
         return (a(), b());
     }
