@@ -4,6 +4,8 @@
 //! Usage:
 //! ```text
 //! bench-gate --baseline results/baseline/table1_mcf.json [--candidate <path|->]
+//!            [--baseline-report <path>] [--candidate-report <path>]
+//!            [--triage-top K]
 //!            [--work-ratio X] [--depth-ratio X] [--iter-ratio X]
 //!            [--wall-ratio X] [--exponent-slack X] [--quiet]
 //! ```
@@ -11,15 +13,25 @@
 //! The candidate defaults to stdin, so a harness streams straight in:
 //! `table1_mcf -- --json - | bench-gate -- --baseline <baseline>`.
 //!
+//! When `--baseline-report` and `--candidate-report` name `pmcf.report/v1`
+//! run reports for the same two runs, a gate *failure* additionally
+//! prints a span-level triage table (the `report_diff` ranking) so the
+//! regression is attributed to the span that moved, not just the
+//! top-line counter that crossed a threshold.
+//!
 //! Exit codes: 0 pass, 1 regression, 2 usage / I/O / parse error.
 
 use pmcf_bench::gate::{gate, parse_artifact, GateConfig};
+use pmcf_obs::{diff_reports, RunReport};
 use std::io::Read;
 use std::process::ExitCode;
 
 struct Cli {
     baseline: String,
     candidate: Option<String>,
+    baseline_report: Option<String>,
+    candidate_report: Option<String>,
+    triage_top: usize,
     cfg: GateConfig,
     quiet: bool,
 }
@@ -27,6 +39,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: bench-gate --baseline <path> [--candidate <path|->] \
+         [--baseline-report <path>] [--candidate-report <path>] \
+         [--triage-top K] \
          [--work-ratio X] [--depth-ratio X] [--iter-ratio X] \
          [--wall-ratio X] [--exponent-slack X] [--quiet]"
     );
@@ -36,6 +50,9 @@ fn usage() -> ! {
 fn parse_cli() -> Cli {
     let mut baseline = None;
     let mut candidate = None;
+    let mut baseline_report = None;
+    let mut candidate_report = None;
+    let mut triage_top = 10usize;
     let mut cfg = GateConfig::default();
     let mut quiet = false;
     let mut args = std::env::args().skip(1);
@@ -49,6 +66,14 @@ fn parse_cli() -> Cli {
         match a.as_str() {
             "--baseline" => baseline = args.next(),
             "--candidate" => candidate = args.next(),
+            "--baseline-report" => baseline_report = args.next(),
+            "--candidate-report" => candidate_report = args.next(),
+            "--triage-top" => {
+                triage_top = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--triage-top requires a positive integer");
+                    usage()
+                })
+            }
             "--work-ratio" => cfg.work_ratio = next_f64(&mut args, "--work-ratio"),
             "--depth-ratio" => cfg.depth_ratio = next_f64(&mut args, "--depth-ratio"),
             "--iter-ratio" => cfg.iter_ratio = next_f64(&mut args, "--iter-ratio"),
@@ -68,8 +93,40 @@ fn parse_cli() -> Cli {
     Cli {
         baseline,
         candidate,
+        baseline_report,
+        candidate_report,
+        triage_top,
         cfg,
         quiet,
+    }
+}
+
+/// Best-effort span-level triage: diff the two run reports and render
+/// the top-K ranking. Any failure to load either report degrades to an
+/// explanatory line rather than masking the gate verdict.
+fn triage_markdown(cli: &Cli) -> Option<String> {
+    let (base_path, cand_path) = match (&cli.baseline_report, &cli.candidate_report) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return None,
+    };
+    let load = |path: &str| -> Result<RunReport, String> {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        RunReport::from_json(&src).map_err(|e| format!("{path}: {e}"))
+    };
+    match (load(base_path), load(cand_path)) {
+        (Ok(base), Ok(cand)) => {
+            let diff = diff_reports(&base, &cand);
+            Some(diff.to_markdown(cli.triage_top))
+        }
+        (b, c) => {
+            let mut msg = String::from("### Span triage unavailable\n\n");
+            for r in [b, c] {
+                if let Err(e) = r {
+                    msg.push_str(&format!("- {e}\n"));
+                }
+            }
+            Some(msg)
+        }
     }
 }
 
@@ -97,6 +154,11 @@ fn main() -> ExitCode {
         let report = gate(&base, &cand, &cli.cfg)?;
         if !cli.quiet || !report.passed() {
             println!("{}", report.to_markdown());
+        }
+        if !report.passed() {
+            if let Some(triage) = triage_markdown(&cli) {
+                println!("{triage}");
+            }
         }
         Ok(report.passed())
     };

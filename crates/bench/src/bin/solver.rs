@@ -26,7 +26,9 @@
 //!   branch program (thread scheduling must not leak into the model).
 //!
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
-//! span-tree profile of the leverage run.
+//! span-tree profile of the leverage run; `PMCF_REPORT=<path>` writes a
+//! unified `pmcf.report/v1` run report with the warm IPM run's spans and
+//! per-iteration convergence table.
 
 use pmcf_bench::{mdln, measure_allocs, Artifact, BenchArgs, Json};
 use pmcf_core::init;
@@ -40,6 +42,7 @@ use std::time::Instant;
 fn main() {
     let args = BenchArgs::parse();
     pmcf_obs::init_from_env();
+    pmcf_obs::report_init_from_env();
     let seed = args.seed_or(11);
     let mut artifact = Artifact::for_run("solver", seed, &args);
     artifact.set(
@@ -254,6 +257,19 @@ fn main() {
 
     if let Some((label, t)) = profile {
         artifact.attach_profile(&label, &t);
+    }
+    if let Some(mut run) = pmcf_obs::take_run_report("solver") {
+        run.absorb_tracker(&warm_t);
+        if let Some(path) = pmcf_obs::report_output_path() {
+            match run.write(&path) {
+                Ok(()) => eprintln!(
+                    "solver: wrote {} run report to {}",
+                    pmcf_obs::REPORT_SCHEMA,
+                    path.display()
+                ),
+                Err(e) => eprintln!("solver: run report write failed: {e}"),
+            }
+        }
     }
     artifact.emit(&args);
     pmcf_obs::finish();

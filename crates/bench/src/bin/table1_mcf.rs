@@ -14,7 +14,10 @@
 //! per-span attribution of the depth total, printed as a top-K table and
 //! embedded as `pmcf.critpath/v1` reports under the `critpath` key. With
 //! `PMCF_TRACE=1` (or `=<path>`) the run writes a Perfetto-loadable
-//! Chrome trace of the thread pool. At workstation scale the solve's
+//! Chrome trace of the thread pool. With `PMCF_REPORT=<path>` the run
+//! writes a unified `pmcf.report/v1` run report (span tree, critical
+//! path, counters, pool telemetry, monitor verdicts, and the
+//! per-iteration IPM convergence table) for `report_diff` triage. At workstation scale the solve's
 //! epoch rebuilds (every `√n` iterations) outpace the 4× weight-class
 //! drift a `HeavyHitter` class move needs, so the solve alone never
 //! reaches the decremental expander path — the profiled run therefore
@@ -32,6 +35,7 @@ fn main() {
     let args = BenchArgs::parse();
     pmcf_obs::init_from_env();
     pmcf_obs::trace_init_from_env();
+    pmcf_obs::report_init_from_env();
     let max_n = args.max_size_or(144);
     let seed = args.seed_or(42);
     let mut artifact = Artifact::for_run("table1_mcf", seed, &args);
@@ -224,6 +228,21 @@ fn main() {
         });
         if let Some(rep) = t.profile_report() {
             artifact.attach_profile_report(&label, &rep);
+        }
+        // PMCF_REPORT: fold the profiled tracker (spans, counters,
+        // critpath) into the unified run report and write it out
+        if let Some(mut run) = pmcf_obs::take_run_report("table1_mcf") {
+            run.absorb_tracker(&t);
+            if let Some(path) = pmcf_obs::report_output_path() {
+                match run.write(&path) {
+                    Ok(()) => eprintln!(
+                        "table1_mcf: wrote {} run report to {}",
+                        pmcf_obs::REPORT_SCHEMA,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!("table1_mcf: run report write failed: {e}"),
+                }
+            }
         }
     }
     artifact.emit(&args);

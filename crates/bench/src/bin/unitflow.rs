@@ -1,10 +1,16 @@
 //! Experiment E-UF — Lemma 3.11: ParallelUnitFlow's work scales with the
 //! injected demand (`‖Δ‖₀`-ish), not with the host graph size.
 //!
+//! Also E-UNITFLOW — the pooled scratch-state rows: steady-state
+//! `UnitFlowState::take`/`give` cycles must hit the allocator zero
+//! times (`allocs_per_iter == 0`, gated), with an advisory row for the
+//! full routing call (whose level buckets may still allocate).
+//!
 //! Flags: `--seed <u64> --json <path>`; `PMCF_PROFILE=1` embeds the
-//! span-tree profile of the last run.
+//! span-tree profile of the last run; `PMCF_REPORT=<path>` writes a
+//! unified `pmcf.report/v1` run report.
 
-use pmcf_bench::{mdln, Artifact, BenchArgs, Json};
+use pmcf_bench::{mdln, measure_allocs, Artifact, BenchArgs, Json};
 use pmcf_expander::unit_flow::{parallel_unit_flow, UnitFlowProblem, UnitFlowState};
 use pmcf_graph::generators;
 use pmcf_pram::profile::tracker_from_env;
@@ -12,9 +18,11 @@ use pmcf_pram::profile::tracker_from_env;
 fn main() {
     let args = BenchArgs::parse();
     pmcf_obs::init_from_env();
+    pmcf_obs::report_init_from_env();
     let seed = args.seed_or(1);
     let mut artifact = Artifact::for_run("unitflow", seed, &args);
     let mut profile = None;
+    let mut last_tracker = None;
 
     mdln!(
         args,
@@ -63,6 +71,7 @@ fn main() {
             if let Some(rep) = t.profile_report() {
                 profile = Some((format!("unit flow, n={n}, sources={k}"), rep));
             }
+            last_tracker = Some(t);
         }
     }
     mdln!(
@@ -70,8 +79,93 @@ fn main() {
         "\nShape: at fixed sources work is flat in n; work grows ~linearly in demand."
     );
 
+    // E-UNITFLOW — pooled scratch state: after warmup, a take/give cycle
+    // is a pop + in-place reset + push, so steady-state checkout must be
+    // allocation-free.
+    mdln!(args, "\n## E-UNITFLOW — pooled scratch reuse\n");
+    mdln!(
+        args,
+        "| n | m | cycles | allocs | allocs/iter | zero-alloc |"
+    );
+    mdln!(args, "|---|---|---|---|---|---|");
+    {
+        let (n, m) = (4096usize, 4096 * 4);
+        // warmup: park a max-sized state (and give the pool's own vec its
+        // capacity) so the measured loop is pure reuse
+        UnitFlowState::give(UnitFlowState::new(n, m));
+        let cycles = 16u64;
+        let (_, allocs) = measure_allocs(|| {
+            for _ in 0..cycles {
+                let s = UnitFlowState::take(n, m);
+                UnitFlowState::give(s);
+            }
+        });
+        let per_iter = allocs as f64 / cycles as f64;
+        let zero = allocs == 0;
+        mdln!(
+            args,
+            "| {n} | {m} | {cycles} | {allocs} | {per_iter:.2} | {zero} |"
+        );
+        artifact.row(vec![
+            ("section", Json::from("pool")),
+            ("scenario", Json::from("take_give_cycle")),
+            ("n", Json::from(n)),
+            ("m", Json::from(m)),
+            ("rounds", Json::from(cycles)),
+            ("allocs_per_iter", Json::from(per_iter)),
+            ("pool_zero_alloc", Json::from(zero)),
+        ]);
+
+        // advisory: a full routing call on a pooled state (level buckets
+        // and active-set growth may allocate; tracked, not gated)
+        let g = generators::random_regular_ugraph(256, 8, seed);
+        let alive = vec![true; g.n()];
+        let edge_ok = vec![true; g.m()];
+        let p = UnitFlowProblem {
+            g: &g,
+            alive: &alive,
+            edge_ok: &edge_ok,
+            cap: 10.0,
+            height: 50,
+        };
+        let mut s = UnitFlowState::take(g.n(), g.m());
+        let mut t = tracker_from_env();
+        // prime one run so buckets reach steady-state size, then measure
+        let _ = parallel_unit_flow(&mut t, &p, &mut s, &[(0, 6.0)], 0.5, 50_000);
+        s.reset(g.n(), g.m());
+        let (_, call_allocs) =
+            measure_allocs(|| parallel_unit_flow(&mut t, &p, &mut s, &[(0, 6.0)], 0.5, 50_000));
+        UnitFlowState::give(s);
+        mdln!(
+            args,
+            "\nFull `parallel_unit_flow` call on a pooled state: {call_allocs} allocations (advisory)."
+        );
+        artifact.row(vec![
+            ("section", Json::from("pool")),
+            ("scenario", Json::from("full_call")),
+            ("n", Json::from(g.n())),
+            ("m", Json::from(g.m())),
+            ("full_call_allocs", Json::from(call_allocs)),
+        ]);
+    }
+
     if let Some((label, rep)) = profile {
         artifact.attach_profile_report(&label, &rep);
+    }
+    if let Some(mut run) = pmcf_obs::take_run_report("unitflow") {
+        if let Some(t) = last_tracker.as_ref() {
+            run.absorb_tracker(t);
+        }
+        if let Some(path) = pmcf_obs::report_output_path() {
+            match run.write(&path) {
+                Ok(()) => eprintln!(
+                    "unitflow: wrote {} run report to {}",
+                    pmcf_obs::REPORT_SCHEMA,
+                    path.display()
+                ),
+                Err(e) => eprintln!("unitflow: run report write failed: {e}"),
+            }
+        }
     }
     artifact.emit(&args);
     pmcf_obs::finish();

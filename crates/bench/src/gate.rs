@@ -102,6 +102,8 @@ pub struct Finding {
 pub struct GateReport {
     /// Bench name (from the baseline artifact).
     pub bench: String,
+    /// Seed the candidate artifact was produced with, when recorded.
+    pub seed: Option<u64>,
     /// Everything that moved past a threshold.
     pub findings: Vec<Finding>,
     /// Rows matched between the two artifacts.
@@ -121,6 +123,35 @@ impl GateReport {
         self.findings
             .iter()
             .filter(|f| f.severity == Severity::Fail)
+    }
+
+    /// Exact shell commands that reproduce the candidate measurement for
+    /// each failing row, deduplicated. The command re-runs the bench bin
+    /// at the failing row's instance size with the candidate's seed and
+    /// the full observability surface enabled, so the regression can be
+    /// re-measured (and triaged span-by-span via `report_diff`) without
+    /// reverse-engineering the sweep.
+    pub fn repro_commands(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for f in self.failures() {
+            let cap = row_param(&f.row, "n").or_else(|| row_param(&f.row, "size"));
+            let mut cmd = format!(
+                "PMCF_PROFILE=1 PMCF_CRITPATH=1 PMCF_REPORT=results/candidate/{b}.report.json \
+                 cargo run --release -p pmcf-bench --bin {b} --",
+                b = self.bench
+            );
+            if let Some(cap) = cap {
+                cmd.push_str(&format!(" {cap}"));
+            }
+            if let Some(seed) = self.seed {
+                cmd.push_str(&format!(" --seed {seed}"));
+            }
+            cmd.push_str(&format!(" --json results/candidate/{}.json", self.bench));
+            if !out.contains(&cmd) {
+                out.push(cmd);
+            }
+        }
+        out
     }
 
     /// Markdown summary: verdict line plus a findings table when
@@ -155,8 +186,35 @@ impl GateReport {
                 ));
             }
         }
+        let repro = self.repro_commands();
+        if !repro.is_empty() {
+            out.push_str("\n### Reproduce\n\n```sh\n");
+            for cmd in &repro {
+                out.push_str(cmd);
+                out.push('\n');
+            }
+            out.push_str("```\n");
+        }
         out
     }
+}
+
+/// Extract a named numeric sweep parameter (`key=value`) from a
+/// [`row_key`]-formatted row identity string. Integral values print
+/// without a trailing `.0` so they can be passed back as a bench-bin
+/// positional argument.
+fn row_param(row: &str, key: &str) -> Option<String> {
+    for tok in row.split(' ') {
+        if let Some(v) = tok.strip_prefix(&format!("{key}=")) {
+            if let Ok(x) = v.parse::<f64>() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    return Some(format!("{}", x as i64));
+                }
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
 }
 
 /// Parse an artifact and verify it carries the `pmcf.bench/v1` schema.
@@ -360,6 +418,11 @@ pub fn gate(
             "bench mismatch: baseline is {bench:?}, candidate is {cand_bench:?}"
         ));
     }
+    let seed = candidate.get("seed").and_then(|v| match v {
+        JsonValue::UInt(u) => Some(*u),
+        JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+        _ => None,
+    });
     let empty: Vec<JsonValue> = Vec::new();
     let base_rows = baseline
         .get("rows")
@@ -466,6 +529,7 @@ pub fn gate(
 
     Ok(GateReport {
         bench,
+        seed,
         findings,
         rows_compared,
         metrics_compared,
@@ -681,6 +745,35 @@ mod tests {
         let r = gate(&pinned, &drifted, &GateConfig::default()).unwrap();
         assert!(!r.passed());
         assert!(r.failures().any(|f| f.metric == "depth_exponents.robust"));
+    }
+
+    #[test]
+    fn failing_gate_carries_exact_repro_command() {
+        let base = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let cand = art(&[("ref", 2000, 120, 0.1)], 1.5);
+        let r = gate(&base, &cand, &GateConfig::default()).unwrap();
+        assert!(!r.passed());
+        assert_eq!(r.seed, Some(42));
+        let repro = r.repro_commands();
+        // two failing metrics (work, depth) on the same row dedup to one
+        // command line
+        assert_eq!(repro.len(), 1, "{repro:?}");
+        let cmd = &repro[0];
+        assert!(cmd.contains("--bin demo"), "{cmd}");
+        assert!(cmd.contains(" 16 "), "instance size from row key: {cmd}");
+        assert!(cmd.contains("--seed 42"), "{cmd}");
+        assert!(cmd.contains("PMCF_REPORT="), "{cmd}");
+        let md = r.to_markdown();
+        assert!(md.contains("### Reproduce"), "{md}");
+        assert!(md.contains(cmd.as_str()), "{md}");
+    }
+
+    #[test]
+    fn passing_gate_has_no_repro_section() {
+        let a = art(&[("ref", 1000, 50, 0.1)], 1.5);
+        let r = gate(&a, &a, &GateConfig::default()).unwrap();
+        assert!(r.repro_commands().is_empty());
+        assert!(!r.to_markdown().contains("### Reproduce"));
     }
 
     #[test]

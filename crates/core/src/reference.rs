@@ -364,6 +364,8 @@ pub fn path_follow_traced(
             stats.iterations += 1;
             t.counter("ipm.iterations", 1);
             let mu_at_start = st.mu;
+            let cg_at_start = stats.cg_iterations;
+            let iter_wall = pmcf_obs::report_active().then(std::time::Instant::now);
             if stats.iterations % cfg.tau_refresh == 0 {
                 let round = stats.iterations;
                 refresh_tau(t, &mut st, &mut stats, round);
@@ -410,6 +412,15 @@ pub fn path_follow_traced(
                     ("depth", t.depth().into()),
                 ]
             });
+            pmcf_obs::record_ipm_iter(
+                "reference",
+                stats.iterations as u64,
+                mu_at_start,
+                mu_at_start * tau_sum,
+                Some(shrink),
+                (stats.cg_iterations - cg_at_start) as u64,
+                iter_wall.map_or(0, |w| w.elapsed().as_nanos() as u64),
+            );
             st.mu *= shrink;
         }
     });

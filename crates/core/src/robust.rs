@@ -313,6 +313,8 @@ pub fn path_follow(
         while st.mu > mu_end && stats.iterations < cfg.max_iters {
             stats.iterations += 1;
             t.counter("ipm.iterations", 1);
+            let cg_at_start = stats.cg_iterations;
+            let iter_wall = pmcf_obs::report_active().then(std::time::Instant::now);
 
             // ---- epoch boundary: exactify, recenter, rebuild structures ----
             if stats.iterations % epoch == 0 {
@@ -564,6 +566,15 @@ pub fn path_follow(
                     ("depth", t.depth().into()),
                 ]
             });
+            pmcf_obs::record_ipm_iter(
+                "robust",
+                stats.iterations as u64,
+                st.mu,
+                st.mu * tau_sum,
+                Some(shrink),
+                (stats.cg_iterations - cg_at_start) as u64,
+                iter_wall.map_or(0, |w| w.elapsed().as_nanos() as u64),
+            );
             st.mu *= shrink;
         }
     });

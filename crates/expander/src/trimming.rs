@@ -96,7 +96,11 @@ impl Trimmer {
         Trimmer::with_params(g, params)
     }
 
-    /// Start pruning with explicit parameters.
+    /// Start pruning with explicit parameters. The unit-flow scratch
+    /// state is checked out of the process-wide pool
+    /// ([`UnitFlowState::take`]) and parked back on drop, so the
+    /// decomposition's rebuild-on-split churn reuses buffers instead of
+    /// allocating six vertex/edge-sized vectors each time.
     pub fn with_params(g: UGraph, params: TrimmerParams) -> Self {
         let n = g.n();
         let m = g.m();
@@ -106,7 +110,7 @@ impl Trimmer {
             h,
             alive: vec![true; n],
             edge_ok: vec![true; m],
-            state: UnitFlowState::new(n, m),
+            state: UnitFlowState::take(n, m),
             batches: 0,
             alive_count: n,
             sink_spent: 0.0,
@@ -373,6 +377,12 @@ impl Trimmer {
             scanned.max(1),
             pmcf_pram::par_depth(scanned.max(1)),
         ));
+    }
+}
+
+impl Drop for Trimmer {
+    fn drop(&mut self) {
+        UnitFlowState::give(std::mem::take(&mut self.state));
     }
 }
 

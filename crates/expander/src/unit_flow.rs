@@ -19,6 +19,8 @@
 
 use pmcf_graph::UGraph;
 use pmcf_pram::{Cost, Tracker};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Static description of a unit-flow instance over (a subgraph of) `g`.
 pub struct UnitFlowProblem<'a> {
@@ -36,7 +38,7 @@ pub struct UnitFlowProblem<'a> {
 
 /// Mutable flow state that persists across successive unit-flow calls
 /// (the trimming loop reuses flow between rounds, §3.2/§3.3).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UnitFlowState {
     /// Signed flow per edge, positive in stored `(tail → head)` direction.
     pub flow: Vec<f64>,
@@ -74,6 +76,62 @@ impl UnitFlowState {
             active: Vec::new(),
             labeled: Vec::new(),
             pushes: 0,
+        }
+    }
+
+    /// Reinitialize in place for an `n`-vertex, `m`-edge graph, keeping
+    /// the existing heap capacity. Equivalent to [`UnitFlowState::new`]
+    /// observationally; allocation-free when the previous instance was at
+    /// least as large.
+    pub fn reset(&mut self, n: usize, m: usize) {
+        self.flow.clear();
+        self.flow.resize(m, 0.0);
+        self.label.clear();
+        self.label.resize(n, 0);
+        self.absorbed.clear();
+        self.absorbed.resize(n, 0.0);
+        self.budget.clear();
+        self.budget.resize(n, 0.0);
+        self.granted = 0.0;
+        self.seen.clear();
+        self.seen.resize(n, 0.0);
+        self.excess.clear();
+        self.excess.resize(n, 0.0);
+        self.active.clear();
+        self.labeled.clear();
+        self.pushes = 0;
+    }
+
+    /// Check out a state for an `n`-vertex, `m`-edge graph from the
+    /// process-wide pool, falling back to a fresh allocation when the
+    /// pool is empty. The decremental decomposition rebuilds a
+    /// [`crate::trimming::Trimmer`] (and therefore a state — six
+    /// vertex/edge-sized vectors) on every expander split; checking the
+    /// old state back in with [`UnitFlowState::give`] makes the rebuild
+    /// allocation-free in steady state.
+    pub fn take(n: usize, m: usize) -> UnitFlowState {
+        let parked = POOL.lock().ok().and_then(|mut p| p.pop());
+        match parked {
+            Some(mut s) => {
+                POOL_REUSE.fetch_add(1, Ordering::Relaxed);
+                s.reset(n, m);
+                s
+            }
+            None => {
+                POOL_FRESH.fetch_add(1, Ordering::Relaxed);
+                UnitFlowState::new(n, m)
+            }
+        }
+    }
+
+    /// Park a no-longer-needed state for reuse by a later
+    /// [`UnitFlowState::take`]. The pool is bounded; overflow states are
+    /// simply dropped.
+    pub fn give(s: UnitFlowState) {
+        if let Ok(mut p) = POOL.lock() {
+            if p.len() < POOL_MAX {
+                p.push(s);
+            }
         }
     }
 
@@ -126,6 +184,33 @@ impl UnitFlowState {
     /// Vertices whose label ever became positive.
     pub fn labeled_vertices(&self) -> &[usize] {
         &self.labeled
+    }
+}
+
+/// Parked states awaiting reuse; bounded so pathological churn cannot
+/// hoard memory.
+static POOL: Mutex<Vec<UnitFlowState>> = Mutex::new(Vec::new());
+const POOL_MAX: usize = 8;
+static POOL_FRESH: AtomicU64 = AtomicU64::new(0);
+static POOL_REUSE: AtomicU64 = AtomicU64::new(0);
+
+/// Lifetime tallies of the [`UnitFlowState`] pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnitFlowPoolStats {
+    /// `take` calls served by a fresh allocation.
+    pub fresh: u64,
+    /// `take` calls served from the pool.
+    pub reused: u64,
+    /// States currently parked.
+    pub parked: usize,
+}
+
+/// Snapshot the pool counters (process lifetime).
+pub fn pool_stats() -> UnitFlowPoolStats {
+    UnitFlowPoolStats {
+        fresh: POOL_FRESH.load(Ordering::Relaxed),
+        reused: POOL_REUSE.load(Ordering::Relaxed),
+        parked: POOL.lock().map(|p| p.len()).unwrap_or(0),
     }
 }
 
@@ -556,6 +641,72 @@ mod tests {
             t.work(),
             g.m()
         );
+    }
+
+    #[test]
+    fn reset_state_is_observationally_fresh() {
+        // Run an instance on a fresh state and on a dirtied-then-reset
+        // state: every observable field must agree exactly.
+        let g = generators::random_regular_ugraph(24, 4, 8);
+        let alive = vec![true; g.n()];
+        let edge_ok = vec![true; g.m()];
+        let p = UnitFlowProblem {
+            g: &g,
+            alive: &alive,
+            edge_ok: &edge_ok,
+            cap: 3.0,
+            height: 10,
+        };
+        let sources = [(2usize, 5.0f64), (7, 1.0)];
+        let mut fresh = UnitFlowState::new(g.n(), g.m());
+        let mut t = Tracker::new();
+        let out_fresh = parallel_unit_flow(&mut t, &p, &mut fresh, &sources, 0.5, 10_000);
+
+        let mut reused = UnitFlowState::new(64, 300); // wrong-sized, then dirtied
+        let big = generators::random_regular_ugraph(64, 6, 9);
+        let alive2 = vec![true; big.n()];
+        let edge_ok2 = vec![true; big.m()];
+        let p2 = UnitFlowProblem {
+            g: &big,
+            alive: &alive2,
+            edge_ok: &edge_ok2,
+            cap: 2.0,
+            height: 8,
+        };
+        let mut t2 = Tracker::new();
+        let _ = parallel_unit_flow(&mut t2, &p2, &mut reused, &[(0, 9.0)], 0.4, 10_000);
+        reused.reset(g.n(), g.m());
+        let mut t3 = Tracker::new();
+        let out_reused = parallel_unit_flow(&mut t3, &p, &mut reused, &sources, 0.5, 10_000);
+
+        assert_eq!(out_fresh.sweeps, out_reused.sweeps);
+        assert_eq!(fresh.flow, reused.flow);
+        assert_eq!(fresh.label, reused.label);
+        assert_eq!(fresh.absorbed, reused.absorbed);
+        assert_eq!(fresh.excess, reused.excess);
+        assert_eq!(fresh.pushes, reused.pushes);
+        assert_eq!(t.work(), t3.work(), "charged work must match exactly");
+        assert_eq!(t.depth(), t3.depth());
+    }
+
+    #[test]
+    fn pool_take_give_reuses_and_counts() {
+        let before = pool_stats();
+        let s = UnitFlowState::take(16, 40);
+        assert_eq!(s.flow.len(), 40);
+        assert_eq!(s.label.len(), 16);
+        UnitFlowState::give(s);
+        let s2 = UnitFlowState::take(8, 20);
+        assert_eq!(s2.flow.len(), 20);
+        assert_eq!(s2.label.len(), 8);
+        assert!(s2.excess.iter().all(|&e| e == 0.0));
+        let after = pool_stats();
+        // other tests share the process-global pool, so assert growth,
+        // not absolutes: two takes happened, at least one from the pool
+        assert!(after.fresh + after.reused >= before.fresh + before.reused + 2);
+        assert!(after.reused > before.reused);
+        UnitFlowState::give(s2);
+        assert!(pool_stats().parked >= 1);
     }
 
     #[test]

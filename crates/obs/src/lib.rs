@@ -16,6 +16,12 @@
 //! 4. **Trace exporter** ([`tracevent`]) — `PMCF_TRACE=1` turns the
 //!    thread pool's wall-clock telemetry plus [`trace_scope`]
 //!    annotations into a Perfetto-loadable Chrome trace-event file.
+//! 5. **Unified run reports** ([`report`]) — `PMCF_REPORT=<path>` ties
+//!    one run's span profile, critical path, counters, pool telemetry,
+//!    monitor verdicts, and per-iteration IPM convergence table into a
+//!    single `pmcf.report/v1` artifact; the [`reportdiff`] engine (and
+//!    the `report_diff` bin) aligns two such reports span-by-span and
+//!    ranks the regressing spans for triage.
 //!
 //! The crate depends only on `pmcf-pram` (JSON string escaping) and the
 //! in-tree `rayon` shim (pool telemetry), both of which sit below every
@@ -27,6 +33,8 @@ pub mod event;
 pub mod json;
 pub mod monitor;
 pub mod recorder;
+pub mod report;
+pub mod reportdiff;
 pub mod tracevent;
 
 pub use event::{Event, Value, SCHEMA};
@@ -35,6 +43,11 @@ pub use recorder::{
     emit, emit_with, finish, init_from_env, install, recording, uninstall, with_recorder,
     FlightRecorder,
 };
+pub use report::{
+    record_ipm_iter, report_active, report_begin, report_init_from_env, report_output_path,
+    take_run_report, IpmIterRow, RunReport, REPORT_ENV, REPORT_SCHEMA,
+};
+pub use reportdiff::{diff_reports, DiffStatus, ReportDiff, SpanDelta, DIFF_SCHEMA};
 pub use tracevent::{
     trace_finish, trace_init_from_env, trace_scope, tracing_active, TraceScope, TRACE_ENV,
     TRACE_SCHEMA,

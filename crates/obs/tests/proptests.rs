@@ -1,16 +1,21 @@
-//! Property tests for the flight recorder and invariant monitors.
+//! Property tests for the flight recorder, invariant monitors, and the
+//! run-report diff engine.
 //!
-//! Two properties the ISSUE pins down:
+//! Pinned properties:
 //! - the ring buffer never drops the *latest* events (only the oldest);
-//! - monitor verdicts are deterministic under replay of the same seed.
+//! - monitor verdicts are deterministic under replay of the same seed;
+//! - span-tree diff alignment is *total* (every span path in either run
+//!   appears exactly once, as kept/added/removed) and delta-exact.
 
 use pmcf_obs::event::{Event, Value};
 use pmcf_obs::json::parse_recording;
 use pmcf_obs::monitor::run_monitors;
-use pmcf_obs::FlightRecorder;
+use pmcf_obs::report::ReportSpan;
+use pmcf_obs::{diff_reports, DiffStatus, FlightRecorder, RunReport};
 use pmcf_pram::profile::{ProfileReport, SpanReport};
 use pmcf_pram::{Cost, ParMode, Tracker};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn push_n(rec: &mut FlightRecorder, n: u64) {
     for i in 0..n {
@@ -105,6 +110,76 @@ fn assert_spans_replay_eq(a: &[SpanReport], b: &[SpanReport]) {
     }
 }
 
+/// Small name alphabet so randomly generated base/candidate trees share,
+/// add, and remove paths with high probability.
+const SPAN_NAMES: [&str; 5] = ["ipm", "cg", "expander", "solve", "trim"];
+
+/// xorshift step for the seed-driven tree generator below.
+fn next(rng: &mut u64) -> u64 {
+    let mut x = *rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *rng = x;
+    x
+}
+
+/// Random span tree with *consistent inclusive costs* (parent ≥ sum of
+/// children), matching what the profiler produces. Seed-driven because
+/// the in-tree proptest shim has no recursive strategy combinator.
+fn gen_span(rng: &mut u64, depth: usize) -> ReportSpan {
+    let kids = if depth == 0 {
+        0
+    } else {
+        (next(rng) % 4) as usize
+    };
+    let children: Vec<ReportSpan> = (0..kids).map(|_| gen_span(rng, depth - 1)).collect();
+    let cw: u64 = children.iter().map(|c| c.work).sum();
+    let cd: u64 = children.iter().map(|c| c.depth).sum();
+    let cn: u64 = children.iter().map(|c| c.wall_ns).sum();
+    ReportSpan {
+        name: SPAN_NAMES[(next(rng) % SPAN_NAMES.len() as u64) as usize].to_string(),
+        work: next(rng) % 1_000 + cw,
+        depth: next(rng) % 100 + cd,
+        wall_ns: next(rng) % 10_000 + cn,
+        count: 1 + next(rng) % 3,
+        children,
+    }
+}
+
+fn gen_spans(seed: u64) -> Vec<ReportSpan> {
+    let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    (0..(next(&mut rng) % 4) as usize)
+        .map(|_| gen_span(&mut rng, 3))
+        .collect()
+}
+
+fn report_with(spans: Vec<ReportSpan>) -> RunReport {
+    let mut r = RunReport::new("prop");
+    r.work = spans.iter().map(|s| s.work).sum();
+    r.depth = spans.iter().map(|s| s.depth).sum();
+    r.spans = spans;
+    r
+}
+
+/// Independent re-implementation of path flattening used as the oracle:
+/// `(inclusive work, inclusive depth, self work)` per ` > `-joined path,
+/// aggregating duplicate paths.
+fn flat_oracle(spans: &[ReportSpan], prefix: &str, out: &mut BTreeMap<String, [u64; 3]>) {
+    for s in spans {
+        let path = if prefix.is_empty() {
+            s.name.clone()
+        } else {
+            format!("{prefix} > {}", s.name)
+        };
+        let e = out.entry(path.clone()).or_insert([0; 3]);
+        e[0] += s.work;
+        e[1] += s.depth;
+        e[2] += s.self_work();
+        flat_oracle(&s.children, &path, out);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -158,6 +233,53 @@ proptest! {
         // and the verdict matches the injected fault
         let mu = first.iter().find(|v| v.monitor == "mu-monotone").unwrap();
         prop_assert_eq!(mu.ok, !violate);
+    }
+
+    #[test]
+    fn span_diff_alignment_is_total_and_delta_exact(
+        base_seed in 0u64..1_000_000,
+        cand_seed in 0u64..1_000_000,
+    ) {
+        let base = report_with(gen_spans(base_seed));
+        let cand = report_with(gen_spans(cand_seed));
+        let mut base_flat = BTreeMap::new();
+        let mut cand_flat = BTreeMap::new();
+        flat_oracle(&base.spans, "", &mut base_flat);
+        flat_oracle(&cand.spans, "", &mut cand_flat);
+
+        let diff = diff_reports(&base, &cand);
+
+        // totality: every path from either run appears exactly once
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &diff.spans {
+            prop_assert!(seen.insert(d.path.clone()), "duplicate path {}", d.path);
+        }
+        let union: std::collections::BTreeSet<String> =
+            base_flat.keys().chain(cand_flat.keys()).cloned().collect();
+        prop_assert_eq!(&seen, &union);
+
+        for d in &diff.spans {
+            let b = base_flat.get(&d.path);
+            let c = cand_flat.get(&d.path);
+            // status matches which side(s) hold the path
+            let want = match (b.is_some(), c.is_some()) {
+                (true, true) => DiffStatus::Kept,
+                (false, true) => DiffStatus::Added,
+                (true, false) => DiffStatus::Removed,
+                (false, false) => unreachable!("path {} in neither run", d.path),
+            };
+            prop_assert_eq!(d.status, want, "path {}", d.path);
+            // deltas are exact: candidate minus baseline, missing side = 0
+            let bv = b.copied().unwrap_or([0; 3]);
+            let cv = c.copied().unwrap_or([0; 3]);
+            prop_assert_eq!(d.d_work(), cv[0] as i64 - bv[0] as i64, "path {}", d.path);
+            prop_assert_eq!(d.d_depth(), cv[1] as i64 - bv[1] as i64, "path {}", d.path);
+            prop_assert_eq!(d.d_self_work(), cv[2] as i64 - bv[2] as i64, "path {}", d.path);
+        }
+
+        // a self-diff reports identical charged costs
+        let self_diff = diff_reports(&base, &base);
+        prop_assert!(self_diff.charged_costs_identical());
     }
 
     #[test]

@@ -48,17 +48,34 @@ pub const PROFILE_ENV: &str = "PMCF_PROFILE";
 /// Schema identifier stamped into every JSON report.
 pub const SCHEMA: &str = "pmcf.profile/v1";
 
+/// Environment variable naming a unified run-report output path. The
+/// report itself is assembled by `pmcf-obs` (which sits above this
+/// crate); the variable is recognized here so [`tracker_from_env`] can
+/// switch the profiler and depth ledger on for report runs without a
+/// dependency cycle.
+pub const REPORT_ENV: &str = "PMCF_REPORT";
+
+/// Whether `PMCF_REPORT` names a (non-empty) output path.
+pub fn report_requested() -> bool {
+    std::env::var_os(REPORT_ENV)
+        .map(|v| !v.is_empty())
+        .unwrap_or(false)
+}
+
 /// `Tracker::profiled()` if `PMCF_PROFILE=1` in the environment, else a
 /// plain (profiler-free) tracker. Independently, `PMCF_CRITPATH=1`
 /// attaches a critical-path depth ledger (see [`crate::critpath`]) —
-/// the two gates compose.
+/// the two gates compose. `PMCF_REPORT=<path>` implies both: a unified
+/// run report embeds the span tree and the critical path, so a report
+/// run must collect them.
 pub fn tracker_from_env() -> crate::Tracker {
-    let t = if profiling_requested() {
+    let report = report_requested();
+    let t = if profiling_requested() || report {
         crate::Tracker::profiled()
     } else {
         crate::Tracker::new()
     };
-    if crate::critpath::critpath_requested() {
+    if crate::critpath::critpath_requested() || report {
         t.with_critpath()
     } else {
         t
