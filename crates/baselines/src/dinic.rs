@@ -1,5 +1,6 @@
 //! Dinic's maximum-flow algorithm — exact s-t max flow oracle.
 
+use crate::{push_relabel, FlowError};
 use pmcf_graph::DiGraph;
 
 #[derive(Clone, Copy)]
@@ -10,10 +11,28 @@ struct Arc {
     edge: usize,
 }
 
-/// Exact max flow; returns `(value, per-edge flow)`.
+/// Exact max flow with typed input validation (degenerate instances —
+/// `s == t`, out-of-range endpoints, negative caps, `Σu ≥ 2^62` — come
+/// back as [`FlowError`] instead of a panic or a wrong flow vector).
+pub fn try_max_flow(
+    g: &DiGraph,
+    cap: &[i64],
+    s: usize,
+    t: usize,
+) -> Result<(i64, Vec<i64>), FlowError> {
+    push_relabel::validate_input(g, cap, s, t)?;
+    Ok(max_flow_inner(g, cap, s, t))
+}
+
+/// Exact max flow; returns `(value, per-edge flow)`. Panics on
+/// malformed input — use [`try_max_flow`] for typed rejection.
 pub fn max_flow(g: &DiGraph, cap: &[i64], s: usize, t: usize) -> (i64, Vec<i64>) {
     assert_eq!(cap.len(), g.m());
     assert_ne!(s, t);
+    max_flow_inner(g, cap, s, t)
+}
+
+fn max_flow_inner(g: &DiGraph, cap: &[i64], s: usize, t: usize) -> (i64, Vec<i64>) {
     let n = g.n();
     let mut arcs: Vec<Arc> = Vec::with_capacity(2 * g.m());
     let mut head: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -150,5 +169,46 @@ mod tests {
         let g = DiGraph::from_edges(3, vec![(0, 0), (0, 1), (1, 2), (1, 2)]);
         let (v, _) = max_flow(&g, &[9, 4, 0, 3], 0, 2);
         assert_eq!(v, 3);
+    }
+
+    #[test]
+    fn antiparallel_bundles_route_independently() {
+        // two antiparallel pairs between {0,1} and {1,2}: forward caps
+        // must route fully, backward caps must stay unused
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 0), (1, 2), (2, 1), (0, 1)]);
+        let cap = vec![3, 5, 4, 7, 1];
+        let (v, x) = max_flow(&g, &cap, 0, 2);
+        assert_eq!(v, 4);
+        assert_eq!(x[1], 0, "backward arc 1→0 carries nothing");
+        assert_eq!(x[3], 0, "backward arc 2→1 carries nothing");
+        assert!(x.iter().zip(&cap).all(|(&f, &c)| 0 <= f && f <= c));
+    }
+
+    #[test]
+    fn try_max_flow_rejects_degenerates_typed() {
+        use crate::FlowError;
+        let g = DiGraph::from_edges(2, vec![(0, 1)]);
+        assert!(matches!(
+            try_max_flow(&g, &[1], 0, 0),
+            Err(FlowError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            try_max_flow(&g, &[1], 2, 1),
+            Err(FlowError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            try_max_flow(&g, &[1, 1], 0, 1),
+            Err(FlowError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            try_max_flow(&g, &[-1], 0, 1),
+            Err(FlowError::InvalidInput(_))
+        ));
+        let g2 = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        assert!(matches!(
+            try_max_flow(&g2, &[1i64 << 61, 1i64 << 61], 0, 2),
+            Err(FlowError::Overflow(_))
+        ));
+        assert_eq!(try_max_flow(&g, &[7], 0, 1), Ok((7, vec![7])));
     }
 }

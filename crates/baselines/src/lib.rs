@@ -21,6 +21,31 @@ pub mod bfs;
 pub mod dinic;
 pub mod hopcroft_karp;
 pub mod oracle;
+pub mod push_relabel;
 pub mod ssp;
 
 pub use oracle::{Oracle, Verdict};
+
+/// Typed rejection from a baseline max-flow routine — baselines sit
+/// below `pmcf-core`, so they cannot speak `McfError`; the core API
+/// maps these onto `McfError::InvalidInput` / `McfError::Overflow`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowError {
+    /// The instance is malformed (bad lengths, out-of-range endpoints,
+    /// `s == t`, negative capacities).
+    InvalidInput(String),
+    /// The instance (or an intermediate quantity) exceeds the `< 2^62`
+    /// arithmetic headroom the engines assume.
+    Overflow(String),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::InvalidInput(d) => write!(f, "invalid max-flow input: {d}"),
+            FlowError::Overflow(d) => write!(f, "max-flow overflow: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}

@@ -11,8 +11,9 @@
 //! all five via `solve_mcf` and the corollary reductions) implement the
 //! same trait from `pmcf-core`.
 
-use crate::{bellman_ford, bfs, dinic, hopcroft_karp, ssp};
+use crate::{bellman_ford, bfs, dinic, hopcroft_karp, push_relabel, ssp};
 use pmcf_graph::{DiGraph, McfProblem};
+use pmcf_pram::Tracker;
 
 /// Outcome of asking an oracle one of the five differential questions.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -82,17 +83,13 @@ pub trait Oracle {
     }
 }
 
-fn check_st(g: &DiGraph, s: usize, t: usize) -> Option<Verdict> {
-    if s >= g.n() || t >= g.n() {
-        return Some(Verdict::Rejected(format!(
-            "source {s} / sink {t} out of range for {} vertices",
-            g.n()
-        )));
-    }
-    if s == t {
-        return Some(Verdict::Rejected("source and sink must differ".into()));
-    }
-    None
+/// Shared max-flow input screen: every max-flow oracle rejects exactly
+/// the same input class (lengths, ranges, `s == t`, negative caps,
+/// `Σu ≥ 2^62`), so rejection stays unanimous in the differential race.
+fn check_max_flow(g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Option<Verdict> {
+    push_relabel::validate_input(g, cap, s, t)
+        .err()
+        .map(|e| Verdict::Rejected(e.to_string()))
 }
 
 /// Successive shortest paths: min-cost flow (the classical exact
@@ -115,7 +112,7 @@ impl Oracle for Ssp {
     }
 
     fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
-        if let Some(v) = check_st(g, s, t) {
+        if let Some(v) = check_max_flow(g, cap, s, t) {
             return v;
         }
         let (p, back) = McfProblem::max_flow(g, cap, s, t);
@@ -135,11 +132,28 @@ impl Oracle for Dinic {
     }
 
     fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
-        if let Some(v) = check_st(g, s, t) {
+        if let Some(v) = check_max_flow(g, cap, s, t) {
             return v;
         }
         let (value, _) = dinic::max_flow(g, cap, s, t);
         Verdict::Value(value)
+    }
+}
+
+/// Synchronous parallel push-relabel (BBS, ESA 2015): max s-t flow.
+pub struct PushRelabel;
+
+impl Oracle for PushRelabel {
+    fn name(&self) -> &'static str {
+        "push-relabel"
+    }
+
+    fn max_flow(&self, g: &DiGraph, cap: &[i64], s: usize, t: usize) -> Verdict {
+        let mut tr = Tracker::new();
+        match push_relabel::max_flow(&mut tr, g, cap, s, t) {
+            Ok(out) => Verdict::Value(out.value),
+            Err(e) => Verdict::Rejected(e.to_string()),
+        }
     }
 }
 
@@ -221,12 +235,38 @@ mod tests {
     use pmcf_graph::generators;
 
     #[test]
-    fn ssp_and_dinic_agree_on_max_flow() {
+    fn ssp_dinic_and_push_relabel_agree_on_max_flow() {
         for seed in 0..4 {
             let (g, cap) = generators::random_max_flow(8, 20, 4, seed);
             let a = Ssp.max_flow(&g, &cap, 0, 7);
             let b = Dinic.max_flow(&g, &cap, 0, 7);
+            let c = PushRelabel.max_flow(&g, &cap, 0, 7);
             assert_eq!(a, b, "seed {seed}");
+            assert_eq!(b, c, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn max_flow_rejection_is_unanimous_on_degenerates() {
+        // negative caps used to panic inside Ssp (McfProblem::new
+        // asserts cap ≥ 0); all three oracles must instead reject
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let bad_caps: [&[i64]; 2] = [&[-1, 3], &[1i64 << 61, 1i64 << 61]];
+        for caps in bad_caps {
+            for o in [&Ssp as &dyn Oracle, &Dinic, &PushRelabel] {
+                assert!(
+                    matches!(o.max_flow(&g, caps, 0, 2), Verdict::Rejected(_)),
+                    "{} should reject caps {caps:?}",
+                    o.name()
+                );
+            }
+        }
+        for o in [&Ssp as &dyn Oracle, &Dinic, &PushRelabel] {
+            assert!(
+                matches!(o.max_flow(&g, &[1, 1], 1, 1), Verdict::Rejected(_)),
+                "{} should reject s == t",
+                o.name()
+            );
         }
     }
 

@@ -1,8 +1,8 @@
 //! Property-based cross-validation of the combinatorial baselines.
 
-use pmcf_baselines::{bellman_ford, bfs, dinic, hopcroft_karp, ssp};
+use pmcf_baselines::{bellman_ford, bfs, dinic, hopcroft_karp, push_relabel, ssp};
 use pmcf_graph::{generators, DiGraph, Flow, McfProblem};
-use pmcf_pram::Tracker;
+use pmcf_pram::{ParMode, Tracker};
 use proptest::prelude::*;
 
 proptest! {
@@ -91,6 +91,56 @@ proptest! {
         let mut t = Tracker::new();
         let (b, _) = bfs::reachable_par(&mut t, &g, 0);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_relabel_value_and_flow_agree_with_dinic(seed in 0u64..200, n in 6usize..24) {
+        let m = 4 * n;
+        let (g, cap) = generators::random_max_flow(n, m, 7, seed);
+        let (want, _) = dinic::max_flow(&g, &cap, 0, n - 1);
+        let mut t = Tracker::new();
+        let out = push_relabel::max_flow(&mut t, &g, &cap, 0, n - 1).unwrap();
+        prop_assert_eq!(out.value, want);
+        // the decomposed flow is feasible and carries exactly `value`
+        assert_max_flow_feasible(&g, &cap, &out.x, 0, n - 1, out.value);
+    }
+
+    #[test]
+    fn push_relabel_charged_cost_is_mode_invariant(seed in 0u64..80, n in 6usize..20) {
+        // bit-identical charged work/depth, flow, stats, and profile
+        // counters whether the fork-join tree actually forks or not
+        let (g, cap) = generators::random_max_flow(n, 4 * n, 5, seed);
+        let mut ta = Tracker::profiled();
+        let a = push_relabel::max_flow_in(&mut ta, ParMode::Sequential, &g, &cap, 0, n - 1).unwrap();
+        let mut tb = Tracker::profiled();
+        let b = push_relabel::max_flow_in(&mut tb, ParMode::Forked, &g, &cap, 0, n - 1).unwrap();
+        prop_assert_eq!(a.value, b.value);
+        prop_assert_eq!(a.x, b.x);
+        prop_assert_eq!(a.stats, b.stats);
+        prop_assert_eq!((ta.work(), ta.depth()), (tb.work(), tb.depth()));
+        prop_assert_eq!(
+            ta.profile_report().unwrap().counters,
+            tb.profile_report().unwrap().counters
+        );
+    }
+}
+
+/// Feasibility of a raw max-flow vector: capacity bounds, conservation
+/// at interior vertices, and net `s`-outflow equal to the claimed value.
+fn assert_max_flow_feasible(g: &DiGraph, cap: &[i64], x: &[i64], s: usize, t: usize, value: i64) {
+    for (e, &xe) in x.iter().enumerate() {
+        assert!(0 <= xe && xe <= cap[e], "edge {e}: x={xe} cap={}", cap[e]);
+    }
+    for v in 0..g.n() {
+        let out: i64 = g.out_edges(v).iter().map(|&e| x[e]).sum();
+        let inn: i64 = g.in_edges(v).iter().map(|&e| x[e]).sum();
+        if v == s {
+            assert_eq!(out - inn, value, "source net outflow");
+        } else if v == t {
+            assert_eq!(inn - out, value, "sink net inflow");
+        } else {
+            assert_eq!(out, inn, "conservation at {v}");
+        }
     }
 }
 

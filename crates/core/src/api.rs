@@ -29,6 +29,46 @@ pub struct SolverConfig {
     pub path: PathFollowConfig,
 }
 
+/// Which backend answers the max-flow corollary ([`max_flow_with`]).
+/// All three return exact integral answers; they differ in cost shape.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MaxFlowEngine {
+    /// The IPM circulation reduction through [`solve_mcf`] (the
+    /// Theorem 1.2 path; best charged depth on dense instances).
+    #[default]
+    Ipm,
+    /// Sequential Dinic (`pmcf_baselines::dinic`; the classical
+    /// comparator — lowest constant factors at small scale).
+    Dinic,
+    /// Synchronous parallel push-relabel
+    /// (`pmcf_baselines::push_relabel`; BBS ESA 2015 — the
+    /// wall-clock-competitive parallel engine).
+    PushRelabel,
+}
+
+/// Map a baseline [`pmcf_baselines::FlowError`] onto the core error
+/// vocabulary (same classes `validate_instance` uses).
+fn flow_err(e: pmcf_baselines::FlowError) -> McfError {
+    match e {
+        pmcf_baselines::FlowError::InvalidInput(d) => McfError::invalid(d),
+        pmcf_baselines::FlowError::Overflow(d) => McfError::overflow(d),
+    }
+}
+
+/// Shared degenerate-input screen for the max-flow corollary: lengths,
+/// endpoint ranges, `s == t`, negative capacities, and the `Σu < 2^62`
+/// accumulation headroom — rejected as typed [`McfError`]s *before* any
+/// reduction arithmetic (the circulation reduction sums capacities
+/// unchecked, so this must run first).
+pub fn validate_max_flow_input(
+    graph: &DiGraph,
+    cap: &[i64],
+    s: usize,
+    sink: usize,
+) -> Result<(), McfError> {
+    pmcf_baselines::push_relabel::validate_input(graph, cap, s, sink).map_err(flow_err)
+}
+
 /// A solved instance.
 #[derive(Clone, Debug)]
 pub struct McfSolution {
@@ -259,15 +299,7 @@ pub fn min_cost_flow(
     sink: usize,
     cfg: &SolverConfig,
 ) -> Result<(Flow, i64, i64), McfError> {
-    if s >= graph.n() || sink >= graph.n() {
-        return Err(McfError::invalid(format!(
-            "source {s} / sink {sink} out of range for {} vertices",
-            graph.n()
-        )));
-    }
-    if s == sink {
-        return Err(McfError::invalid("source and sink must differ"));
-    }
+    validate_max_flow_input(graph, cap, s, sink)?;
     let (p, back) = McfProblem::min_cost_max_flow(graph, cap, cost, s, sink);
     let sol = solve_mcf(t, &p, cfg)?;
     let value = sol.flow.st_value(back);
@@ -280,7 +312,8 @@ pub fn min_cost_flow(
     Ok((Flow { x }, value, real_cost))
 }
 
-/// Exact maximum s-t flow via the circulation reduction.
+/// Exact maximum s-t flow via the default engine (the IPM circulation
+/// reduction). See [`max_flow_with`] for backend selection.
 pub fn max_flow(
     t: &mut Tracker,
     graph: &DiGraph,
@@ -289,24 +322,46 @@ pub fn max_flow(
     sink: usize,
     cfg: &SolverConfig,
 ) -> Result<(Flow, i64), McfError> {
-    if s >= graph.n() || sink >= graph.n() {
-        return Err(McfError::invalid(format!(
-            "source {s} / sink {sink} out of range for {} vertices",
-            graph.n()
-        )));
+    max_flow_with(t, graph, cap, s, sink, cfg, MaxFlowEngine::Ipm)
+}
+
+/// Exact maximum s-t flow through a selectable backend. Every engine
+/// sees the same [`validate_max_flow_input`] screen first, so the
+/// rejection class of a degenerate instance does not depend on the
+/// engine choice (the differential harness races them on exactly that).
+pub fn max_flow_with(
+    t: &mut Tracker,
+    graph: &DiGraph,
+    cap: &[i64],
+    s: usize,
+    sink: usize,
+    cfg: &SolverConfig,
+    engine: MaxFlowEngine,
+) -> Result<(Flow, i64), McfError> {
+    validate_max_flow_input(graph, cap, s, sink)?;
+    match engine {
+        MaxFlowEngine::Ipm => {
+            let (p, back) = McfProblem::max_flow(graph, cap, s, sink);
+            let sol = solve_mcf(t, &p, cfg)?;
+            let value = sol.flow.st_value(back);
+            Ok((
+                Flow {
+                    x: sol.flow.x[..graph.m()].to_vec(),
+                },
+                value,
+            ))
+        }
+        MaxFlowEngine::Dinic => {
+            let (value, x) =
+                pmcf_baselines::dinic::try_max_flow(graph, cap, s, sink).map_err(flow_err)?;
+            Ok((Flow { x }, value))
+        }
+        MaxFlowEngine::PushRelabel => {
+            let out =
+                pmcf_baselines::push_relabel::max_flow(t, graph, cap, s, sink).map_err(flow_err)?;
+            Ok((Flow { x: out.x }, out.value))
+        }
     }
-    if s == sink {
-        return Err(McfError::invalid("source and sink must differ"));
-    }
-    let (p, back) = McfProblem::max_flow(graph, cap, s, sink);
-    let sol = solve_mcf(t, &p, cfg)?;
-    let value = sol.flow.st_value(back);
-    Ok((
-        Flow {
-            x: sol.flow.x[..graph.m()].to_vec(),
-        },
-        value,
-    ))
 }
 
 #[cfg(test)]
@@ -344,6 +399,61 @@ mod tests {
             }
             for &nv in &net[1..9] {
                 assert_eq!(nv, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn all_three_max_flow_engines_agree() {
+        for seed in 0..3 {
+            let (g, cap) = generators::random_max_flow(10, 30, 5, seed);
+            let mut t = Tracker::new();
+            let cfg = SolverConfig::default();
+            let mut answers = Vec::new();
+            for eng in [
+                MaxFlowEngine::Ipm,
+                MaxFlowEngine::Dinic,
+                MaxFlowEngine::PushRelabel,
+            ] {
+                let (flow, value) = max_flow_with(&mut t, &g, &cap, 0, 9, &cfg, eng).unwrap();
+                // every engine returns a feasible flow of its value
+                let mut net = vec![0i64; g.n()];
+                for (e, &(u, v)) in g.edges().iter().enumerate() {
+                    assert!(flow.x[e] >= 0 && flow.x[e] <= cap[e], "{eng:?} seed {seed}");
+                    net[u] -= flow.x[e];
+                    net[v] += flow.x[e];
+                }
+                for &nv in &net[1..9] {
+                    assert_eq!(nv, 0, "{eng:?} seed {seed}");
+                }
+                assert_eq!(net[9], value, "{eng:?} seed {seed}");
+                answers.push(value);
+            }
+            assert_eq!(answers[0], answers[1], "seed {seed}");
+            assert_eq!(answers[1], answers[2], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn max_flow_degenerates_reject_identically_across_engines() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let cfg = SolverConfig::default();
+        // (caps, s, t, expected kind)
+        let cases: [(&[i64], usize, usize, &str); 4] = [
+            (&[1, 1], 0, 0, "invalid_input"),
+            (&[1, 1], 0, 7, "invalid_input"),
+            (&[-2, 1], 0, 2, "invalid_input"),
+            (&[1i64 << 61, 1i64 << 61], 0, 2, "overflow"),
+        ];
+        for (cap, s, t, kind) in cases {
+            for eng in [
+                MaxFlowEngine::Ipm,
+                MaxFlowEngine::Dinic,
+                MaxFlowEngine::PushRelabel,
+            ] {
+                let mut tr = Tracker::new();
+                let err = max_flow_with(&mut tr, &g, cap, s, t, &cfg, eng).unwrap_err();
+                assert_eq!(err.kind(), kind, "{eng:?} caps {cap:?} s={s} t={t}");
             }
         }
     }

@@ -44,6 +44,33 @@ pub fn clamp_interior(x: &mut [f64], u: &[f64], theta: f64) {
     }
 }
 
+/// Absolute lower interior guard used by [`clamp_interior_soft`].
+///
+/// Must stay far below the smallest central-path value `μτ/s` any valid
+/// instance can produce (`μ ≥ 1e-2`-ish, `s ≤ big_M < 2^62`, so
+/// `μτ/s ≳ 1e-21`) while keeping `1/x²` finite in `f64` (`1e60 ≪ f64::MAX`).
+pub const INTERIOR_LO_ABS: f64 = 1e-30;
+
+/// Like [`clamp_interior`], but the lower guard is *absolute*, not
+/// relative to `u`.
+///
+/// On huge-capacity edges (e.g. the big-`M` auxiliary arcs of a max-flow
+/// reduction) the central-path value `x ≈ μτ/s` is absolute-small — far
+/// below any relative floor `θ·u`. A relative lower clamp teleports such
+/// an edge orders of magnitude above the central path every time it is
+/// applied, and the Newton corrector then burns its whole budget walking
+/// the edge back down through a globally crushed step size. The lower
+/// guard therefore only protects against non-positive values and is
+/// absolute-tiny. The upper guard stays relative: a gap below
+/// `u·ε_machine` is not representable in `f64` anyway.
+pub fn clamp_interior_soft(x: &mut [f64], u: &[f64], theta: f64) {
+    for (xi, &ui) in x.iter_mut().zip(u) {
+        let lo = (theta * ui).min(INTERIOR_LO_ABS);
+        let hi = (1.0 - theta) * ui;
+        *xi = xi.clamp(lo, hi);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

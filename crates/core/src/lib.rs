@@ -36,6 +36,7 @@ pub mod rounding;
 pub mod trace;
 
 pub use api::{
-    max_flow, min_cost_flow, solve_mcf, validate_instance, Engine, McfSolution, SolverConfig,
+    max_flow, max_flow_with, min_cost_flow, solve_mcf, validate_instance, validate_max_flow_input,
+    Engine, MaxFlowEngine, McfSolution, SolverConfig,
 };
 pub use error::{McfError, SsspError};

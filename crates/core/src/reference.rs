@@ -217,7 +217,7 @@ pub fn path_follow_traced(
         tau: vec![1.0; m],
         mu: mu0,
     };
-    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+    barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
     emit_solve_start("reference", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 

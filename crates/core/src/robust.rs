@@ -65,7 +65,11 @@ struct RobustState {
 }
 
 fn phi_terms(x: f64, u: f64) -> (f64, f64) {
-    let xc = x.clamp(1e-9 * u.max(1.0), u - 1e-9 * u.max(1.0));
+    // Lower guard is absolute: on huge-capacity edges the central value
+    // μτ/s sits far below any relative floor θ·u, and evaluating the
+    // derivatives at a relative floor injects a wildly wrong weight.
+    let lo = (1e-9 * u.max(1.0)).min(barrier::INTERIOR_LO_ABS);
+    let xc = x.clamp(lo, u - 1e-9 * u.max(1.0));
     (barrier::dphi(xc, u), barrier::ddphi(xc, u))
 }
 
@@ -230,7 +234,7 @@ pub fn path_follow(
         tau: vec![1.0; m],
         mu: mu0,
     };
-    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+    barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
     emit_solve_start("robust", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
@@ -336,7 +340,7 @@ pub fn path_follow(
                     // feasibility is restored from `y` regardless of the drift
                     // the sampled steps introduced.
                     st.s = s_exact;
-                    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+                    barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
                     // τ anchor refresh is the costly part (Õ(m) of solves): do it
                     // every few epochs only — the Lewis maintenance keeps τ̄
                     // locally fresh in between
@@ -532,7 +536,10 @@ pub fn path_follow(
             let mut pushed: Vec<(usize, f64)> = Vec::new();
             let z_reg = (n as f64 / m as f64).min(0.5);
             for &e in &dirty {
-                let xi = xbar[e].clamp(1e-9 * cap[e].max(1.0), cap[e] * (1.0 - 1e-9));
+                let xi = xbar[e].clamp(
+                    (1e-9 * cap[e].max(1.0)).min(barrier::INTERIOR_LO_ABS),
+                    cap[e] * (1.0 - 1e-9),
+                );
                 let (_, d2) = phi_terms(xi, cap[e]);
                 let z = z_of(sbar[e], xi, cap[e], rs.tau[e], st.mu);
                 pg_updates.push((e, -GAMMA / d2.sqrt(), rs.tau[e].clamp(z_reg, 2.0), z));
@@ -582,7 +589,7 @@ pub fn path_follow(
     // final exactification + polish
     st.x = rs.pg.compute_exact(t);
     st.s = rs.dm.compute_exact(t);
-    barrier::clamp_interior(&mut st.x, &cap, 1e-9);
+    barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
     refresh_tau_dense(t, &mut st, stats.iterations + 1);
     recenter(t, &mut st, &mut stats, 2 * cfg.max_correctors);
     let (_, worst) = centrality(&st, &cap);

@@ -17,9 +17,12 @@
 //!   monitor failure fails the scenario even when all answers agree.
 
 use crate::families::Scenario;
-use pmcf_baselines::oracle::{BellmanFord, Bfs, Dinic, HopcroftKarp, Oracle, Ssp, Verdict};
+use pmcf_baselines::oracle::{
+    BellmanFord, Bfs, Dinic, HopcroftKarp, Oracle, PushRelabel, Ssp, Verdict,
+};
 use pmcf_core::oracle::IpmOracle;
-use pmcf_core::{validate_instance, McfError};
+use pmcf_core::{validate_instance, validate_max_flow_input, McfError};
+use pmcf_graph::McfProblem;
 use pmcf_obs::monitor::{run_monitors, Verdict as MonitorVerdict};
 use pmcf_obs::recorder::{install, uninstall, FlightRecorder};
 
@@ -133,8 +136,46 @@ pub fn run_scenario(sc: &Scenario) -> Report {
         }
     }
 
+    // same pre-screen for the max-flow race: an instance every engine
+    // rejects at the shared input screen flows through normal comparison
+    // (unanimous `Rejected`), but one that only the *IPM reduction*
+    // rejects for magnitude (`Σu·(m+1)²` past the `C·W·m²` bound) must
+    // not reach the combinatorial engines, which would happily answer
+    if let Scenario::MaxFlow { g, cap, s, t } = sc {
+        if validate_max_flow_input(g, cap, *s, *t).is_ok() {
+            let (p, _) = McfProblem::max_flow(g, cap, *s, *t);
+            if let Err(e @ McfError::Overflow { .. }) = validate_instance(&p) {
+                for o in [&reference as &dyn Oracle, &robust] {
+                    let v = o.max_flow(g, cap, *s, *t);
+                    report.outcomes.push(Outcome {
+                        oracle: o.name(),
+                        verdict: v,
+                    });
+                }
+                if !report
+                    .outcomes
+                    .iter()
+                    .all(|o| matches!(o.verdict, Verdict::Rejected(_)))
+                {
+                    report.mismatch = Some(format!(
+                        "reduction validation rejects ({e}) but not every IPM does: {}",
+                        report.verdict_summary()
+                    ));
+                }
+                return report;
+            }
+        }
+    }
+
     let ipms: [&dyn Oracle; 2] = [&reference, &robust];
-    let baselines: [&dyn Oracle; 5] = [&Ssp, &Dinic, &HopcroftKarp, &BellmanFord, &Bfs];
+    let baselines: [&dyn Oracle; 6] = [
+        &Ssp,
+        &Dinic,
+        &PushRelabel,
+        &HopcroftKarp,
+        &BellmanFord,
+        &Bfs,
+    ];
 
     let mut monitor_failures = Vec::new();
     let mut ask = |o: &dyn Oracle, monitored_run: bool| -> Verdict {
@@ -237,6 +278,67 @@ mod tests {
             .iter()
             .filter(|o| o.verdict.comparable())
             .all(|o| o.verdict == Verdict::Infeasible));
+    }
+
+    #[test]
+    fn max_flow_race_is_three_way() {
+        let (g, cap) = generators::random_max_flow(8, 20, 4, 7);
+        let r = run_scenario(&Scenario::MaxFlow { g, cap, s: 0, t: 7 });
+        assert!(r.clean(), "{:?}", r);
+        // two IPMs + ssp + dinic + push-relabel all answered with a value
+        assert_eq!(
+            r.outcomes
+                .iter()
+                .filter(|o| matches!(o.verdict, Verdict::Value(_)))
+                .count(),
+            5,
+            "{:?}",
+            r
+        );
+        assert!(r.outcomes.iter().any(|o| o.oracle == "push-relabel"));
+    }
+
+    #[test]
+    fn max_flow_reduction_overflow_short_circuits_to_ipms() {
+        // caps pass the shared Σu < 2^62 screen, but Σu·(m+1)² violates
+        // the IPM's C·W·m² precondition: only the IPMs may run, and they
+        // must unanimously reject
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        let r = run_scenario(&Scenario::MaxFlow {
+            g,
+            cap: vec![1i64 << 57, 1i64 << 57],
+            s: 0,
+            t: 2,
+        });
+        assert!(r.clean(), "{:?}", r);
+        assert_eq!(r.outcomes.len(), 2, "baselines must not run: {:?}", r);
+        assert!(r
+            .outcomes
+            .iter()
+            .all(|o| matches!(o.verdict, Verdict::Rejected(_))));
+    }
+
+    #[test]
+    fn degenerate_max_flow_rejection_is_unanimous_across_all_oracles() {
+        let g = DiGraph::from_edges(3, vec![(0, 1), (1, 2)]);
+        for (cap, s, t) in [
+            (vec![1, 1], 1usize, 1usize),
+            (vec![-4, 1], 0, 2),
+            (vec![1i64 << 61, 1i64 << 61], 0, 2),
+        ] {
+            let r = run_scenario(&Scenario::MaxFlow {
+                g: g.clone(),
+                cap,
+                s,
+                t,
+            });
+            assert!(r.clean(), "{:?}", r);
+            assert!(r
+                .outcomes
+                .iter()
+                .filter(|o| o.verdict.comparable())
+                .all(|o| matches!(o.verdict, Verdict::Rejected(_))));
+        }
     }
 
     #[test]

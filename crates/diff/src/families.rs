@@ -132,6 +132,14 @@ pub fn families() -> Vec<Family> {
             gen: maxflow_disconnected,
         },
         Family {
+            name: "maxflow-degenerate",
+            gen: maxflow_degenerate,
+        },
+        Family {
+            name: "maxflow-bundles",
+            gen: maxflow_bundles,
+        },
+        Family {
             name: "matching-random",
             gen: matching_random,
         },
@@ -477,6 +485,87 @@ fn maxflow_disconnected(seed: u64) -> Scenario {
         cap,
         s: 0,
         t: 3,
+    }
+}
+
+/// Degenerate max-flow inputs the engines must reject *identically*:
+/// `s == t`, out-of-range endpoints, negative capacities, and
+/// magnitudes at or past the validation boundaries (`Σu ≥ 2^62`, or
+/// past the IPM reduction's `C·W·m²` bound while the combinatorial
+/// screen still accepts — the driver's pre-screen territory).
+fn maxflow_degenerate(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 20);
+    let n = rng.gen_range(3..=6);
+    let m = rng.gen_range(2 * (n - 1)..=3 * n);
+    let (g, mut cap) = generators::random_max_flow(n, m, 4, seed);
+    let (mut s, mut t) = (0, n - 1);
+    match seed % 5 {
+        0 => t = s,                            // s == t
+        1 => s = n + rng.gen_range(0usize..4), // out of range
+        2 => {
+            let e = rng.gen_range(0..cap.len());
+            cap[e] = -rng.gen_range(1i64..=8); // negative capacity
+        }
+        3 => {
+            let e = rng.gen_range(0..cap.len());
+            cap[e] = (1i64 << 61) + rng.gen_range(0i64..4); // Σu ≥ 2^62 territory
+            let e2 = rng.gen_range(0..cap.len());
+            cap[e2] = 1i64 << 61;
+        }
+        _ => {
+            // inside Σu < 2^62 but past the reduction's C·W·m² bound
+            let e = rng.gen_range(0..cap.len());
+            cap[e] = 1i64 << rng.gen_range(52..=57);
+        }
+    }
+    Scenario::MaxFlow { g, cap, s, t }
+}
+
+/// Parallel and antiparallel edge bundles with zero-capacity arcs mixed
+/// in: feasible instances that stress residual-arc pairing and the
+/// level-graph/admissibility edge cases.
+fn maxflow_bundles(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 21);
+    let n = rng.gen_range(3..=7);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // a guaranteed s-t path, then bundles over random pairs
+    for v in 0..n - 1 {
+        edges.push((v, v + 1));
+    }
+    let bundles = rng.gen_range(2..=6);
+    for _ in 0..bundles {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let k = rng.gen_range(1..=3);
+        for _ in 0..k {
+            edges.push((u, v));
+            if rng.gen_bool(0.5) {
+                edges.push((v, u)); // antiparallel partner
+            }
+        }
+    }
+    let cap: Vec<i64> = (0..edges.len())
+        .map(|_| {
+            if rng.gen_bool(0.25) {
+                0
+            } else {
+                rng.gen_range(1..=5)
+            }
+        })
+        .collect();
+    let s = rng.gen_range(0..n);
+    let mut t = rng.gen_range(0..n);
+    if t == s {
+        t = (s + 1) % n;
+    }
+    Scenario::MaxFlow {
+        g: DiGraph::from_edges(n, edges),
+        cap,
+        s,
+        t,
     }
 }
 
