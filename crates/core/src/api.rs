@@ -160,6 +160,43 @@ pub fn solve_mcf(
     p: &McfProblem,
     cfg: &SolverConfig,
 ) -> Result<McfSolution, McfError> {
+    solve_mcf_inner(t, p, cfg, None)
+}
+
+/// Terminal central-path point of a solve, mapped back to the original
+/// edge/vertex numbering — the warm-start material a
+/// [`crate::resolve::McfCheckpoint`] carries between solves.
+#[derive(Clone, Debug)]
+pub(crate) struct WarmState {
+    /// Final fractional primal iterate on the original edge list
+    /// (length `m`; stripped edges carry `0`).
+    pub x_frac: Vec<f64>,
+    /// Final dual potentials (length `n`; defined per component up to an
+    /// additive shift, which `s = c − Ay` is invariant to).
+    pub y: Vec<f64>,
+}
+
+/// [`solve_mcf`] that additionally captures the terminal central-path
+/// point for warm-started re-solves.
+pub(crate) fn solve_mcf_captured(
+    t: &mut Tracker,
+    p: &McfProblem,
+    cfg: &SolverConfig,
+) -> Result<(McfSolution, WarmState), McfError> {
+    let mut warm = WarmState {
+        x_frac: vec![0.0; p.m()],
+        y: vec![0.0; p.n()],
+    };
+    let sol = solve_mcf_inner(t, p, cfg, Some(&mut warm))?;
+    Ok((sol, warm))
+}
+
+fn solve_mcf_inner(
+    t: &mut Tracker,
+    p: &McfProblem,
+    cfg: &SolverConfig,
+    mut warm_out: Option<&mut WarmState>,
+) -> Result<McfSolution, McfError> {
     validate_instance(p)?;
     // 1. sanitize: strip zero-capacity edges and self loops
     let mut keep: Vec<usize> = Vec::new();
@@ -220,9 +257,20 @@ pub fn solve_mcf(
         }
         let demand: Vec<i64> = verts.iter().map(|&v| work.demand[v]).collect();
         let lp = McfProblem::new(DiGraph::from_edges(verts.len(), edges), cap, cost, demand);
-        let (x_local, st) = solve_connected(t, &lp, cfg)?;
+        let (x_local, st, wl) = solve_connected(t, &lp, cfg)?;
         for (le, &e) in orig.iter().enumerate() {
             x_all[e] = x_local[le];
+        }
+        if let Some(w) = warm_out.as_deref_mut() {
+            // vertices keep their original ids through sanitization, and
+            // `keep` maps sanitized edge slots back to original ones
+            for (i, &v) in verts.iter().enumerate() {
+                w.y[v] = wl.y[i];
+            }
+            for (le, &e) in orig.iter().enumerate() {
+                let orig_e = if stripped { keep[e] } else { e };
+                w.x_frac[orig_e] = wl.x_frac[le];
+            }
         }
         stats_total.iterations += st.iterations;
         stats_total.newton_steps += st.newton_steps;
@@ -256,15 +304,29 @@ pub fn solve_mcf(
     })
 }
 
+/// Terminal central-path point of one connected solve, in the local
+/// (component) numbering.
+pub(crate) struct WarmLocal {
+    pub(crate) x_frac: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+}
+
 /// Solve a connected instance by the configured engine.
-fn solve_connected(
+pub(crate) fn solve_connected(
     t: &mut Tracker,
     p: &McfProblem,
     cfg: &SolverConfig,
-) -> Result<(Vec<i64>, PathStats), McfError> {
+) -> Result<(Vec<i64>, PathStats, WarmLocal), McfError> {
     if p.m() == 0 {
         return if p.demand.iter().all(|&b| b == 0) {
-            Ok((Vec::new(), PathStats::default()))
+            Ok((
+                Vec::new(),
+                PathStats::default(),
+                WarmLocal {
+                    x_frac: Vec::new(),
+                    y: vec![0.0; p.n()],
+                },
+            ))
         } else {
             Err(McfError::Infeasible)
         };
@@ -283,7 +345,41 @@ fn solve_connected(
     if rounded.x[ext.m_orig..].iter().any(|&x| x != 0) {
         return Err(McfError::Infeasible); // demands not satisfiable without auxiliary edges
     }
-    Ok((rounded.x[..ext.m_orig].to_vec(), stats))
+    // aux coordinates are dropped from the warm point: the terminal aux
+    // flows are ≈ 0 and the aux vertex does not survive the resolve
+    let warm = WarmLocal {
+        x_frac: state.x[..ext.m_orig].to_vec(),
+        y: state.y[..p.n()].to_vec(),
+    };
+    Ok((rounded.x[..ext.m_orig].to_vec(), stats, warm))
+}
+
+/// [`solve_mcf`] that additionally returns an
+/// [`McfCheckpoint`](crate::resolve::McfCheckpoint) for incremental
+/// re-solves: subsequent [`resolve_mcf`] calls apply a
+/// [`ResolveDelta`](crate::resolve::ResolveDelta) through the dynamic
+/// expander decomposition and warm-start the IPM from this solve's
+/// terminal central-path point. The checkpoint is returned even when the
+/// solve fails (the first resolve then falls back to a fresh solve).
+pub fn solve_mcf_checkpointed(
+    t: &mut Tracker,
+    p: &McfProblem,
+    cfg: &SolverConfig,
+) -> (crate::resolve::McfCheckpoint, Result<McfSolution, McfError>) {
+    crate::resolve::McfCheckpoint::new(t, p, cfg)
+}
+
+/// Apply a batch of edge insertions/deletions and cost/capacity changes
+/// to a checkpointed instance and re-solve incrementally. Same typed
+/// error surface and same exact objective as a fresh [`solve_mcf`] on
+/// the mutated instance; see [`crate::resolve`] for the warm-start
+/// mechanics and the work-ratio expectations.
+pub fn resolve_mcf(
+    t: &mut Tracker,
+    ck: &mut crate::resolve::McfCheckpoint,
+    delta: &crate::resolve::ResolveDelta,
+) -> Result<McfSolution, McfError> {
+    ck.resolve(t, delta)
 }
 
 /// Exact minimum-cost *maximum* s-t flow (Theorem 1.2's statement).

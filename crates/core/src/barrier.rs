@@ -71,6 +71,28 @@ pub fn clamp_interior_soft(x: &mut [f64], u: &[f64], theta: f64) {
     }
 }
 
+/// Repair coordinates that float rounding pushed onto (or past) a box
+/// bound after a damped Newton update.
+///
+/// The 0.9-damped line search keeps `x` strictly interior in exact
+/// arithmetic — each step multiplies the gap to the blocking bound by at
+/// least 0.1 — but once that gap shrinks below an ulp of `u`, the update
+/// `x + α·δx` rounds onto the bound *exactly*, `φ''` becomes infinite,
+/// and every conductance derived from it collapses to zero. Warm starts
+/// can pin a coordinate that hard (a stale warm point at the wrong bound
+/// drives many consecutive correctors into the same bound); cold runs
+/// never get close, so only out-of-interior coordinates are touched and
+/// healthy runs are bit-identical with or without the repair.
+pub fn repair_bound_rounding(x: &mut [f64], u: &[f64]) {
+    for (xi, &ui) in x.iter_mut().zip(u) {
+        if *xi < INTERIOR_LO_ABS {
+            *xi = INTERIOR_LO_ABS.min(0.5 * ui);
+        } else if *xi >= ui {
+            *xi = ui * (1.0 - f64::EPSILON);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,8 @@
 //!   optimum (with unconditional certification by negative-cycle
 //!   cancelling),
 //! * [`api`] — the public solver entry points,
+//! * [`resolve`] — incremental re-solve on graph deltas: checkpointed
+//!   warm restarts from the previous central-path point,
 //! * [`corollaries`] — max flow, bipartite matching, negative-weight
 //!   SSSP, reachability (Corollaries 1.3–1.5).
 
@@ -31,12 +33,14 @@ pub mod error;
 pub mod init;
 pub mod oracle;
 pub mod reference;
+pub mod resolve;
 pub mod robust;
 pub mod rounding;
 pub mod trace;
 
 pub use api::{
-    max_flow, max_flow_with, min_cost_flow, solve_mcf, validate_instance, validate_max_flow_input,
-    Engine, MaxFlowEngine, McfSolution, SolverConfig,
+    max_flow, max_flow_with, min_cost_flow, resolve_mcf, solve_mcf, solve_mcf_checkpointed,
+    validate_instance, validate_max_flow_input, Engine, MaxFlowEngine, McfSolution, SolverConfig,
 };
 pub use error::{McfError, SsspError};
+pub use resolve::{McfCheckpoint, NewEdge, ResolveDelta};

@@ -42,7 +42,11 @@ impl IpmOracle {
     }
 }
 
-fn verdict_of(e: McfError) -> Verdict {
+/// Map a typed solver error onto the differential [`Verdict`] scale:
+/// infeasibility is an answer, overflow/invalid input are rejections
+/// (compared by kind, not prose), and unbounded/numerical failures
+/// never agree with anything.
+pub fn verdict_of(e: McfError) -> Verdict {
     match e {
         McfError::Infeasible => Verdict::Infeasible,
         McfError::Overflow { .. } | McfError::InvalidInput { .. } => {

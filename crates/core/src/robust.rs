@@ -27,6 +27,7 @@
 use crate::barrier;
 use crate::reference::{
     centrality, emit_solve_end, emit_solve_start, CentralPathState, PathFollowConfig, PathStats,
+    WarmInit,
 };
 use pmcf_ds::dual::DualMaintenance;
 use pmcf_ds::heavy_sampler::HeavySampler;
@@ -202,6 +203,35 @@ pub fn path_follow(
     mu_end: f64,
     cfg: &PathFollowConfig,
 ) -> (CentralPathState, PathStats) {
+    path_follow_inner(t, p, x0, None, mu0, mu_end, cfg)
+}
+
+/// [`path_follow`] resuming from a warm `(x0, y0)` pair — the
+/// incremental-resolve path ([`crate::resolve`]). The initial
+/// `refresh_tau_dense` + recenter rounds re-center the warm point after
+/// the delta before any epoch structure is built.
+pub fn path_follow_warm(
+    t: &mut Tracker,
+    p: &McfProblem,
+    x0: Vec<f64>,
+    warm: WarmInit<'_>,
+    mu0: f64,
+    mu_end: f64,
+    cfg: &PathFollowConfig,
+) -> (CentralPathState, PathStats) {
+    path_follow_inner(t, p, x0, Some(warm), mu0, mu_end, cfg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn path_follow_inner(
+    t: &mut Tracker,
+    p: &McfProblem,
+    x0: Vec<f64>,
+    warm: Option<WarmInit<'_>>,
+    mu0: f64,
+    mu_end: f64,
+    cfg: &PathFollowConfig,
+) -> (CentralPathState, PathStats) {
     let (n, m) = (p.n(), p.m());
     let cap: Vec<f64> = p.cap.iter().map(|&u| u as f64).collect();
     let cost: Vec<f64> = p.cost.iter().map(|&c| c as f64).collect();
@@ -226,22 +256,45 @@ pub fn path_follow(
     );
     let _rng = SmallRng::seed_from_u64(cfg.seed ^ 0xD06F00D);
 
+    // Warm resolve runs borrow the checkpoint's workspace and previous
+    // duals; cold runs start from `y = 0, s = c` with a private arena.
+    let is_warm = warm.is_some();
+    let (y_init, ws_ext, label) = match warm {
+        Some(w) => {
+            debug_assert_eq!(w.y0.len(), n);
+            (w.y0, w.ws, w.label)
+        }
+        None => (vec![0.0; n], None, "robust"),
+    };
+    let mut s_init = vec![0.0; m];
+    incidence::apply_a_into(t, &p.graph, &y_init, &mut s_init);
+    for (se, &ce) in s_init.iter_mut().zip(&cost) {
+        *se = ce - *se;
+    }
     // exact anchor state
     let mut st = CentralPathState {
         x: x0,
-        y: vec![0.0; n],
-        s: cost.clone(),
+        y: y_init,
+        s: s_init,
         tau: vec![1.0; m],
         mu: mu0,
     };
     barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
     let mut stats = PathStats::default();
-    emit_solve_start("robust", n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
+    emit_solve_start(label, n, m, mu0, mu_end, cfg.step_r, cfg.center_tol);
 
     // One buffer arena for the whole solve: Newton temporaries, the
     // per-step RHS copies, and all CG scratch (including the short-lived
-    // sparsifier solvers') recycle here.
-    let ws = Workspace::new();
+    // sparsifier solvers') recycle here. Warm resolves reuse the
+    // checkpoint's arena so repeated deltas stop allocating entirely.
+    let ws_own;
+    let ws = match ws_ext {
+        Some(w) => w,
+        None => {
+            ws_own = Workspace::new();
+            &ws_own
+        }
+    };
     // dense recentering helper (shared with exactification); carries the
     // previous Newton solution across rounds as a CG warm start
     let mut recenter_warm: Option<Vec<f64>> = None;
@@ -272,7 +325,7 @@ pub fn path_follow(
                         stats,
                         cfg.warm_start,
                         &mut recenter_warm,
-                        &ws,
+                        ws,
                     );
                 }
             })
@@ -448,13 +501,13 @@ pub fn path_follow(
                         max_iter: 250,
                     },
                 );
-                hsolver.solve_batch_with(t, &h_weights, &specs, None, Some(&ws))
+                hsolver.solve_batch_with(t, &h_weights, &specs, None, Some(ws))
             } else {
                 // degenerate sample: fall back to the full matrix this step
                 t.counter("ipm.sparsifier_fallbacks", 1);
                 let d_full: Vec<f64> = (0..m).map(d_at).collect();
                 t.charge(Cost::par_flat(m as u64));
-                solver.solve_batch_with(t, &d_full, &specs, None, Some(&ws))
+                solver.solve_batch_with(t, &d_full, &specs, None, Some(ws))
             };
             stats.cg_iterations += solves[0].1.iterations + solves[1].1.iterations;
             let (dc, _) = solves.pop().expect("batch of two");
@@ -574,7 +627,7 @@ pub fn path_follow(
                 ]
             });
             pmcf_obs::record_ipm_iter(
-                "robust",
+                label,
                 stats.iterations as u64,
                 st.mu,
                 st.mu * tau_sum,
@@ -592,18 +645,35 @@ pub fn path_follow(
     barrier::clamp_interior_soft(&mut st.x, &cap, 1e-9);
     refresh_tau_dense(t, &mut st, stats.iterations + 1);
     recenter(t, &mut st, &mut stats, 2 * cfg.max_correctors);
-    let (_, worst) = centrality(&st, &cap);
+    let (_, mut worst) = centrality(&st, &cap);
+    // Extended rescue: warm starts can land here still outside the
+    // ε-centered ball (the μ loop may have run zero iterations); keep
+    // recentering with a larger budget before certifying termination.
+    // Cold runs already sit inside `center_tol` and skip this entirely.
+    if worst > 1.0 {
+        recenter(t, &mut st, &mut stats, 64 * cfg.max_correctors.max(1));
+        worst = centrality(&st, &cap).1;
+    }
     stats.final_centrality = worst;
     stats.final_mu = st.mu;
-    // the ε-centered ball of Definition F.1: ‖z‖_∞ ≤ 1 at termination
-    pmcf_obs::emit_with("ipm.centered", || {
-        vec![
-            ("centrality", worst.into()),
-            ("limit", 1.0.into()),
-            ("phase", "final".into()),
-        ]
-    });
-    emit_solve_end("robust", t, &stats);
+    // the ε-centered ball of Definition F.1: ‖z‖_∞ ≤ 1 at termination.
+    // Warm runs that failed to reach the ball declare nothing (the
+    // caller falls back to a fresh extended solve); cold runs always
+    // declare, keeping uncentered cold terminations loud.
+    if worst <= 1.0 || !is_warm {
+        pmcf_obs::emit_with("ipm.centered", || {
+            vec![
+                ("centrality", worst.into()),
+                ("limit", 1.0.into()),
+                ("phase", "final".into()),
+            ]
+        });
+    } else {
+        pmcf_obs::emit_with("ipm.uncentered", || {
+            vec![("centrality", worst.into()), ("mu", st.mu.into())]
+        });
+    }
+    emit_solve_end(label, t, &stats);
     (st, stats)
 }
 
@@ -679,6 +749,7 @@ fn dense_newton(
         for (xe, &dxe) in st.x.iter_mut().zip(dx.iter()) {
             *xe += alpha * dxe;
         }
+        barrier::repair_bound_rounding(&mut st.x, cap);
         for (yi, &dyi) in st.y.iter_mut().zip(&dy) {
             *yi += alpha * dyi;
         }

@@ -12,7 +12,7 @@
 //! boundary cases carry values near `2^62` that a float-backed JSON
 //! number cannot round-trip exactly.
 
-use crate::families::Scenario;
+use crate::families::{DeltaSpec, Scenario};
 use pmcf_graph::{DiGraph, McfProblem};
 use pmcf_obs::json::{parse, JsonValue};
 use std::path::Path;
@@ -74,6 +74,45 @@ impl CaseFile {
                 i64s(&p.cost),
                 i64s(&p.demand)
             ),
+            Scenario::ResolveChurn { base, deltas } => {
+                let ds: Vec<String> = deltas
+                    .iter()
+                    .map(|d| {
+                        let ins: Vec<String> = d
+                            .insert
+                            .iter()
+                            .map(|&(f, t, u, c)| format!("[{f},{t},\"{u}\",\"{c}\"]"))
+                            .collect();
+                        let del: Vec<String> = d.delete.iter().map(|e| e.to_string()).collect();
+                        let sc: Vec<String> = d
+                            .set_cost
+                            .iter()
+                            .map(|&(e, c)| format!("[{e},\"{c}\"]"))
+                            .collect();
+                        let su: Vec<String> = d
+                            .set_cap
+                            .iter()
+                            .map(|&(e, u)| format!("[{e},\"{u}\"]"))
+                            .collect();
+                        format!(
+                            "{{\"insert\":[{}],\"delete\":[{}],\"set_cost\":[{}],\"set_cap\":[{}]}}",
+                            ins.join(","),
+                            del.join(","),
+                            sc.join(","),
+                            su.join(",")
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"n\":{},\"edges\":{},\"cap\":{},\"cost\":{},\"demand\":{},\"deltas\":[{}]}}",
+                    base.n(),
+                    edges_json(&base.graph),
+                    i64s(&base.cap),
+                    i64s(&base.cost),
+                    i64s(&base.demand),
+                    ds.join(",")
+                )
+            }
             Scenario::MaxFlow { g, cap, s, t } => format!(
                 "{{\"n\":{},\"edges\":{},\"cap\":{},\"s\":{s},\"t\":{t}}}",
                 g.n(),
@@ -205,6 +244,53 @@ fn get_graph(v: &JsonValue) -> Result<DiGraph, String> {
     Ok(DiGraph::from_edges(n, edges))
 }
 
+fn num(v: &JsonValue, what: &str) -> Result<usize, String> {
+    v.as_f64()
+        .map(|f| f as usize)
+        .ok_or_else(|| format!("{what} must be a number"))
+}
+
+fn strnum(v: &JsonValue, what: &str) -> Result<i64, String> {
+    v.as_str()
+        .ok_or_else(|| format!("{what} must be an i64 string"))?
+        .parse::<i64>()
+        .map_err(|e| format!("{what}: {e}"))
+}
+
+fn parse_delta(v: &JsonValue) -> Result<DeltaSpec, String> {
+    let arr_of = |key: &str| -> Result<&[JsonValue], String> {
+        v.get(key)
+            .and_then(|x| x.as_arr())
+            .ok_or_else(|| format!("delta missing array field {key:?}"))
+    };
+    let mut d = DeltaSpec::default();
+    for ins in arr_of("insert")? {
+        let row = ins.as_arr().ok_or("insert entry must be an array")?;
+        if row.len() != 4 {
+            return Err("insert entry must be [from, to, cap, cost]".into());
+        }
+        d.insert.push((
+            num(&row[0], "insert.from")?,
+            num(&row[1], "insert.to")?,
+            strnum(&row[2], "insert.cap")?,
+            strnum(&row[3], "insert.cost")?,
+        ));
+    }
+    for del in arr_of("delete")? {
+        d.delete.push(num(del, "delete entry")?);
+    }
+    for (key, out) in [("set_cost", &mut d.set_cost), ("set_cap", &mut d.set_cap)] {
+        for entry in arr_of(key)? {
+            let row = entry.as_arr().ok_or("set entry must be an array")?;
+            if row.len() != 2 {
+                return Err(format!("{key} entry must be [edge, value]"));
+            }
+            out.push((num(&row[0], "set edge")?, strnum(&row[1], "set value")?));
+        }
+    }
+    Ok(d)
+}
+
 fn parse_scenario(task: &str, v: &JsonValue) -> Result<Scenario, String> {
     let g = get_graph(v)?;
     match task {
@@ -222,6 +308,28 @@ fn parse_scenario(task: &str, v: &JsonValue) -> Result<Scenario, String> {
                 return Err("capacities must be ≥ 0".into());
             }
             Ok(Scenario::Mcf(McfProblem::new(g, cap, cost, demand)))
+        }
+        "resolve_churn" => {
+            let cap = get_i64s(v, "cap")?;
+            let cost = get_i64s(v, "cost")?;
+            let demand = get_i64s(v, "demand")?;
+            if cap.len() != g.m() || cost.len() != g.m() || demand.len() != g.n() {
+                return Err("cap/cost/demand lengths do not match the graph".into());
+            }
+            if demand.iter().sum::<i64>() != 0 {
+                return Err("demands must sum to zero".into());
+            }
+            let deltas = v
+                .get("deltas")
+                .and_then(|x| x.as_arr())
+                .ok_or("missing deltas array")?
+                .iter()
+                .map(parse_delta)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Scenario::ResolveChurn {
+                base: McfProblem::new(g, cap, cost, demand),
+                deltas,
+            })
         }
         "max_flow" => {
             let cap = get_i64s(v, "cap")?;

@@ -16,15 +16,19 @@
 //!   `pmcf-obs` invariant monitors are evaluated over the recording; a
 //!   monitor failure fails the scenario even when all answers agree.
 
-use crate::families::Scenario;
+use crate::families::{DeltaSpec, Scenario};
 use pmcf_baselines::oracle::{
     BellmanFord, Bfs, Dinic, HopcroftKarp, Oracle, PushRelabel, Ssp, Verdict,
 };
-use pmcf_core::oracle::IpmOracle;
-use pmcf_core::{validate_instance, validate_max_flow_input, McfError};
+use pmcf_core::oracle::{verdict_of, IpmOracle};
+use pmcf_core::{
+    solve_mcf_checkpointed, validate_instance, validate_max_flow_input, Engine, McfError, NewEdge,
+    ResolveDelta, SolverConfig,
+};
 use pmcf_graph::McfProblem;
 use pmcf_obs::monitor::{run_monitors, Verdict as MonitorVerdict};
 use pmcf_obs::recorder::{install, uninstall, FlightRecorder};
+use pmcf_pram::Tracker;
 
 /// One oracle's answer to the scenario.
 #[derive(Clone, Debug)]
@@ -104,9 +108,94 @@ fn monitored<T>(f: impl FnOnce() -> T) -> (T, Vec<MonitorVerdict>) {
     (out, verdicts)
 }
 
+/// Translate a plain-data [`DeltaSpec`] into the solver's delta type.
+fn to_delta(spec: &DeltaSpec) -> ResolveDelta {
+    ResolveDelta {
+        insert: spec
+            .insert
+            .iter()
+            .map(|&(from, to, cap, cost)| NewEdge {
+                from,
+                to,
+                cap,
+                cost,
+            })
+            .collect(),
+        delete: spec.delete.clone(),
+        set_cost: spec.set_cost.clone(),
+        set_cap: spec.set_cap.clone(),
+    }
+}
+
+/// Race the incremental re-solve against fresh solves: each IPM engine
+/// plays the whole delta sequence through one checkpoint, and after
+/// every step the warm verdict must agree with a fresh SSP *and* a
+/// fresh IPM solve of the same mutated instance. Monitors watch the
+/// warm runs exactly as they watch fresh ones.
+fn run_resolve_churn(base: &McfProblem, deltas: &[DeltaSpec]) -> Report {
+    let mut report = Report::default();
+    let mut monitor_failures = Vec::new();
+    for engine in [Engine::Reference, Engine::Robust] {
+        let name = match engine {
+            Engine::Reference => "resolve-reference",
+            Engine::Robust => "resolve-robust",
+        };
+        let cfg = SolverConfig {
+            engine,
+            ..SolverConfig::default()
+        };
+        let fresh_ipm = IpmOracle { engine };
+        let (last, verdicts) = monitored(|| {
+            let mut t = Tracker::new();
+            let (mut ck, first) = solve_mcf_checkpointed(&mut t, base, &cfg);
+            let mut v = match first {
+                Ok(s) => Verdict::Value(s.cost),
+                Err(e) => verdict_of(e),
+            };
+            // the base solve must already agree with SSP
+            let anchor = Ssp.mcf(base);
+            if !agree(&v, &anchor) {
+                let why = format!("base: {name} {v:?} vs ssp {anchor:?}");
+                return (v, Some(why));
+            }
+            for (i, spec) in deltas.iter().enumerate() {
+                v = match ck.resolve(&mut t, &to_delta(spec)) {
+                    Ok(s) => Verdict::Value(s.cost),
+                    Err(e) => verdict_of(e),
+                };
+                let fresh_ssp = Ssp.mcf(ck.problem());
+                let fresh = fresh_ipm.mcf(ck.problem());
+                if !agree(&v, &fresh_ssp) || !agree(&v, &fresh) {
+                    let why = format!(
+                        "delta {i}: {name} {v:?} vs fresh-ssp {fresh_ssp:?} vs fresh-ipm {fresh:?}"
+                    );
+                    return (v, Some(why));
+                }
+            }
+            (v, None)
+        });
+        let (v, mismatch) = last;
+        for mv in verdicts.iter().filter(|mv| !mv.ok) {
+            monitor_failures.push(format!("{name}: {} ({})", mv.monitor, mv.detail));
+        }
+        report.outcomes.push(Outcome {
+            oracle: name,
+            verdict: v,
+        });
+        if report.mismatch.is_none() {
+            report.mismatch = mismatch;
+        }
+    }
+    report.monitor_failures = monitor_failures;
+    report
+}
+
 /// Run all applicable oracles on the scenario and compare.
 pub fn run_scenario(sc: &Scenario) -> Report {
     let mut report = Report::default();
+    if let Scenario::ResolveChurn { base, deltas } = sc {
+        return run_resolve_churn(base, deltas);
+    }
     let reference = IpmOracle::reference();
     let robust = IpmOracle::robust();
 
@@ -181,6 +270,8 @@ pub fn run_scenario(sc: &Scenario) -> Report {
     let mut ask = |o: &dyn Oracle, monitored_run: bool| -> Verdict {
         let call = || match sc {
             Scenario::Mcf(p) => o.mcf(p),
+            // handled by the early-return special case above
+            Scenario::ResolveChurn { .. } => Verdict::Unsupported,
             Scenario::MaxFlow { g, cap, s, t } => o.max_flow(g, cap, *s, *t),
             Scenario::Matching { g, nl } => o.matching(g, *nl),
             Scenario::Sssp { g, w, s } => o.sssp(g, w, *s),

@@ -14,11 +14,35 @@ use pmcf_graph::{generators, DiGraph, McfProblem};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// A plain-data edge delta for the incremental re-solve race — the
+/// serializable mirror of `pmcf_core::ResolveDelta` (kept separate so
+/// case files and the shrinker stay independent of solver types).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaSpec {
+    /// Edges to insert: `(from, to, cap, cost)`.
+    pub insert: Vec<(usize, usize, i64, i64)>,
+    /// Pre-delta indices of edges to delete.
+    pub delete: Vec<usize>,
+    /// `(edge, new_cost)` updates on surviving pre-delta indices.
+    pub set_cost: Vec<(usize, i64)>,
+    /// `(edge, new_cap)` updates on surviving pre-delta indices.
+    pub set_cap: Vec<(usize, i64)>,
+}
+
 /// One differential test input: a task plus its instance.
 #[derive(Clone, Debug)]
 pub enum Scenario {
     /// Min-cost `b`-flow through `solve_mcf` vs SSP.
     Mcf(McfProblem),
+    /// Incremental re-solve churn: play a delta sequence through one
+    /// checkpoint per IPM engine, racing each step's warm re-solve
+    /// against fresh solves of the same mutated instance.
+    ResolveChurn {
+        /// The base instance (checkpointed once per engine).
+        base: McfProblem,
+        /// The delta sequence; step `i` uses post-step-`i−1` indices.
+        deltas: Vec<DeltaSpec>,
+    },
     /// Max s-t flow through the circulation reduction vs Dinic and SSP.
     MaxFlow {
         /// The graph.
@@ -60,6 +84,7 @@ impl Scenario {
     pub fn task(&self) -> &'static str {
         match self {
             Scenario::Mcf(_) => "mcf",
+            Scenario::ResolveChurn { .. } => "resolve_churn",
             Scenario::MaxFlow { .. } => "max_flow",
             Scenario::Matching { .. } => "matching",
             Scenario::Sssp { .. } => "sssp",
@@ -122,6 +147,10 @@ pub fn families() -> Vec<Family> {
         Family {
             name: "mcf-expander",
             gen: mcf_expander,
+        },
+        Family {
+            name: "resolve-churn",
+            gen: resolve_churn,
         },
         Family {
             name: "maxflow-random",
@@ -458,6 +487,46 @@ fn mcf_expander(seed: u64) -> Scenario {
         demand[v] += x0[e];
     }
     Scenario::Mcf(McfProblem::new(g, cap, cost, demand))
+}
+
+/// Incremental re-solve churn: a feasible base plus a short random
+/// delta sequence mixing deletions, insertions and cost/capacity
+/// updates. Deltas may delete the instance into an infeasible window
+/// and back — the typed verdict must match a fresh solve at every step.
+fn resolve_churn(seed: u64) -> Scenario {
+    let mut rng = rng_for(seed, 22);
+    let n = rng.gen_range(4..=9usize);
+    let m = rng.gen_range(n + 2..=3 * n);
+    let base = generators::random_mcf(n, m, 4, 3, seed);
+    let steps = rng.gen_range(2..=4usize);
+    let mut cur_m = m;
+    let mut deltas = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let mut d = DeltaSpec::default();
+        if cur_m > 1 && rng.gen_bool(0.4) {
+            d.delete.push(rng.gen_range(0..cur_m));
+        }
+        if rng.gen_bool(0.6) {
+            let from = rng.gen_range(0..n);
+            let to = (from + 1 + rng.gen_range(0..n - 1)) % n;
+            d.insert
+                .push((from, to, rng.gen_range(1..5i64), rng.gen_range(-3..5i64)));
+        }
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let e = rng.gen_range(0..cur_m);
+            if d.delete.contains(&e) {
+                continue; // updating a deleted edge is typed InvalidInput; keep deltas valid
+            }
+            if rng.gen_bool(0.5) {
+                d.set_cost.push((e, rng.gen_range(-3..5i64)));
+            } else {
+                d.set_cap.push((e, rng.gen_range(0..5i64)));
+            }
+        }
+        cur_m = cur_m - d.delete.len() + d.insert.len();
+        deltas.push(d);
+    }
+    Scenario::ResolveChurn { base, deltas }
 }
 
 /// Random max-flow instances (IPM circulation reduction vs Dinic vs SSP).

@@ -117,6 +117,118 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
                 out.push(Scenario::Mcf(q));
             }
         }
+        Scenario::ResolveChurn { base, deltas } => {
+            // Dropping a delta (or an insert/delete inside one) shifts
+            // the edge indices every later delta refers to, so only the
+            // *last* delta loses whole topology ops; set_cost/set_cap
+            // ops are index-neutral and can go anywhere.
+            if !deltas.is_empty() {
+                let mut ds = deltas.clone();
+                ds.pop();
+                out.push(Scenario::ResolveChurn {
+                    base: base.clone(),
+                    deltas: ds,
+                });
+                let last = deltas.len() - 1;
+                for (field, len) in [
+                    ("insert", deltas[last].insert.len()),
+                    ("delete", deltas[last].delete.len()),
+                ] {
+                    for i in 0..len {
+                        let mut ds = deltas.clone();
+                        match field {
+                            "insert" => {
+                                ds[last].insert.remove(i);
+                            }
+                            _ => {
+                                ds[last].delete.remove(i);
+                            }
+                        }
+                        out.push(Scenario::ResolveChurn {
+                            base: base.clone(),
+                            deltas: ds,
+                        });
+                    }
+                }
+            }
+            for (k, d) in deltas.iter().enumerate() {
+                for i in 0..d.set_cost.len() {
+                    let mut ds = deltas.clone();
+                    ds[k].set_cost.remove(i);
+                    out.push(Scenario::ResolveChurn {
+                        base: base.clone(),
+                        deltas: ds,
+                    });
+                }
+                for i in 0..d.set_cap.len() {
+                    let mut ds = deltas.clone();
+                    ds[k].set_cap.remove(i);
+                    out.push(Scenario::ResolveChurn {
+                        base: base.clone(),
+                        deltas: ds,
+                    });
+                }
+            }
+            // magnitude halving on the base (indices untouched)
+            for e in 0..base.m() {
+                for cap_not_cost in [true, false] {
+                    let x = if cap_not_cost {
+                        base.cap[e]
+                    } else {
+                        base.cost[e]
+                    };
+                    if x / 2 == x {
+                        continue;
+                    }
+                    let mut cap = base.cap.clone();
+                    let mut cost = base.cost.clone();
+                    if cap_not_cost {
+                        cap[e] /= 2;
+                    } else {
+                        cost[e] /= 2;
+                    }
+                    out.push(Scenario::ResolveChurn {
+                        base: McfProblem::new(base.graph.clone(), cap, cost, base.demand.clone()),
+                        deltas: deltas.clone(),
+                    });
+                }
+            }
+            // magnitude halving inside the deltas
+            for (k, d) in deltas.iter().enumerate() {
+                for i in 0..d.insert.len() {
+                    let (_, _, u, c) = d.insert[i];
+                    for (nu, nc) in [(u / 2, c), (u, c / 2)] {
+                        if (nu, nc) == (u, c) {
+                            continue;
+                        }
+                        let mut ds = deltas.clone();
+                        ds[k].insert[i].2 = nu;
+                        ds[k].insert[i].3 = nc;
+                        out.push(Scenario::ResolveChurn {
+                            base: base.clone(),
+                            deltas: ds,
+                        });
+                    }
+                }
+                for (field, len) in [("set_cost", d.set_cost.len()), ("set_cap", d.set_cap.len())] {
+                    for i in 0..len {
+                        let mut ds = deltas.clone();
+                        let slot = match field {
+                            "set_cost" => &mut ds[k].set_cost[i],
+                            _ => &mut ds[k].set_cap[i],
+                        };
+                        if slot.1 / 2 == slot.1 {
+                            continue;
+                        }
+                        slot.1 /= 2;
+                        out.push(Scenario::ResolveChurn {
+                            base: base.clone(),
+                            deltas: ds,
+                        });
+                    }
+                }
+            }
+        }
         Scenario::MaxFlow { g, cap, s, t } => {
             for e in 0..g.m() {
                 let mut edges = g.edges().to_vec();

@@ -22,7 +22,7 @@ use crate::pruning::BoostedPruner;
 use crate::static_decomp::{edge_decompose, ExpanderPart};
 use pmcf_graph::{UGraph, Vertex};
 use pmcf_pram::{Cost, Tracker};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Largest part the flight-recorder spot-check will certify exactly —
 /// `find_sparse_cut` is an `O(|part|²)`-ish diagnostic, so certification
@@ -137,7 +137,7 @@ type Loc = (usize, usize, usize);
 /// let mut t = Tracker::new();
 /// let keys = d.insert_edges(&mut t, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
 /// assert_eq!(d.edge_count(), 4);
-/// d.delete_edges(&mut t, &keys[..1]);
+/// assert_eq!(d.delete_edges(&mut t, &keys[..1]), 0); // 0 stale keys
 /// assert_eq!(d.edge_count(), 3);
 /// // the parts always partition the alive edge set
 /// let total: usize = d.parts().iter().map(|p| p.len()).sum();
@@ -148,10 +148,15 @@ pub struct DynamicExpanderDecomposition {
     phi: f64,
     seed: u64,
     buckets: Vec<Bucket>,
-    /// Key → current location.
-    registry: HashMap<EdgeKey, Loc>,
-    /// Endpoints per key (needed to rebuild).
-    endpoints: HashMap<EdgeKey, (Vertex, Vertex)>,
+    /// Key → current location. Ordered (`BTreeMap`, matching the PR 6
+    /// determinism sweep of sibling modules): the maps are only ever
+    /// probed by key today, but an ordered container guarantees any
+    /// future iteration (debugging, rebuild-order tweaks) stays
+    /// seed-deterministic instead of hashing-order-dependent.
+    registry: BTreeMap<EdgeKey, Loc>,
+    /// Endpoints per key (needed to rebuild). Ordered for the same
+    /// reason as `registry`.
+    endpoints: BTreeMap<EdgeKey, (Vertex, Vertex)>,
     next_key: EdgeKey,
     /// Static rebuild count (for the amortized-work experiments).
     pub rebuilds: u64,
@@ -167,8 +172,8 @@ impl DynamicExpanderDecomposition {
             phi,
             seed,
             buckets: (0..48).map(|_| Bucket::default()).collect(),
-            registry: HashMap::new(),
-            endpoints: HashMap::new(),
+            registry: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
             next_key: 0,
             rebuilds: 0,
         }
@@ -227,27 +232,41 @@ impl DynamicExpanderDecomposition {
         })
     }
 
-    /// Delete a batch of edges by key. Unknown/already-deleted keys are
-    /// ignored.
-    pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
+    /// Delete a batch of edges by key. Returns the number of *stale*
+    /// keys in the batch — keys that were never inserted or were already
+    /// deleted. Stale keys are a **counted no-op**: each one bumps the
+    /// `expander.stale_deletes` counter (and the `stale` field of the
+    /// `expander.delete` event) and is otherwise skipped, so
+    /// [`DynamicExpanderDecomposition::edge_count`] can never desync
+    /// from the registry. Callers that must treat staleness as an error
+    /// (e.g. resolve-delta validation) check the returned count.
+    pub fn delete_edges(&mut self, t: &mut Tracker, keys: &[EdgeKey]) -> usize {
         t.span("expander/delete", |t| {
             t.counter("expander.deleted_edges", keys.len() as u64);
-            pmcf_obs::emit_with("expander.delete", || {
-                vec![
-                    ("batch", keys.len().into()),
-                    ("alive_before", self.registry.len().into()),
-                ]
-            });
-            // Group the deletions per (bucket, part).
+            let alive_before = self.registry.len();
+            // Group the deletions per (bucket, part), counting stale keys.
             let mut per_part: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+            let mut stale = 0usize;
             for &k in keys {
                 if let Some(&(b, p, e)) = self.registry.get(&k) {
                     per_part.entry((b, p)).or_default().push(e);
                     self.registry.remove(&k);
                     self.endpoints.remove(&k);
                     self.buckets[b].alive -= 1;
+                } else {
+                    stale += 1;
                 }
             }
+            if stale > 0 {
+                t.counter("expander.stale_deletes", stale as u64);
+            }
+            pmcf_obs::emit_with("expander.delete", || {
+                vec![
+                    ("batch", keys.len().into()),
+                    ("alive_before", alive_before.into()),
+                    ("stale", stale.into()),
+                ]
+            });
             t.charge(Cost::par_flat(keys.len() as u64));
 
             let mut spilled_keys: Vec<EdgeKey> = Vec::new();
@@ -306,6 +325,7 @@ impl DynamicExpanderDecomposition {
             if !spilled_keys.is_empty() {
                 self.home_keys(t, spilled_keys);
             }
+            stale
         })
     }
 
@@ -360,11 +380,12 @@ impl DynamicExpanderDecomposition {
 
         let bucket = &mut self.buckets[target];
         for part in parts {
-            // compact local indexing
-            let mut local_of: HashMap<Vertex, usize> = HashMap::new();
+            // compact local indexing — ids assigned in (deterministic)
+            // edge order, the map is only ever probed by key
+            let mut local_of: BTreeMap<Vertex, usize> = BTreeMap::new();
             let mut verts = Vec::new();
             let local =
-                |v: Vertex, verts: &mut Vec<Vertex>, local_of: &mut HashMap<Vertex, usize>| {
+                |v: Vertex, verts: &mut Vec<Vertex>, local_of: &mut BTreeMap<Vertex, usize>| {
                     *local_of.entry(v).or_insert_with(|| {
                         verts.push(v);
                         verts.len() - 1
@@ -516,12 +537,51 @@ mod tests {
         let mut t = Tracker::new();
         let g = pmcf_graph::generators::random_regular_ugraph(32, 6, 3);
         let keys = d.insert_edges(&mut t, g.edges());
-        d.delete_edges(&mut t, &keys[0..10]);
+        assert_eq!(d.delete_edges(&mut t, &keys[0..10]), 0);
         assert_eq!(d.edge_count(), g.m() - 10);
         check_partition(&d, g.m() - 10);
-        // deleting unknown keys is a no-op
-        d.delete_edges(&mut t, &[999_999]);
+        // deleting unknown keys is a counted no-op
+        assert_eq!(d.delete_edges(&mut t, &[999_999]), 1);
         assert_eq!(d.edge_count(), g.m() - 10);
+    }
+
+    /// Never-inserted keys are a counted no-op: reported in the return
+    /// value and the `expander.stale_deletes` counter, with the registry
+    /// and `edge_count` untouched.
+    #[test]
+    fn never_inserted_keys_are_counted_stale() {
+        let mut d = DynamicExpanderDecomposition::new(16, 0.15, 4);
+        let mut t = Tracker::profiled();
+        let edges: Vec<(usize, usize)> = (0..12).map(|i| (i, (i + 1) % 16)).collect();
+        let keys = d.insert_edges(&mut t, &edges);
+        // one real key, two never-inserted ones (past next_key)
+        let stale = d.delete_edges(&mut t, &[keys[3], 1_000_000, 1_000_001]);
+        assert_eq!(stale, 2);
+        assert_eq!(d.edge_count(), 11);
+        check_partition(&d, 11);
+        let rep = t.profile_report().unwrap();
+        assert_eq!(rep.counters["expander.stale_deletes"], 2);
+        assert_eq!(rep.counters["expander.deleted_edges"], 3);
+    }
+
+    /// Double-deletes — both across batches and within one batch — are
+    /// counted stale and never desync `edge_count` from the registry.
+    #[test]
+    fn double_deletes_are_counted_stale() {
+        let mut d = DynamicExpanderDecomposition::new(32, 0.15, 5);
+        let mut t = Tracker::profiled();
+        let g = pmcf_graph::generators::random_regular_ugraph(32, 6, 6);
+        let keys = d.insert_edges(&mut t, g.edges());
+        assert_eq!(d.delete_edges(&mut t, &keys[0..4]), 0);
+        // same keys again: all four are stale now
+        assert_eq!(d.delete_edges(&mut t, &keys[0..4]), 4);
+        assert_eq!(d.edge_count(), g.m() - 4);
+        // within one batch: the first occurrence deletes, the repeat is stale
+        assert_eq!(d.delete_edges(&mut t, &[keys[5], keys[5]]), 1);
+        assert_eq!(d.edge_count(), g.m() - 5);
+        check_partition(&d, g.m() - 5);
+        let rep = t.profile_report().unwrap();
+        assert_eq!(rep.counters["expander.stale_deletes"], 5);
     }
 
     #[test]
@@ -656,5 +716,58 @@ mod tests {
         assert_eq!(reused.edge_count(), fresh.edge_count());
         assert_eq!(ta.work(), tb.work());
         assert_eq!(ta.depth(), tb.depth());
+    }
+
+    /// Delta-churn extension of the bit-identical work/depth test: a
+    /// long interleaved insert/delete sequence — with stale deletes
+    /// (double-deletes and never-inserted keys) mixed in — must produce
+    /// identical keys, parts, and charged work/depth on a fresh
+    /// structure and on a churned-then-reset one, at every round. Run
+    /// with `RAYON_NUM_THREADS=4` the pool's fork-join path is
+    /// exercised and the charges must still match bit for bit.
+    #[test]
+    fn delta_churn_is_bit_identical_after_reset() {
+        let mut t0 = Tracker::new();
+        let mut reused = DynamicExpanderDecomposition::new(48, 0.1, 77);
+        let g0 = pmcf_graph::generators::gnm_ugraph(48, 180, 31);
+        let pre = reused.insert_edges(&mut t0, g0.edges());
+        reused.delete_edges(&mut t0, &pre[..90]);
+        reused.reset(13);
+        let mut fresh = DynamicExpanderDecomposition::new(48, 0.1, 13);
+
+        let (mut ta, mut tb) = (Tracker::new(), Tracker::new());
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut alive: Vec<EdgeKey> = Vec::new();
+        let mut dead: Vec<EdgeKey> = Vec::new();
+        for round in 0..16 {
+            let batch: Vec<(usize, usize)> = (0..6)
+                .map(|_| {
+                    let u: usize = rng.gen_range(0..48);
+                    let v = (u + 1 + rng.gen_range(0..47usize)) % 48;
+                    (u, v)
+                })
+                .collect();
+            let ka = reused.insert_edges(&mut ta, &batch);
+            let kb = fresh.insert_edges(&mut tb, &batch);
+            assert_eq!(ka, kb, "round {round}: key streams diverged");
+            alive.extend(ka);
+            if round % 2 == 1 && alive.len() > 8 {
+                // live keys, a double-delete, and a never-inserted key
+                let mut del: Vec<EdgeKey> = (0..4).map(|i| alive[i * 2]).collect();
+                if let Some(&k) = dead.first() {
+                    del.push(k);
+                }
+                del.push(u64::MAX - round as u64);
+                let sa = reused.delete_edges(&mut ta, &del);
+                let sb = fresh.delete_edges(&mut tb, &del);
+                assert_eq!(sa, sb, "round {round}: stale counts diverged");
+                alive.retain(|k| !del.contains(k));
+                dead.extend(del);
+            }
+            assert_eq!(reused.parts(), fresh.parts(), "round {round}");
+            assert_eq!(reused.edge_count(), alive.len(), "round {round}");
+            assert_eq!(ta.work(), tb.work(), "round {round}: work diverged");
+            assert_eq!(ta.depth(), tb.depth(), "round {round}: depth diverged");
+        }
     }
 }
