@@ -159,6 +159,90 @@ fn main() {
         ("allocs_per_iter", Json::from(allocs_per_iter)),
     ]);
 
+    // ---- robust-IPM step kernel: keyed pair solve, zero allocations ----
+    // The robust IPM solves exactly two systems per Newton step against a
+    // slowly-changing diagonal (the epoch-persistent sparsifier): both
+    // RHS checked out of the pool, warm-started from the previous step's
+    // solutions, solved through the non-allocating pair path with a
+    // pinned preconditioner generation. After one warm-up step the
+    // measured steps must not touch the allocator at all — this is the
+    // exact shape of `robust.rs`' inner loop.
+    let rhs_c_src: Vec<f64> = {
+        let mut b: Vec<f64> = (0..lev_n)
+            .map(|v| ((v * 13 + 5) % 23) as f64 - 11.0)
+            .collect();
+        b[0] = 0.0;
+        b
+    };
+    let pair_rounds = 16usize;
+    let ws = solver.workspace();
+    let mut prev_dy: Option<Vec<f64>> = None;
+    let mut prev_dc: Option<Vec<f64>> = None;
+    let run_step =
+        |t: &mut Tracker, prev_dy: &mut Option<Vec<f64>>, prev_dc: &mut Option<Vec<f64>>| {
+            let rhs_y = ws.take_copy(t, &steady_b);
+            let rhs_c = ws.take_copy(t, &rhs_c_src);
+            let sy = RhsSpec {
+                b: &rhs_y,
+                guess: prev_dy.as_deref(),
+            };
+            let sc = RhsSpec {
+                b: &rhs_c,
+                guess: prev_dc.as_deref(),
+            };
+            let ((dy, st_y), (dc, st_c)) =
+                solver.solve_pair_keyed(t, &d, &sy, &sc, None, Some(1), Some(ws));
+            ws.give(rhs_y);
+            ws.give(rhs_c);
+            if let Some(old) = prev_dy.replace(dy) {
+                ws.give(old);
+            }
+            if let Some(old) = prev_dc.replace(dc) {
+                ws.give(old);
+            }
+            st_y.iterations as u64 + st_c.iterations as u64
+        };
+    // warm-up: fills every pool class the step touches (two RHS + two
+    // solutions in flight plus both branches' CG scratch), and lets the
+    // pool's injector ring buffer reach steady capacity
+    {
+        let mut t = Tracker::new();
+        run_step(&mut t, &mut prev_dy, &mut prev_dc);
+        run_step(&mut t, &mut prev_dy, &mut prev_dc);
+    }
+    let mut pair_t = Tracker::new();
+    let mut pair_iters = 0u64;
+    let pair_wall = Instant::now();
+    let ((), pair_allocs) = measure_allocs(|| {
+        for _ in 0..pair_rounds {
+            pair_iters += run_step(&mut pair_t, &mut prev_dy, &mut prev_dc);
+        }
+    });
+    let pair_wall = pair_wall.elapsed().as_secs_f64();
+    let pair_allocs_per_iter = pair_allocs as f64 / pair_iters.max(1) as f64;
+    let robust_step_zero_alloc = pair_allocs == 0;
+    mdln!(
+        args,
+        "| robust_step | {lev_n} | {lev_m} | {pair_wall:.4} | {} | {} | {pair_iters} | 0 |",
+        pair_t.work(),
+        pair_t.depth(),
+    );
+    mdln!(
+        args,
+        "  (robust_step: {pair_allocs} allocations over {pair_rounds} pair-solves → {pair_allocs_per_iter:.4} allocs/iter)"
+    );
+    artifact.row(vec![
+        ("op", Json::from("robust_step")),
+        ("n", Json::from(lev_n)),
+        ("m", Json::from(lev_m)),
+        ("wall_seconds", Json::from(pair_wall)),
+        ("work", Json::from(pair_t.work())),
+        ("depth", Json::from(pair_t.depth())),
+        ("cg_iterations", Json::from(pair_iters)),
+        ("allocs", Json::from(pair_allocs)),
+        ("allocs_per_iter", Json::from(pair_allocs_per_iter)),
+    ]);
+
     // ---- reference IPM, cold vs warm Newton solves ----
     let p = generators::random_mcf(32, 170, 4, 4, seed);
     let ext = init::extend(&p).expect("bench instance within magnitude bounds");
@@ -254,6 +338,7 @@ fn main() {
     artifact.set("batch_matches_single", Json::from(batch_ok));
     artifact.set("parallel_cost_model_consistent", Json::from(cost_model_ok));
     artifact.set("cg_steady_zero_alloc", Json::from(zero_alloc));
+    artifact.set("robust_step_zero_alloc", Json::from(robust_step_zero_alloc));
 
     if let Some((label, t)) = profile {
         artifact.attach_profile(&label, &t);

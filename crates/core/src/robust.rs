@@ -36,7 +36,7 @@ use pmcf_ds::primal::PrimalGradient;
 use pmcf_graph::{incidence, DiGraph, McfProblem};
 use pmcf_linalg::lewis::ipm_p;
 use pmcf_linalg::solver::{LaplacianSolver, RhsSpec, SolveParams, SolverOpts};
-use pmcf_pram::{Cost, Tracker, Workspace};
+use pmcf_pram::{primitives as pp, Cost, Tracker, Workspace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -63,6 +63,37 @@ struct RobustState {
     /// edge — updates are gated on ≥25% multiplicative drift to avoid
     /// expander-decomposition churn.
     pushed_dd: Vec<f64>,
+}
+
+/// The per-epoch persistent pair-solve operator: one leverage-sampled
+/// spectral sparsifier of `AᵀDA`, held across every step of an epoch.
+///
+/// Re-sampling the sparsifier each step (the pre-PR-10 behaviour) made
+/// every per-step CG solve cold: a fresh random topology invalidates the
+/// Jacobi cache and turns the previous step's `δ_y` into a guess against
+/// a different matrix, so the per-step CG chain — the dominant term of
+/// the engine's charged depth — grew with `n`. Holding the topology for
+/// the epoch (the paper's own re-initialization cadence) and refreshing
+/// only weights that drifted ≥ 25% makes consecutive steps solve the
+/// same operator: warm starts land, the Jacobi diagonal caches on
+/// [`StepSolver::gen`], and the chain stays short and `n`-independent.
+struct StepSolver {
+    solver: LaplacianSolver,
+    /// Inverse sampling probability per slot (1 for deterministic edges).
+    inv_p: Vec<f64>,
+    /// Current sparsifier weights `d_e · inv_p_e`.
+    weights: Vec<f64>,
+    /// Graph edge → slot (`usize::MAX` when not sampled this epoch).
+    slot_of: Vec<usize>,
+    /// Weight generation for the solver's preconditioner cache.
+    gen: u64,
+}
+
+/// Sparsifier-diagonal entry `D_e = 1/(τ̄_e φ''(x̄_e))` at the engine's
+/// maintained point.
+fn d_weight(rs: &RobustState, cap: &[f64], e: usize) -> f64 {
+    let (_, d2) = phi_terms(rs.pg.xbar()[e], cap[e]);
+    1.0 / (rs.tau[e] * d2)
 }
 
 fn phi_terms(x: f64, u: f64) -> (f64, f64) {
@@ -315,6 +346,19 @@ fn path_follow_inner(
                         });
                         break;
                     }
+                    // Newton is locally quadratic: a residual far from the
+                    // central path does not need a 1e-7 solve to shrink —
+                    // scale the CG tolerance to the current centrality so
+                    // early recentering rounds stop burning depth on
+                    // accuracy the next round discards.
+                    let newton_opts = if cfg.adaptive_tol {
+                        Some(SolverOpts {
+                            tol: (worst * 1e-6).clamp(1e-9, 1e-4),
+                            max_iter: 1500,
+                        })
+                    } else {
+                        None
+                    };
                     dense_newton(
                         t,
                         p,
@@ -325,6 +369,7 @@ fn path_follow_inner(
                         stats,
                         cfg.warm_start,
                         &mut recenter_warm,
+                        newton_opts,
                         ws,
                     );
                 }
@@ -360,10 +405,12 @@ fn path_follow_inner(
     let mut rs = build_structures(t, p, &cap, &st.x, &st.s, st.mu, &solver, &st.tau, cfg.seed);
     let mut tau_sum: f64 = rs.tau.iter().sum();
 
-    // Warm starts for the per-step (δ_y, δ_c) pair: the sparsifier changes
-    // every step but the vertex potentials drift slowly along the path.
+    // Warm starts for the per-step (δ_y, δ_c) pair: the epoch-persistent
+    // sparsifier drifts slowly between generations, so the previous step's
+    // solutions are excellent guesses against (nearly) the same matrix.
     let mut prev_dy: Option<Vec<f64>> = None;
     let mut prev_dc: Option<Vec<f64>> = None;
+    let mut step_solver: Option<StepSolver> = None;
 
     t.span("ipm/loop", |t| {
         let _trace = pmcf_obs::trace_scope("ipm/loop");
@@ -415,6 +462,9 @@ fn path_follow_inner(
                         cfg.seed + stats.iterations as u64,
                     );
                     tau_sum = rs.tau.iter().sum();
+                    // the heavy sampler was rebuilt: resample the step
+                    // sparsifier from the fresh leverage estimates
+                    step_solver = None;
                 });
             }
 
@@ -432,40 +482,76 @@ fn path_follow_inner(
 
             // spectral sparsifier of AᵀDA, D = (τ̄ Φ''(x̄))⁻¹: edges sampled
             // output-sensitively through the HeavySampler's expander parts
-            // (probability ≥ k·σ_e), inverse-probability reweighted
-            let d_at = |e: usize| -> f64 {
-                let (_, d2) = phi_terms(rs.pg.xbar()[e], cap[e]);
-                1.0 / (rs.tau[e] * d2)
-            };
+            // (probability ≥ k·σ_e), inverse-probability reweighted. The
+            // sample is drawn once per epoch and its weights maintained in
+            // place (see [`StepSolver`]); only a degenerate (disconnected)
+            // draw leaves `step_solver` empty for a full-matrix fallback.
             let log_n = (n.max(4) as f64).log2();
-            // high-leverage edges kept deterministically (conditioning),
-            // light edges sampled ∝ local degree within expander parts
-            let heavy = rs.hs.tau_above(t, 1.0 / (4.0 * log_n));
-            let lev_sample = rs.hs.leverage_sample(t, 4.0 * log_n);
-            let mut h_edges = Vec::with_capacity(heavy.len() + lev_sample.len());
-            let mut h_weights = Vec::with_capacity(heavy.len() + lev_sample.len());
-            let mut in_heavy = std::collections::HashSet::with_capacity(heavy.len());
-            for &e in &heavy {
-                in_heavy.insert(e);
-                h_edges.push(p.graph.endpoints(e));
-                h_weights.push(d_at(e));
-            }
-            for &(e, pe) in &lev_sample {
-                if in_heavy.contains(&e) {
-                    continue;
+            if step_solver.is_none() {
+                // high-leverage edges kept deterministically (conditioning),
+                // light edges sampled ∝ local degree within expander parts
+                let heavy = rs.hs.tau_above(t, 1.0 / (4.0 * log_n));
+                let lev_sample = rs.hs.leverage_sample(t, 4.0 * log_n);
+                let mut h_edges = Vec::with_capacity(heavy.len() + lev_sample.len());
+                let mut edge_ids = Vec::with_capacity(heavy.len() + lev_sample.len());
+                let mut inv_p = Vec::with_capacity(heavy.len() + lev_sample.len());
+                let mut in_heavy = std::collections::HashSet::with_capacity(heavy.len());
+                for &e in &heavy {
+                    in_heavy.insert(e);
+                    h_edges.push(p.graph.endpoints(e));
+                    edge_ids.push(e);
+                    inv_p.push(1.0);
                 }
-                h_edges.push(p.graph.endpoints(e));
-                h_weights.push(d_at(e) / pe.max(1e-9));
-            }
-            t.charge(Cost::par_flat(
-                (heavy.len() + lev_sample.len()).max(1) as u64
-            ));
-            let sparsifier_ok = {
-                // the sparsifier must keep the graph connected (parallel
+                for &(e, pe) in &lev_sample {
+                    if in_heavy.contains(&e) {
+                        continue;
+                    }
+                    h_edges.push(p.graph.endpoints(e));
+                    edge_ids.push(e);
+                    inv_p.push(1.0 / pe.max(1e-9));
+                }
+                t.charge(Cost::par_flat(
+                    (heavy.len() + lev_sample.len()).max(1) as u64
+                ));
+                // the sample must keep the graph connected (parallel
                 // label-propagation check, Õ(sample) work)
                 let ug = pmcf_graph::UGraph::from_edges(n, h_edges.clone());
-                pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1
-            };
+                if pmcf_graph::connectivity::parallel_components(t, &ug).1 == 1 {
+                    let weights: Vec<f64> = edge_ids
+                        .iter()
+                        .zip(&inv_p)
+                        .map(|(&e, &ip)| d_weight(&rs, &cap, e) * ip)
+                        .collect();
+                    let mut slot_of = vec![usize::MAX; m];
+                    for (slot, &e) in edge_ids.iter().enumerate() {
+                        slot_of[e] = slot;
+                    }
+                    t.charge(Cost::par_flat(m.max(1) as u64));
+                    step_solver = Some(StepSolver {
+                        // loose per-step tolerance: the sampled correction
+                        // only needs the right direction — solve error
+                        // lands in the maintained infeasibility, gets
+                        // re-targeted by the next step's δ_c, and is wiped
+                        // by the epoch exactification
+                        solver: LaplacianSolver::new(
+                            DiGraph::from_edges(n, h_edges),
+                            0,
+                            SolverOpts {
+                                tol: 5e-2,
+                                max_iter: 40,
+                            },
+                        ),
+                        inv_p,
+                        weights,
+                        slot_of,
+                        gen: 1,
+                    });
+                } else {
+                    // degenerate sample: full matrix this step, resample
+                    // on the next one (the sampler's RNG has advanced)
+                    t.counter("ipm.sparsifier_fallbacks", 1);
+                }
+            }
             let mut rhs_y = ws.take_copy(t, &vbar);
             rhs_y[0] = 0.0;
             let mut rhs_c = ws.take_copy(t, &rs.infeas);
@@ -490,28 +576,42 @@ fn path_follow_inner(
                     },
                 },
             ];
-            let mut solves = if sparsifier_ok {
-                // the sparsifier solver is short-lived; route its CG
-                // scratch through the long-lived arena
-                let hsolver = LaplacianSolver::new(
-                    DiGraph::from_edges(n, h_edges),
-                    0,
-                    SolverOpts {
-                        tol: 1e-5,
-                        max_iter: 250,
-                    },
-                );
-                hsolver.solve_batch_with(t, &h_weights, &specs, None, Some(ws))
-            } else {
-                // degenerate sample: fall back to the full matrix this step
-                t.counter("ipm.sparsifier_fallbacks", 1);
-                let d_full: Vec<f64> = (0..m).map(d_at).collect();
-                t.charge(Cost::par_flat(m as u64));
-                solver.solve_batch_with(t, &d_full, &specs, None, Some(ws))
+            let ((dy, st_y), (dc, st_c)) = match &step_solver {
+                // keyed solve: while `gen` is unchanged the Jacobi
+                // diagonal is a cache hit and the warm starts face the
+                // exact matrix they solved last step
+                Some(ss) => ss.solver.solve_pair_keyed(
+                    t,
+                    &ss.weights,
+                    &specs[0],
+                    &specs[1],
+                    None,
+                    Some(ss.gen),
+                    Some(ws),
+                ),
+                None => {
+                    // full-matrix fallback: pooled Θ(m) diagonal filled by
+                    // parallel tabulate (log depth) instead of a serial
+                    // collect
+                    let mut d_full = ws.take(t, m);
+                    pp::par_tabulate_into(t, &mut d_full, |e| d_weight(&rs, &cap, e));
+                    let sv = solver.solve_pair_keyed(
+                        t,
+                        &d_full,
+                        &specs[0],
+                        &specs[1],
+                        Some(SolverOpts {
+                            tol: 5e-2,
+                            max_iter: 40,
+                        }),
+                        None,
+                        Some(ws),
+                    );
+                    ws.give(d_full);
+                    sv
+                }
             };
-            stats.cg_iterations += solves[0].1.iterations + solves[1].1.iterations;
-            let (dc, _) = solves.pop().expect("batch of two");
-            let (dy, _) = solves.pop().expect("batch of two");
+            stats.cg_iterations += st_y.iterations + st_c.iterations;
             ws.give(rhs_y);
             ws.give(rhs_c);
             stats.newton_steps += 1;
@@ -534,7 +634,7 @@ fn path_follow_inner(
             for &(e, rii) in &r_sample {
                 let (u, v) = p.graph.endpoints(e);
                 let a_pot = pot[v] - pot[u];
-                let val = -rii * d_at(e) * a_pot;
+                let val = -rii * d_weight(&rs, &cap, e) * a_pot;
                 if val != 0.0 {
                     h_sparse.push((e, val));
                 }
@@ -611,6 +711,30 @@ fn path_follow_inner(
             rs.hs.scale(t, &hs_updates);
             for (e, d2) in pushed {
                 rs.pushed_dd[e] = d2;
+            }
+
+            // keep the epoch sparsifier's weights tracking the moved
+            // coordinates, under the same 25% drift gate as the other
+            // weight-indexed structures: most steps leave the matrix
+            // bit-identical (generation unchanged ⇒ preconditioner cache
+            // hit and a warm start against the very same operator)
+            if let Some(ss) = &mut step_solver {
+                let mut changed = false;
+                for &e in &dirty {
+                    let slot = ss.slot_of[e];
+                    if slot == usize::MAX {
+                        continue;
+                    }
+                    let w = d_weight(&rs, &cap, e) * ss.inv_p[slot];
+                    if !(0.8..=1.25).contains(&(w / ss.weights[slot])) {
+                        ss.weights[slot] = w;
+                        changed = true;
+                    }
+                }
+                t.charge(Cost::par_flat(dirty.len().max(1) as u64));
+                if changed {
+                    ss.gen += 1;
+                }
             }
 
             // μ step (Στ̄ maintained incrementally)
@@ -694,6 +818,7 @@ fn dense_newton(
     stats: &mut PathStats,
     warm_start: bool,
     warm: &mut Option<Vec<f64>>,
+    opts: Option<SolverOpts>,
     ws: &Workspace,
 ) {
     t.span("ipm/newton", |t| {
@@ -724,7 +849,7 @@ fn dense_newton(
         }
         rhs[0] = 0.0;
         let params = SolveParams {
-            opts: None,
+            opts,
             guess: if warm_start { warm.as_deref() } else { None },
             d_gen: None,
             ws: Some(ws),

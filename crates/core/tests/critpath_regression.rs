@@ -1,0 +1,81 @@
+//! Critical-path regression guard for the robust IPM.
+//!
+//! The depth attack (PR 10) moved the per-step pipeline's charged depth
+//! out of serial glue — dense diagonal materialization, build-structure
+//! collects, leverage RHS-row assembly, dynamic-decomposition gathers —
+//! and into the one place it is irreducible: the preconditioned CG
+//! chains of the pair solve. This test pins that shape: on a fixed seed,
+//! the `pmcf.critpath/v1` attribution must be exact, the deepest span
+//! path must be a solver path, and none of the formerly-serial spans may
+//! climb back into the top-3 depth contributors.
+
+use pmcf_core::init;
+use pmcf_core::reference::PathFollowConfig;
+use pmcf_core::robust::path_follow;
+use pmcf_graph::generators;
+use pmcf_pram::Tracker;
+
+/// Self-entries of the spans the depth attack de-serialized. A ledger
+/// entry attributes depth charged *directly* in that span (deeper spans
+/// get their own entries), so an exact path match is the span's serial
+/// residue. If any of these re-enters the top-3, some Θ(m) loop went
+/// serial again.
+const CLAIMED_SPANS: &[&str] = &[
+    "ipm/build-structures",
+    "ipm/tau-refresh",
+    "linalg/leverage",
+    "expander/rebuild",
+];
+
+#[test]
+fn claimed_spans_stay_off_the_critical_path_top3() {
+    let p = generators::random_mcf(24, 120, 4, 3, 5);
+    let ext = init::extend(&p).unwrap();
+    let mu0 = init::initial_mu(&ext.prob, 0.25);
+    let mu_end = init::final_mu(&ext.prob);
+    let mut t = Tracker::new().with_critpath();
+    let (_, stats) = path_follow(
+        &mut t,
+        &ext.prob,
+        ext.x0.clone(),
+        mu0,
+        mu_end,
+        &PathFollowConfig::default(),
+    );
+    assert!(stats.iterations > 0);
+    let rep = t.critpath_report().expect("ledger attached");
+    // every unit of tracker depth is attributed to a span path
+    assert!(
+        rep.is_exact(),
+        "attribution drifted: total {} vs attributed {}",
+        rep.total_depth,
+        rep.attributed_depth
+    );
+    let top3: Vec<&str> = rep
+        .entries
+        .iter()
+        .take(3)
+        .map(|e| e.path.as_str())
+        .collect();
+    for claimed in CLAIMED_SPANS {
+        let offender = top3.iter().find(|p| p.split(" > ").last() == Some(claimed));
+        assert!(
+            offender.is_none(),
+            "{claimed} re-entered the top-3 depth contributors: {top3:?}"
+        );
+    }
+    // the depth that remains must live in the solver's CG chains, not in
+    // pipeline glue: the single deepest path ends inside linalg
+    let deepest = rep.entries.first().expect("non-empty attribution");
+    assert!(
+        deepest
+            .path
+            .split(" > ")
+            .last()
+            .unwrap_or("")
+            .starts_with("linalg/"),
+        "deepest span is {} (depth {}), expected a linalg solver path; top: {top3:?}",
+        deepest.path,
+        deepest.depth
+    );
+}

@@ -160,6 +160,12 @@ pub struct DynamicExpanderDecomposition {
     next_key: EdgeKey,
     /// Static rebuild count (for the amortized-work experiments).
     pub rebuilds: u64,
+    /// Reusable gather buffer for the insertion cascade: the keys of
+    /// every bucket `0..=target` are collected here on each rebuild.
+    /// Persisting it across [`DynamicExpanderDecomposition::home_keys`]
+    /// calls keeps the steady-state cascade from reallocating the
+    /// `O(2^target)`-sized scratch every time.
+    gather: Vec<EdgeKey>,
 }
 
 impl DynamicExpanderDecomposition {
@@ -176,6 +182,7 @@ impl DynamicExpanderDecomposition {
             endpoints: BTreeMap::new(),
             next_key: 0,
             rebuilds: 0,
+            gather: Vec::new(),
         }
     }
 
@@ -227,7 +234,7 @@ impl DynamicExpanderDecomposition {
                 })
                 .collect();
             t.charge(Cost::par_flat(edges.len() as u64));
-            self.home_keys(t, keys.clone());
+            self.home_keys(t, &keys);
             keys
         })
     }
@@ -323,14 +330,14 @@ impl DynamicExpanderDecomposition {
                 }
             }
             if !spilled_keys.is_empty() {
-                self.home_keys(t, spilled_keys);
+                self.home_keys(t, &spilled_keys);
             }
             stale
         })
     }
 
     /// Install a set of keys into the bucket structure (insertion cascade).
-    fn home_keys(&mut self, t: &mut Tracker, keys: Vec<EdgeKey>) {
+    fn home_keys(&mut self, t: &mut Tracker, keys: &[EdgeKey]) {
         if keys.is_empty() {
             return;
         }
@@ -345,8 +352,12 @@ impl DynamicExpanderDecomposition {
             }
             target = i;
         }
-        // gather keys of buckets 0..=target plus the new ones
-        let mut all_keys = keys;
+        // gather keys of buckets 0..=target plus the new ones, into the
+        // persistent scratch (alive filters per part are independent →
+        // flat-parallel in the model)
+        let mut all_keys = std::mem::take(&mut self.gather);
+        all_keys.clear();
+        all_keys.extend_from_slice(keys);
         for b in 0..=target {
             for part in self.buckets[b].parts.drain(..) {
                 for (le, &k) in part.view.keys.iter().enumerate() {
@@ -360,12 +371,14 @@ impl DynamicExpanderDecomposition {
         for &k in &all_keys {
             self.registry.remove(&k); // will be re-registered below
         }
+        t.charge(Cost::par_flat(all_keys.len() as u64));
 
         // static decomposition of the gathered edge set (Lemma 3.4)
         self.rebuilds += 1;
         t.counter("expander.rebuilds", 1);
         self.seed = self.seed.wrapping_add(0x9e3779b97f4a7c15);
         let edge_list: Vec<(Vertex, Vertex)> = all_keys.iter().map(|k| self.endpoints[k]).collect();
+        t.charge(Cost::par_flat(all_keys.len() as u64));
         let host = UGraph::from_edges(self.n, edge_list);
         let parts: Vec<ExpanderPart> = t.span("expander/rebuild", |t| {
             edge_decompose(t, &host, self.phi, self.seed)
@@ -436,6 +449,8 @@ impl DynamicExpanderDecomposition {
             }
             fields
         });
+        // hand the scratch back so the next cascade reuses its capacity
+        self.gather = all_keys;
     }
 
     /// O(1) lookup of an alive edge's part view and local edge id.

@@ -19,7 +19,7 @@ use crate::dense::DenseMat;
 use crate::sketch::JlSketch;
 use crate::solver::{LaplacianSolver, RhsSpec};
 use pmcf_graph::{incidence, DiGraph};
-use pmcf_pram::{Cost, Tracker};
+use pmcf_pram::{primitives as pp, Cost, Tracker};
 
 /// Exact leverage scores via a dense inverse (test oracle; `O(n³)`).
 pub fn exact_leverage(g: &DiGraph, d: &[f64], ground: usize) -> Vec<f64> {
@@ -72,8 +72,13 @@ pub fn estimate_leverage(
         // and each sketch row costs a full Laplacian solve.
         let r = JlSketch::rows_for(eps, n).clamp(8, 24).min(4 * m.max(1));
         let q = JlSketch::new(r, m, seed);
-        let sqrt_d: Vec<f64> = d.iter().map(|&x| x.sqrt()).collect();
-        t.charge(Cost::par_flat(m as u64));
+        // All scratch (sketch rows, RHS vectors, CG state, A-applications)
+        // recycles through the solver's arena: after the first estimate on
+        // a given size class, repeated calls stop allocating.
+        let ws = solver.workspace();
+        let (fresh0, reuse0) = (ws.fresh(), ws.reused());
+        let mut sqrt_d = ws.take(t, m);
+        pp::par_tabulate_into(t, &mut sqrt_d, |e| d[e].sqrt());
 
         let mut sigma = vec![0.0f64; m];
         // The r sketch rows are independent → parallel branches in the
@@ -81,14 +86,22 @@ pub fn estimate_leverage(
         // them as one batch sharing a single preconditioner, then apply A
         // to each solution.
         let rhss: Vec<Vec<f64>> = t.parallel(r, |i, t| {
-            // rhs = Aᵀ (√D qᵢ)
-            let row: Vec<f64> = (0..m).map(|e| q.entry(i, e) * sqrt_d[e]).collect();
-            t.charge(Cost::par_flat(m as u64));
-            incidence::apply_at(t, g, &row)
+            // rhs = Aᵀ (√D qᵢ); the m-length row is scratch and goes
+            // straight back to the pool for the next branch
+            let mut row = ws.take(t, m);
+            pp::par_tabulate_into(t, &mut row, |e| q.entry(i, e) * sqrt_d[e]);
+            let mut rhs = ws.take(t, n);
+            incidence::apply_at_into(t, g, &row, &mut rhs);
+            ws.give(row);
+            rhs
         });
         let specs: Vec<RhsSpec<'_>> = rhss.iter().map(|b| RhsSpec { b, guess: None }).collect();
-        let solves = solver.solve_batch(t, d, &specs, None);
-        let results = t.parallel(r, |i, t| incidence::apply_a(t, g, &solves[i].0));
+        let solves = solver.solve_batch_with(t, d, &specs, None, Some(ws));
+        let results: Vec<Vec<f64>> = t.parallel(r, |i, t| {
+            let mut az = ws.take(t, m);
+            incidence::apply_a_into(t, g, &solves[i].0, &mut az);
+            az
+        });
         for az in &results {
             for e in 0..m {
                 let val = sqrt_d[e] * az[e];
@@ -99,6 +112,15 @@ pub fn estimate_leverage(
         for s in sigma.iter_mut() {
             *s = s.clamp(0.0, 1.0);
         }
+        for (x, _) in solves {
+            ws.give(x);
+        }
+        for buf in rhss.into_iter().chain(results) {
+            ws.give(buf);
+        }
+        ws.give(sqrt_d);
+        t.counter("leverage.rhs_fresh", ws.fresh() - fresh0);
+        t.counter("leverage.rhs_reuse", ws.reused() - reuse0);
         sigma
     })
 }

@@ -332,11 +332,28 @@ impl LaplacianSolver {
         opts: Option<SolverOpts>,
         ws: Option<&Workspace>,
     ) -> Vec<(Vec<f64>, SolveStats)> {
+        self.solve_batch_keyed(t, d, rhss, opts, None, ws)
+    }
+
+    /// [`LaplacianSolver::solve_batch_with`] plus a preconditioner-cache
+    /// generation for `d` ([`SolveParams::d_gen`] semantics): callers that
+    /// batch-solve repeatedly against a slowly-changing diagonal — the
+    /// robust IPM's epoch-persistent sparsifier — pass the same generation
+    /// while `d` is unchanged and skip the Jacobi rebuild entirely.
+    pub fn solve_batch_keyed(
+        &self,
+        t: &mut Tracker,
+        d: &[f64],
+        rhss: &[RhsSpec<'_>],
+        opts: Option<SolverOpts>,
+        d_gen: Option<u64>,
+        ws: Option<&Workspace>,
+    ) -> Vec<(Vec<f64>, SolveStats)> {
         t.span("linalg/solve-batch", |t| {
             let _trace = pmcf_obs::trace_scope("linalg/solve-batch");
             let opts = opts.unwrap_or(self.opts);
             let ws = ws.unwrap_or(&self.ws);
-            let pc = self.precondition(t, d, None);
+            let pc = self.precondition(t, d, d_gen);
             // All branches draw scratch from one shared arena — the pool
             // is internally synchronized, so concurrent checkouts never
             // alias and every branch's buffers recycle.
@@ -361,6 +378,57 @@ impl LaplacianSolver {
                 ]
             });
             results
+        })
+    }
+
+    /// Two-RHS special case of [`LaplacianSolver::solve_batch_keyed`]
+    /// that never allocates once the workspace is warm: the IPM's Newton
+    /// step solves exactly two systems (`dy` and `δ_c` correction)
+    /// against one diagonal every iteration, and the general batch path
+    /// pays per-call `Vec`s for branch trackers and results. Charges,
+    /// span tree, counters, and the `solver.batch` event are
+    /// bit-identical to `solve_batch_keyed` with the same two specs.
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
+    pub fn solve_pair_keyed(
+        &self,
+        t: &mut Tracker,
+        d: &[f64],
+        ra: &RhsSpec<'_>,
+        rb: &RhsSpec<'_>,
+        opts: Option<SolverOpts>,
+        d_gen: Option<u64>,
+        ws: Option<&Workspace>,
+    ) -> ((Vec<f64>, SolveStats), (Vec<f64>, SolveStats)) {
+        t.span("linalg/solve-batch", |t| {
+            let _trace = pmcf_obs::trace_scope("linalg/solve-batch");
+            let opts = opts.unwrap_or(self.opts);
+            let ws = ws.unwrap_or(&self.ws);
+            let pc = self.precondition(t, d, d_gen);
+            // par_join forks exactly when `parallel(2, ..)` would, and
+            // merge_pair charges exactly as merge_branches over two
+            // branches — the batch path's accounting, minus its Vecs.
+            let (a, b) = t.par_join(
+                |t| self.cg(t, d, ra.b, &pc, ra.guess, &opts, ws),
+                |t| self.cg(t, d, rb.b, &pc, rb.guess, &opts, ws),
+            );
+            let mut total_iters = 0u64;
+            let mut warm_hits = 0u64;
+            for (_, stats) in [&a, &b] {
+                self.record_solve(t, stats);
+                total_iters += stats.iterations as u64;
+                warm_hits += stats.warm_start as u64;
+            }
+            pmcf_obs::emit_with("solver.batch", || {
+                vec![
+                    ("n", self.graph.n().into()),
+                    ("m", self.graph.m().into()),
+                    ("rhs", 2usize.into()),
+                    ("iterations", total_iters.into()),
+                    ("warm_start_hits", warm_hits.into()),
+                    ("tol", opts.tol.into()),
+                ]
+            });
+            (a, b)
         })
     }
 

@@ -91,4 +91,46 @@ proptest! {
             prop_assert!((back[i] - b[i]).abs() < 1e-7);
         }
     }
+
+    #[test]
+    fn depth_parity_pair_solve_matches_batch(
+        seed in 0u64..300,
+        n in 5usize..14,
+        gen_raw in 0u64..5,
+    ) {
+        let gen = (gen_raw > 0).then_some(gen_raw);
+        // The robust IPM's per-step two-RHS solve goes through the
+        // allocation-free `solve_pair_keyed`; its charged work/depth,
+        // solutions, and stats must be bit-identical to the general
+        // `solve_batch_keyed` with the same two specs — on every thread
+        // count and ParMode (the pair path forks exactly when the batch
+        // path would, and charges are execution-independent).
+        let m = 3 * n;
+        let g = generators::gnm_digraph(n, m, seed);
+        let d: Vec<f64> = (0..m).map(|e| 0.1 + ((e as u64 * 31 + seed) % 50) as f64 / 10.0).collect();
+        let mut b1: Vec<f64> = (0..n).map(|v| ((v as u64 * 17 + seed) % 11) as f64 - 5.0).collect();
+        let mut b2: Vec<f64> = (0..n).map(|v| ((v as u64 * 29 + seed) % 13) as f64 - 6.0).collect();
+        b1[0] = 0.0;
+        b2[0] = 0.0;
+        let specs = [
+            pmcf_linalg::solver::RhsSpec { b: &b1, guess: None },
+            pmcf_linalg::solver::RhsSpec { b: &b2, guess: None },
+        ];
+        // separate solver instances: a shared one would let the second
+        // call hit the first's preconditioner cache and charge less
+        let solver_b = LaplacianSolver::new(g.clone(), 0, SolverOpts::default());
+        let solver_p = LaplacianSolver::new(g, 0, SolverOpts::default());
+        let mut tb = Tracker::new();
+        let batch = solver_b.solve_batch_keyed(&mut tb, &d, &specs, None, gen, None);
+        let mut tp = Tracker::new();
+        let ((x1, s1), (x2, s2)) =
+            solver_p.solve_pair_keyed(&mut tp, &d, &specs[0], &specs[1], None, gen, None);
+        prop_assert_eq!(tp.work(), tb.work());
+        prop_assert_eq!(tp.depth(), tb.depth());
+        prop_assert_eq!(s1.iterations, batch[0].1.iterations);
+        prop_assert_eq!(s2.iterations, batch[1].1.iterations);
+        for (a, b) in x1.iter().zip(&batch[0].0).chain(x2.iter().zip(&batch[1].0)) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
 }

@@ -253,7 +253,7 @@ impl Tracker {
         let mut tb = self.fork();
         let a = f(&mut ta);
         let b = g(&mut tb);
-        self.merge_branches(vec![ta, tb], false);
+        self.merge_pair(ta, tb, false);
         (a, b)
     }
 
@@ -282,7 +282,7 @@ impl Tracker {
         let mut ta = self.fork_detached();
         let mut tb = self.fork_detached();
         let (a, b) = rayon::join(|| f(&mut ta), || g(&mut tb));
-        self.merge_branches(vec![ta, tb], true);
+        self.merge_pair(ta, tb, true);
         (a, b)
     }
 
@@ -384,6 +384,39 @@ impl Tracker {
             profiler: self.profiler.as_ref().map(|_| Profiler::default()),
             ledger: self.ledger.as_ref().map(|_| Box::default()),
         }
+    }
+
+    /// Two-branch join point with the exact cost/profiler/ledger
+    /// semantics of [`Tracker::merge_branches`], but no intermediate
+    /// `Vec` — [`Tracker::join`]/[`Tracker::par_join`] sit on the
+    /// per-step hot path of the IPM loops, where the steady state is
+    /// required to be allocation-free (the `robust_step` alloc gate).
+    fn merge_pair(&mut self, mut ta: Tracker, mut tb: Tracker, detached: bool) {
+        if detached {
+            if let Some(p) = &self.profiler {
+                for b in [&ta, &tb] {
+                    if let Some(bp) = &b.profiler {
+                        p.absorb_branch(bp);
+                    }
+                }
+            }
+        }
+        if self.disabled {
+            return;
+        }
+        if let Some(ledger) = &mut self.ledger {
+            // First branch attaining the depth max wins, matching
+            // `merge_branches`' branch-order tie break.
+            let winner = if tb.total.depth > ta.total.depth {
+                &mut tb
+            } else {
+                &mut ta
+            };
+            if let Some(wl) = winner.ledger.take() {
+                ledger.absorb_winner(*wl);
+            }
+        }
+        self.total += Cost::par(ta.total, tb.total);
     }
 
     /// Join point: par-compose and charge the branch costs; when

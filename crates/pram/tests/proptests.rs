@@ -306,6 +306,57 @@ proptest! {
     }
 
     #[test]
+    fn depth_parity_pair_join_matches_parallel_both_modes(
+        branch_ops in prop::collection::vec(
+            prop::collection::vec((0u8..6, 0u64..500, 0u64..50), 0..12),
+            2..=2,
+        )
+    ) {
+        // The allocation-free two-branch merge (`join`/`par_join` via
+        // merge_pair) must charge work/depth bit-identically to the
+        // general k-branch path in both execution modes, and produce the
+        // same span trees/counters — it is the same model, minus the
+        // Vecs. This is what lets the robust IPM's pair solve keep the
+        // batch path's charges while running allocation-free.
+        let run_parallel = |mode: ParMode| {
+            let mut t = Tracker::profiled();
+            t.span("outer", |t| {
+                t.parallel_in(mode, 2, |i, t| run_branch(t, &branch_ops[i]));
+            });
+            t
+        };
+        let mut joined = Tracker::profiled();
+        joined.span("outer", |t| {
+            t.join(
+                |t| run_branch(t, &branch_ops[0]),
+                |t| run_branch(t, &branch_ops[1]),
+            );
+        });
+        let mut par_joined = Tracker::profiled();
+        par_joined.span("outer", |t| {
+            t.par_join(
+                |t| run_branch(t, &branch_ops[0]),
+                |t| run_branch(t, &branch_ops[1]),
+            );
+        });
+        let seq = run_parallel(ParMode::Sequential);
+        let forked = run_parallel(ParMode::Forked);
+        for other in [&forked, &joined, &par_joined] {
+            prop_assert_eq!(other.work(), seq.work());
+            prop_assert_eq!(other.depth(), seq.depth());
+        }
+        let rs = seq.profile_report().expect("profiled");
+        for other in [&forked, &joined, &par_joined] {
+            let ro = other.profile_report().expect("profiled");
+            assert_span_trees_eq(&rs.spans, &ro.spans);
+            prop_assert_eq!(&rs.counters, &ro.counters);
+            for (name, h) in &rs.histograms {
+                assert_histograms_eq(h, &ro.histograms[name], name);
+            }
+        }
+    }
+
+    #[test]
     fn workspace_roundtrips_under_arbitrary_interleavings(
         ops in prop::collection::vec((0u8..3, 1usize..96), 1..80)
     ) {

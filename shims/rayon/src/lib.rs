@@ -26,8 +26,10 @@
 //! above the PRAM sequential cutoff, and a parallel merge sort is not
 //! worth the shim complexity yet.
 
+use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -45,7 +47,90 @@ const DEFAULT_MIN_LEN: usize = 128;
 // Thread pool
 // ---------------------------------------------------------------------------
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+type BoxJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued unit of work: an owned heap closure (the batch path), or a
+/// borrowed pointer into a [`join`] frame's [`StackJob`] — the two-branch
+/// fast path, which must not allocate (the IPM's per-step pair solve is
+/// gated at zero heap allocations and forks through `join` every step).
+enum Job {
+    Heap(BoxJob),
+    Stack(StackJobRef),
+}
+
+impl Job {
+    fn run(self) {
+        match self {
+            Job::Heap(f) => f(),
+            // SAFETY: the owning `join` frame outlives this call — it
+            // cannot return (or unwind) before the job flips its `done`
+            // flag, which happens strictly after `run` finishes.
+            Job::Stack(s) => unsafe { (s.run)(s.data) },
+        }
+    }
+}
+
+/// Type-erased pointer to a [`StackJob`] living in some `join` frame.
+struct StackJobRef {
+    run: unsafe fn(*const ()),
+    data: *const (),
+}
+
+// SAFETY: the pointed-to closure and result are `Send` by `join`'s
+// bounds; the pointer is only dereferenced by whichever single thread
+// pops the job.
+unsafe impl Send for StackJobRef {}
+
+/// Stack-allocated pending branch for the two-closure [`join`]: closure,
+/// result/panic slots, and the completion flag, all on the submitting
+/// frame. Interior mutability + the `done` Release/Acquire pair make the
+/// cross-thread writes well-defined; the flag store is the runner's
+/// *last* touch of the frame, so there is no latch to share (and hence
+/// nothing to `Arc`).
+struct StackJob<F, R> {
+    f: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<R>>,
+    panic: UnsafeCell<Option<Box<dyn std::any::Any + Send>>>,
+    done: AtomicBool,
+}
+
+unsafe fn run_stack_job<F, R>(data: *const ())
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = &*(data as *const StackJob<F, R>);
+    let f = (*job.f.get()).take().expect("stack job run twice");
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => *job.result.get() = Some(v),
+        Err(p) => *job.panic.get() = Some(p),
+    }
+    // Release point: after this store the submitting frame may exit and
+    // `job` dangles — nothing may touch it past this line.
+    job.done.store(true, Ordering::Release);
+}
+
+/// Waits for a [`StackJob`] to complete, helping with queued work in the
+/// meantime (same help-first discipline as [`Latch::wait_helping`]).
+/// Doing the wait in `Drop` keeps the borrowed frame alive until the
+/// branch has finished even when the inline branch panics.
+struct StackWaitGuard<'a> {
+    done: &'a AtomicBool,
+    injector: &'a Injector,
+}
+
+impl Drop for StackWaitGuard<'_> {
+    fn drop(&mut self) {
+        while !self.done.load(Ordering::Acquire) {
+            if let Some(job) = self.injector.try_pop() {
+                telemetry::count_steal();
+                telemetry::timed(telemetry::SliceKind::Steal, || job.run());
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
 
 #[derive(Default)]
 struct Injector {
@@ -61,6 +146,13 @@ impl Injector {
         }
         drop(q);
         self.ready.notify_all();
+    }
+
+    fn push_one(&self, job: Job) {
+        let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
     }
 
     fn try_pop(&self) -> Option<Job> {
@@ -123,7 +215,7 @@ impl Latch {
                 // A blocked thread running someone else's queued job is
                 // this pool's analogue of a work steal.
                 telemetry::count_steal();
-                telemetry::timed(telemetry::SliceKind::Steal, job);
+                telemetry::timed(telemetry::SliceKind::Steal, || job.run());
                 continue;
             }
             let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
@@ -205,9 +297,10 @@ fn worker_loop(inj: &Injector) {
                 q = inj.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        // Jobs are pre-wrapped in catch_unwind by `run_batch`, so a panic
-        // inside user code never unwinds the worker.
-        telemetry::timed(telemetry::SliceKind::Worker, job);
+        // Jobs are pre-wrapped in catch_unwind (by `run_batch` for heap
+        // jobs, by `run_stack_job` for stack jobs), so a panic inside
+        // user code never unwinds the worker.
+        telemetry::timed(telemetry::SliceKind::Worker, || job.run());
     }
 }
 
@@ -256,7 +349,9 @@ fn run_batch(jobs: Vec<Box<dyn FnOnce() + Send + '_>>) {
             // SAFETY: `run_batch` (and `BatchGuard::drop` on unwind) waits
             // on the latch before returning, so the job cannot outlive the
             // stack frame whose borrows it captures.
-            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) }
+            Job::Heap(unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, BoxJob>(wrapped)
+            })
         })
         .collect();
     telemetry::count_batch(queued.len() as u64);
@@ -284,16 +379,43 @@ where
     RB: Send,
 {
     telemetry::count_join();
-    if pool().threads <= 1 {
+    let p = pool();
+    if p.threads <= 1 {
         return (a(), b());
     }
+    // Allocation-free fork: `b` is parked on this frame as a `StackJob`
+    // and only a raw pointer goes through the queue; `a` runs inline.
+    // The guard's Drop waits for `b` (helping with queued work) before
+    // the frame can exit, on both the normal and the panic path — that
+    // wait is what makes handing out the pointer sound.
+    let sj: StackJob<B, RB> = StackJob {
+        f: UnsafeCell::new(Some(b)),
+        result: UnsafeCell::new(None),
+        panic: UnsafeCell::new(None),
+        done: AtomicBool::new(false),
+    };
+    telemetry::count_batch(1);
+    p.injector.push_one(Job::Stack(StackJobRef {
+        run: run_stack_job::<B, RB>,
+        data: &sj as *const StackJob<B, RB> as *const (),
+    }));
     let mut ra: Option<RA> = None;
-    let mut rb: Option<RB> = None;
-    run_batch(vec![
-        Box::new(|| ra = Some(a())),
-        Box::new(|| rb = Some(b())),
-    ]);
-    (ra.unwrap(), rb.unwrap())
+    {
+        let _guard = StackWaitGuard {
+            done: &sj.done,
+            injector: &p.injector,
+        };
+        telemetry::timed(telemetry::SliceKind::Inline, || ra = Some(a()));
+    }
+    // Guard dropped ⇒ `b` finished (Acquire pairs with the runner's
+    // Release store), so the slots are ours again.
+    if let Some(payload) = unsafe { &mut *sj.panic.get() }.take() {
+        resume_unwind(payload);
+    }
+    let rb = unsafe { &mut *sj.result.get() }
+        .take()
+        .expect("stack job finished without result or panic");
+    (ra.unwrap(), rb)
 }
 
 // ---------------------------------------------------------------------------
